@@ -1,0 +1,95 @@
+// Shared plumbing for the per-figure/table bench binaries.
+//
+// Every bench accepts:
+//   --full    paper-scale parameters (slow); default is a reduced scale
+//             with identical shapes (same request sizes, same server
+//             counts, smaller files)
+//   --seed=N  RNG seed (default 42)
+//
+// Output convention: each bench prints the table/series the corresponding
+// paper figure or table reports, plus the scale it ran at, so
+// EXPERIMENTS.md can record paper-vs-measured side by side.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/s4d_cache.h"
+#include "harness/driver.h"
+#include "harness/testbed.h"
+#include "workloads/ior.h"
+
+namespace s4d::bench {
+
+struct BenchArgs {
+  bool full = false;
+  std::uint64_t seed = 42;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--full] [--seed=N]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline void PrintScale(const BenchArgs& args, const std::string& detail) {
+  std::printf("scale: %s (%s)\n\n",
+              args.full ? "FULL (paper parameters)" : "reduced", detail.c_str());
+}
+
+// Which instances of the IOR mix issue random requests: the paper creates
+// the instances one by one with different parameters; we alternate so that
+// every i-th instance with i % 2 == 1 up to 2*random_instances is random
+// (6 sequential + 4 random for the default mix, interleaved).
+inline bool IsRandomInstance(int i, int instances = 10,
+                             int random_instances = 4) {
+  (void)instances;
+  return i % 2 == 1 && i < 2 * random_instances;
+}
+
+// The paper's IOR experiment (§V-B): 10 instances created one by one,
+// 6 sequential + 4 random, each against its own shared file. Runs every
+// instance through the given middleware and returns aggregate throughput
+// (total bytes / total elapsed time).
+struct IorMixResult {
+  double throughput_mbps = 0.0;
+  byte_count bytes = 0;
+  SimTime elapsed = 0;
+};
+
+inline IorMixResult RunIorMix(mpiio::MpiIoLayer& layer, int ranks,
+                              byte_count file_size, byte_count request_size,
+                              device::IoKind kind, std::uint64_t seed,
+                              int instances = 10, int random_instances = 4) {
+  IorMixResult total;
+  const SimTime start = layer.engine().now();
+  for (int i = 0; i < instances; ++i) {
+    workloads::IorConfig cfg;
+    cfg.file = "ior." + std::to_string(i);
+    cfg.ranks = ranks;
+    cfg.file_size = file_size;
+    cfg.request_size = request_size;
+    cfg.random = IsRandomInstance(i, instances, random_instances);
+    cfg.kind = kind;
+    cfg.seed = seed + static_cast<std::uint64_t>(i);
+    workloads::IorWorkload wl(cfg);
+    const auto result = harness::RunClosedLoop(layer, wl);
+    total.bytes += result.bytes;
+  }
+  total.elapsed = layer.engine().now() - start;
+  total.throughput_mbps = ThroughputMBps(total.bytes, total.elapsed);
+  return total;
+}
+
+}  // namespace s4d::bench

@@ -1,0 +1,87 @@
+// Figure 10: MPI-Tile-IO throughput with 100-400 processes, stock vs
+// S4D-Cache. 10x10 elements per tile, 32 KiB elements (nested-stride).
+//
+// Expected shape: 21-33% write and 18-31% read improvement — better
+// locality than IOR, so gains sit between HPIO's and IOR's.
+#include "bench_common.h"
+
+#include "common/table_printer.h"
+#include "workloads/tile_io.h"
+
+namespace s4d::bench {
+namespace {
+
+double RunTile(mpiio::MpiIoLayer& layer, int ranks, byte_count element,
+               device::IoKind kind) {
+  workloads::TileIoConfig cfg;
+  cfg.ranks = ranks;
+  cfg.elements_x = 10;
+  cfg.elements_y = 10;
+  cfg.element_size = element;
+  cfg.kind = kind;
+  workloads::TileIoWorkload wl(cfg);
+  return harness::RunClosedLoop(layer, wl).throughput_mbps;
+}
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  std::printf("=== Figure 10: MPI-Tile-IO stock vs S4D-Cache ===\n");
+  const byte_count element = args.full ? 32 * KiB : 8 * KiB;
+  PrintScale(args, "10x10 elements/tile, element " + FormatBytes(element));
+
+  for (device::IoKind kind : {device::IoKind::kWrite, device::IoKind::kRead}) {
+    std::printf("--- %s ---\n", device::IoKindName(kind));
+    TablePrinter table({"procs", "stock MB/s", "S4D MB/s", "improvement"});
+    for (int ranks : {100, 196, 324, 400}) {
+      const byte_count data_size =
+          static_cast<byte_count>(ranks) * 100 * element;
+      double stock_mbps;
+      {
+        harness::TestbedConfig bed_cfg;
+        bed_cfg.seed = args.seed;
+        harness::Testbed bed(bed_cfg);
+        mpiio::MpiIoLayer layer(bed.engine(), bed.stock());
+        if (kind == device::IoKind::kRead) {
+          RunTile(layer, ranks, element, device::IoKind::kWrite);
+        }
+        stock_mbps = RunTile(layer, ranks, element, kind);
+      }
+      double s4d_mbps;
+      {
+        harness::TestbedConfig bed_cfg;
+        bed_cfg.seed = args.seed;
+        harness::Testbed bed(bed_cfg);
+        core::S4DConfig cfg;
+        cfg.cache_capacity = data_size / 5;
+        auto s4d = bed.MakeS4D(cfg);
+        mpiio::MpiIoLayer layer(bed.engine(), *s4d);
+        if (kind == device::IoKind::kRead) {
+          RunTile(layer, ranks, element, device::IoKind::kWrite);
+          harness::DrainUntil(bed.engine(),
+                              [&] { return s4d->BackgroundQuiescent(); },
+                              FromSeconds(3600));
+          RunTile(layer, ranks, element, device::IoKind::kRead);
+          harness::DrainUntil(bed.engine(),
+                              [&] { return s4d->BackgroundQuiescent(); },
+                              FromSeconds(3600));
+        }
+        s4d_mbps = RunTile(layer, ranks, element, kind);
+      }
+      table.AddRow(
+          {TablePrinter::Int(ranks), TablePrinter::Num(stock_mbps),
+           TablePrinter::Num(s4d_mbps),
+           TablePrinter::Percent((s4d_mbps / stock_mbps - 1.0) * 100.0)});
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "paper: writes +21-33%%, reads +18-31%% across 100-400 processes;\n"
+      "nested-stride locality keeps gains below IOR's.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace s4d::bench
+
+int main(int argc, char** argv) { return s4d::bench::Main(argc, argv); }

@@ -1,0 +1,93 @@
+// Figure 9: HPIO throughput with varied region spacing (0 = contiguous),
+// stock vs S4D-Cache. 16 processes, 4096 regions of 8 KiB each.
+//
+// Expected shape: improvements grow with spacing (18% -> 33% in the paper
+// for writes at 0/1/2/4 KiB spacing) — noncontiguous but not as random as
+// IOR, so gains are moderate.
+#include "bench_common.h"
+
+#include "common/table_printer.h"
+#include "workloads/hpio.h"
+
+namespace s4d::bench {
+namespace {
+
+double RunHpio(harness::Testbed& bed, mpiio::MpiIoLayer& layer, int ranks,
+               std::int64_t regions, byte_count spacing, device::IoKind kind) {
+  workloads::HpioConfig cfg;
+  cfg.ranks = ranks;
+  cfg.region_count = regions;
+  cfg.region_size = 8 * KiB;
+  cfg.region_spacing = spacing;
+  cfg.kind = kind;
+  workloads::HpioWorkload wl(cfg);
+  (void)bed;
+  return harness::RunClosedLoop(layer, wl).throughput_mbps;
+}
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  std::printf("=== Figure 9: HPIO stock vs S4D-Cache, varied spacing ===\n");
+  const int ranks = 16;
+  const std::int64_t regions = args.full ? 4096 : 1024;
+  PrintScale(args, "16 procs, " + std::to_string(regions) +
+                       " regions/proc, region 8 KiB");
+
+  for (device::IoKind kind : {device::IoKind::kWrite, device::IoKind::kRead}) {
+    std::printf("--- Figure 9(%s): %s ---\n",
+                kind == device::IoKind::kWrite ? "a" : "b",
+                device::IoKindName(kind));
+    TablePrinter table(
+        {"spacing", "stock MB/s", "S4D MB/s", "improvement"});
+    for (byte_count spacing : {0 * KiB, 1 * KiB, 2 * KiB, 4 * KiB}) {
+      double stock_mbps;
+      {
+        harness::TestbedConfig bed_cfg;
+        bed_cfg.seed = args.seed;
+        harness::Testbed bed(bed_cfg);
+        mpiio::MpiIoLayer layer(bed.engine(), bed.stock());
+        if (kind == device::IoKind::kRead) {
+          RunHpio(bed, layer, ranks, regions, spacing, device::IoKind::kWrite);
+        }
+        stock_mbps = RunHpio(bed, layer, ranks, regions, spacing, kind);
+      }
+      double s4d_mbps;
+      {
+        harness::TestbedConfig bed_cfg;
+        bed_cfg.seed = args.seed;
+        harness::Testbed bed(bed_cfg);
+        core::S4DConfig cfg;
+        cfg.cache_capacity =
+            static_cast<byte_count>(ranks) * regions * 8 * KiB / 5;
+        auto s4d = bed.MakeS4D(cfg);
+        mpiio::MpiIoLayer layer(bed.engine(), *s4d);
+        if (kind == device::IoKind::kRead) {
+          RunHpio(bed, layer, ranks, regions, spacing, device::IoKind::kWrite);
+          harness::DrainUntil(bed.engine(),
+                              [&] { return s4d->BackgroundQuiescent(); },
+                              FromSeconds(3600));
+          RunHpio(bed, layer, ranks, regions, spacing, device::IoKind::kRead);
+          harness::DrainUntil(bed.engine(),
+                              [&] { return s4d->BackgroundQuiescent(); },
+                              FromSeconds(3600));
+        }
+        s4d_mbps = RunHpio(bed, layer, ranks, regions, spacing, kind);
+      }
+      table.AddRow(
+          {FormatBytes(spacing), TablePrinter::Num(stock_mbps),
+           TablePrinter::Num(s4d_mbps),
+           TablePrinter::Percent((s4d_mbps / stock_mbps - 1.0) * 100.0)});
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "paper: write improvements 18/28/30/33%% at spacing 0/1/2/4 KiB;\n"
+      "reads follow the same trend. Less random than IOR -> smaller gains.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace s4d::bench
+
+int main(int argc, char** argv) { return s4d::bench::Main(argc, argv); }

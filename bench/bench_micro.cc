@@ -1,0 +1,166 @@
+// google-benchmark microbenchmarks for the hot paths of the middleware:
+// the per-request work the paper's §V-E.2 argues is negligible (cost-model
+// evaluation, CDT/DMT lookups) plus the substrate primitives behind it.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "core/cdt.h"
+#include "core/cost_model.h"
+#include "core/dmt.h"
+#include "core/redirector.h"
+#include "kvstore/kvstore.h"
+#include "pfs/striping.h"
+#include "sim/engine.h"
+
+namespace s4d {
+namespace {
+
+core::CostModel MakeModel() {
+  return core::CostModel(core::CostModelParams::FromProfiles(
+      8, 4, 64 * KiB, device::SeagateST32502NS(),
+      device::OczRevoDriveX2Effective(), net::GigabitEthernet()));
+}
+
+void BM_CostModelBenefit(benchmark::State& state) {
+  const core::CostModel model = MakeModel();
+  byte_count offset = 0;
+  for (auto _ : state) {
+    offset = (offset + 1234567) % (1 * GiB);
+    benchmark::DoNotOptimize(
+        model.Benefit(device::IoKind::kWrite, offset, offset, 16 * KiB));
+  }
+}
+BENCHMARK(BM_CostModelBenefit);
+
+void BM_StripingSplit(benchmark::State& state) {
+  const pfs::StripeConfig cfg{8, 64 * KiB};
+  const byte_count size = state.range(0);
+  byte_count offset = 0;
+  for (auto _ : state) {
+    offset = (offset + 333 * KiB) % (1 * GiB);
+    benchmark::DoNotOptimize(pfs::SplitRequest(cfg, offset, size));
+  }
+}
+BENCHMARK(BM_StripingSplit)->Arg(16 * KiB)->Arg(1 * MiB)->Arg(32 * MiB);
+
+void BM_StripingClosedForm(benchmark::State& state) {
+  const pfs::StripeConfig cfg{8, 64 * KiB};
+  byte_count offset = 0;
+  for (auto _ : state) {
+    offset = (offset + 333 * KiB) % (1 * GiB);
+    benchmark::DoNotOptimize(
+        pfs::MaxSubRequestSizeClosedForm(cfg, offset, 4 * MiB));
+  }
+}
+BENCHMARK(BM_StripingClosedForm);
+
+void BM_CdtAddContains(benchmark::State& state) {
+  core::CriticalDataTable cdt;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const core::CdtKey key{"file", (i % 100000) * 16 * KiB, 16 * KiB};
+    cdt.Add(key);
+    benchmark::DoNotOptimize(cdt.Contains(key));
+    ++i;
+  }
+}
+BENCHMARK(BM_CdtAddContains);
+
+void BM_DmtLookupHit(benchmark::State& state) {
+  core::DataMappingTable dmt;
+  const std::int64_t entries = state.range(0);
+  for (std::int64_t i = 0; i < entries; ++i) {
+    dmt.Insert("file", i * 32 * KiB, 16 * KiB, i * 16 * KiB, false);
+  }
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dmt.Lookup("file", (i % entries) * 32 * KiB, 16 * KiB));
+    ++i;
+  }
+}
+BENCHMARK(BM_DmtLookupHit)->Arg(1024)->Arg(65536);
+
+void BM_DmtInsertEvict(benchmark::State& state) {
+  core::DataMappingTable dmt;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    dmt.Insert("file", i * 16 * KiB, 16 * KiB, (i % 4096) * 16 * KiB, false);
+    if (dmt.entry_count() > 4096) {
+      benchmark::DoNotOptimize(dmt.EvictLruClean());
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_DmtInsertEvict);
+
+void BM_RedirectorPlanWriteHit(benchmark::State& state) {
+  core::CriticalDataTable cdt;
+  core::DataMappingTable dmt;
+  core::CacheSpaceAllocator space(1 * GiB);
+  core::Redirector redirector(cdt, dmt, space);
+  // Pre-admit a working set, then measure steady-state mapped writes.
+  for (int i = 0; i < 1024; ++i) {
+    redirector.PlanWrite("file", i * 16 * KiB, 16 * KiB, true);
+  }
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        redirector.PlanWrite("file", (i % 1024) * 16 * KiB, 16 * KiB, true));
+    ++i;
+  }
+}
+BENCHMARK(BM_RedirectorPlanWriteHit);
+
+void BM_EngineScheduleStep(benchmark::State& state) {
+  sim::Engine engine;
+  for (auto _ : state) {
+    engine.ScheduleAfter(1, [] {});
+    engine.Step();
+  }
+}
+BENCHMARK(BM_EngineScheduleStep);
+
+void BM_KvStorePut(benchmark::State& state) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("s4d_micro_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  kv::Options options;
+  options.sync_writes = false;  // isolate the store logic from fsync cost
+  auto store = kv::KvStore::Open((dir / "bench.db").string(), options);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*store)->Put("key" + std::to_string(i % 10000), "0123456789abcdef"));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_KvStorePut);
+
+void BM_KvStoreGet(benchmark::State& state) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("s4d_micro_get_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  kv::Options options;
+  options.sync_writes = false;
+  auto store = kv::KvStore::Open((dir / "bench.db").string(), options);
+  for (int i = 0; i < 10000; ++i) {
+    (void)(*store)->Put("key" + std::to_string(i), "0123456789abcdef");
+  }
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*store)->Get("key" + std::to_string(i % 10000)));
+    ++i;
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_KvStoreGet);
+
+}  // namespace
+}  // namespace s4d
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Table III: request distribution between DServers and CServers during a
+// five-second window of the IOR write run, for request sizes 16 KiB and
+// 4096 KiB, traced IOSIG-style.
+//
+// Expected shape: at 16 KiB most requests are redirected to CServers and
+// DServers mostly sees sequential requests; at 4096 KiB everything stays
+// on DServers.
+#include "bench_common.h"
+
+#include "common/table_printer.h"
+#include "trace/trace.h"
+
+namespace s4d::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  std::printf("=== Table III: request distribution (IOR writes) ===\n");
+  const byte_count file_size = args.full ? 2 * GiB : 64 * MiB;
+  const int ranks = 32;
+  PrintScale(args, "32 procs, 10-instance IOR mix, file " +
+                       FormatBytes(file_size) + " each");
+
+  TablePrinter table({"request", "DServers (%)", "CServers (%)",
+                      "seq-instance share of DServer reqs"});
+  for (byte_count request : {16 * KiB, 4096 * KiB}) {
+    const byte_count fsize = std::max(file_size, request * ranks * 4);
+    harness::TestbedConfig bed_cfg;
+    bed_cfg.seed = args.seed;
+    harness::Testbed bed(bed_cfg);
+    core::S4DConfig cfg;
+    cfg.cache_capacity = 10 * fsize / 5;
+    auto s4d = bed.MakeS4D(cfg);
+    trace::TraceCollector collector;
+    collector.Attach(bed.dservers(), "DServers");
+    collector.Attach(bed.cservers(), "CServers");
+    mpiio::MpiIoLayer layer(bed.engine(), *s4d);
+
+    RunIorMix(layer, ranks, fsize, request, device::IoKind::kWrite,
+              args.seed);
+    const SimTime end = bed.engine().now();
+
+    // The paper samples a 5-second window mid-run; we take the middle
+    // tenth of the run so both sequential and random instances are seen.
+    const SimTime w_begin = end * 45 / 100;
+    const SimTime w_end = end * 55 / 100;
+    const auto dist = collector.RequestDistribution(w_begin, w_end);
+    // "DServers mostly sees sequential requests": what share of the
+    // requests that stayed on DServers came from sequential instances?
+    // Sequential/random instances write distinct files (ior.<i>), so the
+    // trace's file ids identify them.
+    std::int64_t d_total = 0, d_sequential = 0;
+    for (const auto& event : collector.events()) {
+      if (event.system != "DServers") continue;
+      const auto& r = event.record;
+      if (r.priority != pfs::Priority::kNormal) continue;
+      if (r.issue_time < w_begin || r.issue_time >= w_end) continue;
+      ++d_total;
+      bool from_random = false;
+      for (int i = 0; i < 10; ++i) {
+        if (!IsRandomInstance(i)) continue;
+        if (bed.dservers().Lookup("ior." + std::to_string(i)) == r.file) {
+          from_random = true;
+          break;
+        }
+      }
+      if (!from_random) ++d_sequential;
+    }
+    const double seq_share =
+        d_total == 0 ? 0.0
+                     : 100.0 * static_cast<double>(d_sequential) /
+                           static_cast<double>(d_total);
+    table.AddRow({FormatBytes(request),
+                  TablePrinter::Num(dist.RequestPercent("DServers")),
+                  TablePrinter::Num(dist.RequestPercent("CServers")),
+                  TablePrinter::Percent(seq_share)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\npaper: 16 KiB -> 16.3%% DServers / 83.7%% CServers (DServers mostly\n"
+      "sequential); 4096 KiB -> 100%% DServers / 0%% CServers.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace s4d::bench
+
+int main(int argc, char** argv) { return s4d::bench::Main(argc, argv); }

@@ -1,0 +1,105 @@
+// Cache provisioning study: how many SSD CServers and how much capacity
+// does a given workload need? §V-B.4's conclusion — "choosing a reasonable
+// number of file servers based on the characteristic of the I/O workload
+// is critical" — turned into a reusable what-if tool: sweep CServer count
+// and cache capacity for a workload mix and report the knee points.
+//
+//   $ ./examples/cache_provisioning
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/s4d_cache.h"
+#include "harness/driver.h"
+#include "harness/testbed.h"
+#include "workloads/ior.h"
+
+using namespace s4d;
+
+namespace {
+
+constexpr int kRanks = 16;
+constexpr byte_count kFileSize = 48 * MiB;
+constexpr byte_count kRequest = 16 * KiB;
+
+// Workload: 1/3 random small-request traffic, 2/3 sequential — the
+// "non-uniform workload" S4D targets.
+double RunMix(harness::Testbed& bed, mpiio::IoDispatch& dispatch,
+              std::uint64_t seed) {
+  mpiio::MpiIoLayer layer(bed.engine(), dispatch);
+  byte_count bytes = 0;
+  const SimTime start = bed.engine().now();
+  for (int i = 0; i < 3; ++i) {
+    workloads::IorConfig cfg;
+    cfg.file = "mix." + std::to_string(i);
+    cfg.ranks = kRanks;
+    cfg.file_size = kFileSize;
+    cfg.request_size = kRequest;
+    cfg.random = (i == 1);
+    cfg.kind = device::IoKind::kWrite;
+    cfg.seed = seed + static_cast<std::uint64_t>(i);
+    workloads::IorWorkload wl(cfg);
+    bytes += harness::RunClosedLoop(layer, wl).bytes;
+  }
+  return ThroughputMBps(bytes, bed.engine().now() - start);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("cache provisioning sweep: %d ranks, %s files, %s requests, "
+              "1 random : 2 sequential\n\n",
+              kRanks, FormatBytes(kFileSize).c_str(),
+              FormatBytes(kRequest).c_str());
+
+  double baseline;
+  {
+    harness::Testbed bed{harness::TestbedConfig{}};
+    baseline = RunMix(bed, bed.stock(), 42);
+  }
+  std::printf("stock baseline: %.1f MB/s\n\n", baseline);
+
+  // --- sweep 1: number of CServers at fixed capacity ---------------------
+  {
+    TablePrinter table({"CServers", "MB/s", "speedup", "marginal gain"});
+    double previous = baseline;
+    for (int cservers : {1, 2, 3, 4, 6, 8}) {
+      harness::TestbedConfig bed_cfg;
+      bed_cfg.cservers = cservers;
+      harness::Testbed bed(bed_cfg);
+      core::S4DConfig cfg;
+      cfg.cache_capacity = 3 * kFileSize / 5;
+      auto s4d = bed.MakeS4D(cfg);
+      const double mbps = RunMix(bed, *s4d, 42);
+      table.AddRow({TablePrinter::Int(cservers), TablePrinter::Num(mbps),
+                    TablePrinter::Num(mbps / baseline, 2) + "x",
+                    TablePrinter::Percent((mbps / previous - 1.0) * 100.0)});
+      previous = mbps;
+    }
+    std::printf("sweep 1: CServer count (capacity fixed at 20%% of data)\n");
+    table.Print(std::cout);
+    std::printf("-> add CServers until the marginal gain flattens; only the\n"
+                "   random third of this workload can benefit (cf. Fig. 8).\n\n");
+  }
+
+  // --- sweep 2: cache capacity at fixed CServer count --------------------
+  {
+    TablePrinter table({"capacity", "% of data", "MB/s", "speedup"});
+    const byte_count data = 3 * kFileSize;
+    for (int pct : {5, 10, 20, 40, 80}) {
+      harness::Testbed bed{harness::TestbedConfig{}};
+      core::S4DConfig cfg;
+      cfg.cache_capacity = data * pct / 100;
+      auto s4d = bed.MakeS4D(cfg);
+      const double mbps = RunMix(bed, *s4d, 42);
+      table.AddRow({FormatBytes(cfg.cache_capacity),
+                    TablePrinter::Int(pct) + "%", TablePrinter::Num(mbps),
+                    TablePrinter::Num(mbps / baseline, 2) + "x"});
+    }
+    std::printf("sweep 2: cache capacity (4 CServers)\n");
+    table.Print(std::cout);
+    std::printf("-> capacity beyond the random working set buys little\n"
+                "   (cf. Table IV's plateau above 4 GiB).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Minimal INI-style configuration parser for the s4dsim CLI tool.
+//
+// Format:
+//   # comment            ; comment
+//   [section]
+//   key = value
+//
+// Values keep their raw text; typed getters parse on demand. Size values
+// accept binary suffixes (k/m/g, case-insensitive, meaning KiB/MiB/GiB);
+// duration values accept ns/us/ms/s suffixes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace s4d {
+
+class ConfigParser {
+ public:
+  // Parses the given text; returns a Status describing the first syntax
+  // error (with line number), if any.
+  Status Parse(const std::string& text);
+
+  // Loads and parses a file.
+  Status ParseFile(const std::string& path);
+
+  bool Has(const std::string& section, const std::string& key) const;
+
+  // Sets/overrides a value programmatically.
+  void Set(const std::string& section, const std::string& key,
+           std::string value);
+
+  std::optional<std::string> GetString(const std::string& section,
+                                       const std::string& key) const;
+  std::optional<std::int64_t> GetInt(const std::string& section,
+                                     const std::string& key) const;
+  std::optional<double> GetDouble(const std::string& section,
+                                  const std::string& key) const;
+  std::optional<bool> GetBool(const std::string& section,
+                              const std::string& key) const;
+  // "64k" -> 65536, "2m" -> 2 MiB, "1g" -> 1 GiB, "123" -> 123.
+  std::optional<byte_count> GetSize(const std::string& section,
+                                    const std::string& key) const;
+  // "250ms" -> FromMillis(250), "2s", "100us", "50ns", bare number = ns.
+  std::optional<SimTime> GetDuration(const std::string& section,
+                                     const std::string& key) const;
+
+  // Convenience with-default variants.
+  std::string StringOr(const std::string& section, const std::string& key,
+                       std::string fallback) const;
+  std::int64_t IntOr(const std::string& section, const std::string& key,
+                     std::int64_t fallback) const;
+  double DoubleOr(const std::string& section, const std::string& key,
+                  double fallback) const;
+  bool BoolOr(const std::string& section, const std::string& key,
+              bool fallback) const;
+  byte_count SizeOr(const std::string& section, const std::string& key,
+                    byte_count fallback) const;
+  SimTime DurationOr(const std::string& section, const std::string& key,
+                     SimTime fallback) const;
+
+  std::size_t entry_count() const { return values_.size(); }
+
+ private:
+  // key = "section.key" (section may be empty for top-level entries)
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace s4d

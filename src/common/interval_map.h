@@ -1,0 +1,175 @@
+// IntervalMap<V>: a map from disjoint half-open byte ranges [begin, end)
+// to values, with automatic splitting on overlapping assignment and
+// coalescing of equal-valued neighbours.
+//
+// Used for:
+//   * sparse version-stamped file contents in the verification content store
+//   * tracking which byte ranges of an original file are cached (DMT views)
+//   * free/clean extent accounting in the cache-space allocator tests
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace s4d {
+
+template <typename V>
+class IntervalMap {
+ public:
+  struct Entry {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;  // exclusive
+    V value{};
+
+    std::int64_t length() const { return end - begin; }
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  bool empty() const { return segments_.empty(); }
+  std::size_t segment_count() const { return segments_.size(); }
+
+  // Assigns `value` to [begin, end), overwriting any previous contents of
+  // that range. Ranges with begin >= end are ignored.
+  void Assign(std::int64_t begin, std::int64_t end, const V& value) {
+    if (begin >= end) return;
+    CarveHole(begin, end);
+    auto it = segments_.emplace(begin, Segment{end, value}).first;
+    Coalesce(it);
+  }
+
+  // Removes any values in [begin, end).
+  void Erase(std::int64_t begin, std::int64_t end) {
+    if (begin >= end) return;
+    CarveHole(begin, end);
+  }
+
+  // Returns the value covering `pos`, if any.
+  std::optional<V> At(std::int64_t pos) const {
+    auto it = FindCovering(pos);
+    if (it == segments_.end()) return std::nullopt;
+    return it->second.value;
+  }
+
+  // Returns all entries overlapping [begin, end), clipped to that range,
+  // in ascending order.
+  std::vector<Entry> Overlapping(std::int64_t begin, std::int64_t end) const {
+    std::vector<Entry> out;
+    if (begin >= end) return out;
+    auto it = segments_.upper_bound(begin);
+    if (it != segments_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > begin) it = prev;
+    }
+    for (; it != segments_.end() && it->first < end; ++it) {
+      Entry e;
+      e.begin = std::max(begin, it->first);
+      e.end = std::min(end, it->second.end);
+      e.value = it->second.value;
+      if (e.begin < e.end) out.push_back(std::move(e));
+    }
+    return out;
+  }
+
+  // True iff every byte of [begin, end) is covered by some entry.
+  bool Covers(std::int64_t begin, std::int64_t end) const {
+    if (begin >= end) return true;
+    std::int64_t cursor = begin;
+    for (const Entry& e : Overlapping(begin, end)) {
+      if (e.begin != cursor) return false;
+      cursor = e.end;
+    }
+    return cursor == end;
+  }
+
+  // Maximal sub-ranges of [begin, end) NOT covered by any entry.
+  std::vector<std::pair<std::int64_t, std::int64_t>> Gaps(
+      std::int64_t begin, std::int64_t end) const {
+    std::vector<std::pair<std::int64_t, std::int64_t>> gaps;
+    std::int64_t cursor = begin;
+    for (const Entry& e : Overlapping(begin, end)) {
+      if (e.begin > cursor) gaps.emplace_back(cursor, e.begin);
+      cursor = e.end;
+    }
+    if (cursor < end) gaps.emplace_back(cursor, end);
+    return gaps;
+  }
+
+  std::vector<Entry> AllEntries() const {
+    std::vector<Entry> out;
+    out.reserve(segments_.size());
+    for (const auto& [begin, seg] : segments_) {
+      out.push_back(Entry{begin, seg.end, seg.value});
+    }
+    return out;
+  }
+
+  // Total number of bytes covered by entries.
+  std::int64_t CoveredBytes() const {
+    std::int64_t total = 0;
+    for (const auto& [begin, seg] : segments_) total += seg.end - begin;
+    return total;
+  }
+
+  void Clear() { segments_.clear(); }
+
+ private:
+  struct Segment {
+    std::int64_t end;
+    V value;
+  };
+  using Map = std::map<std::int64_t, Segment>;
+
+  typename Map::const_iterator FindCovering(std::int64_t pos) const {
+    auto it = segments_.upper_bound(pos);
+    if (it == segments_.begin()) return segments_.end();
+    --it;
+    if (it->second.end <= pos) return segments_.end();
+    return it;
+  }
+
+  // Ensures no segment crosses `begin` or `end`, then erases everything
+  // fully inside [begin, end).
+  void CarveHole(std::int64_t begin, std::int64_t end) {
+    SplitAt(begin);
+    SplitAt(end);
+    auto first = segments_.lower_bound(begin);
+    auto last = segments_.lower_bound(end);
+    segments_.erase(first, last);
+  }
+
+  void SplitAt(std::int64_t pos) {
+    auto it = segments_.upper_bound(pos);
+    if (it == segments_.begin()) return;
+    --it;
+    if (it->first < pos && pos < it->second.end) {
+      Segment right{it->second.end, it->second.value};
+      it->second.end = pos;
+      segments_.emplace(pos, std::move(right));
+    }
+  }
+
+  // Merges `it` with equal-valued adjacent neighbours.
+  void Coalesce(typename Map::iterator it) {
+    if (it != segments_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end == it->first && prev->second.value == it->second.value) {
+        prev->second.end = it->second.end;
+        segments_.erase(it);
+        it = prev;
+      }
+    }
+    auto next = std::next(it);
+    if (next != segments_.end() && it->second.end == next->first &&
+        it->second.value == next->second.value) {
+      it->second.end = next->second.end;
+      segments_.erase(next);
+    }
+  }
+
+  Map segments_;
+};
+
+}  // namespace s4d

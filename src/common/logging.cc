@@ -1,0 +1,21 @@
+#include "common/logging.h"
+
+#include <cstring>
+
+namespace s4d {
+
+LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+  std::fprintf(stderr, "[%s %s:%d] %s\n",
+               kNames[static_cast<int>(level)], base, line, message.c_str());
+}
+
+}  // namespace s4d

@@ -1,0 +1,30 @@
+// Tiny leveled logger. Defaults to warnings only so benchmark output stays
+// clean; tests and examples can raise the level for diagnostics.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace s4d {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel& GlobalLogLevel();
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+}  // namespace s4d
+
+#define S4D_LOG(level, msg)                                              \
+  do {                                                                   \
+    if (static_cast<int>(level) >=                                       \
+        static_cast<int>(::s4d::GlobalLogLevel())) {                     \
+      ::s4d::LogMessage(level, __FILE__, __LINE__, (msg));               \
+    }                                                                    \
+  } while (0)
+
+#define S4D_DEBUG(msg) S4D_LOG(::s4d::LogLevel::kDebug, msg)
+#define S4D_INFO(msg) S4D_LOG(::s4d::LogLevel::kInfo, msg)
+#define S4D_WARN(msg) S4D_LOG(::s4d::LogLevel::kWarn, msg)
+#define S4D_ERROR(msg) S4D_LOG(::s4d::LogLevel::kError, msg)

@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the simulator and the workload generators
+// draws from an explicitly seeded Rng so that runs are reproducible
+// bit-for-bit. The generator is xoshiro256**, seeded via SplitMix64 — fast,
+// well-distributed, and trivially forkable for per-process streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace s4d {
+
+// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    for (auto& word : state_) word = SplitMix64(seed);
+  }
+
+  // Derives an independent stream, e.g. one per simulated MPI rank.
+  // Forking with distinct tags from the same parent yields streams that do
+  // not overlap in practice (distinct SplitMix64 seed points).
+  Rng Fork(std::uint64_t tag) const {
+    std::uint64_t s = state_[0] ^ (0x9e3779b97f4a7c15ULL * (tag + 1));
+    return Rng(s);
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 yields 0. Uses Lemire's unbiased
+  // multiply-shift rejection method.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    std::uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    NextBelow(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  // UniformRandomBitGenerator interface, so <algorithm> shuffles work.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace s4d

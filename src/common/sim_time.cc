@@ -1,0 +1,27 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace s4d {
+
+std::string FormatTime(SimTime t) {
+  char buf[64];
+  if (t < 0) return "-" + FormatTime(-t);
+  if (t < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(t));
+  } else if (t < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3gus", ToMicros(t));
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.4gms", ToMillis(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4gs", ToSeconds(t));
+  }
+  return buf;
+}
+
+double ThroughputMBps(std::int64_t bytes, SimTime elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return (static_cast<double>(bytes) / 1e6) / ToSeconds(elapsed);
+}
+
+}  // namespace s4d

@@ -1,0 +1,41 @@
+// Simulated-time representation.
+//
+// SimTime is a count of simulated nanoseconds since the start of a run.
+// Integer nanoseconds keep event ordering exact (no floating-point ties)
+// while covering ~292 years of simulated time in int64.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace s4d {
+
+using SimTime = std::int64_t;  // nanoseconds
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToMicros(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+constexpr SimTime FromSeconds(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+constexpr SimTime FromMillis(double ms) {
+  return static_cast<SimTime>(ms * 1e6);
+}
+constexpr SimTime FromMicros(double us) {
+  return static_cast<SimTime>(us * 1e3);
+}
+
+// "12.345ms", "3.2s" — for logs and reports.
+std::string FormatTime(SimTime t);
+
+// Aggregate throughput in MB/s (decimal megabytes, matching the paper's
+// reporting convention). Returns 0 for a zero or negative elapsed time.
+double ThroughputMBps(std::int64_t bytes, SimTime elapsed);
+
+}  // namespace s4d

@@ -1,0 +1,112 @@
+// Light-weight statistics helpers used by the harness and trace analysis.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace s4d {
+
+// Streaming mean/variance/min/max (Welford's algorithm); O(1) space.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::int64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exact-percentile reservoir: stores all samples. Fine for per-request
+// latencies at the simulation scales used here.
+class Samples {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return values_.size(); }
+
+  double Percentile(double p) {
+    if (values_.empty()) return 0.0;
+    Sort();
+    const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  double Mean() const {
+    if (values_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : values_) sum += v;
+    return sum / static_cast<double>(values_.size());
+  }
+
+  double Max() {
+    if (values_.empty()) return 0.0;
+    Sort();
+    return values_.back();
+  }
+
+ private:
+  void Sort() {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> values_;
+  bool sorted_ = true;
+};
+
+// Fixed-bucket log2 histogram for sizes/latencies.
+class Log2Histogram {
+ public:
+  void Add(std::int64_t v) {
+    int bucket = 0;
+    while (v > 1 && bucket < kBuckets - 1) {
+      v >>= 1;
+      ++bucket;
+    }
+    ++counts_[bucket];
+    ++total_;
+  }
+
+  std::int64_t BucketCount(int bucket) const { return counts_[bucket]; }
+  std::int64_t total() const { return total_; }
+
+  static constexpr int kBuckets = 48;
+
+ private:
+  std::int64_t counts_[kBuckets] = {};
+  std::int64_t total_ = 0;
+};
+
+}  // namespace s4d

@@ -1,0 +1,117 @@
+// Minimal Status / Result<T> error-handling vocabulary.
+//
+// The simulator core uses exceptions only for programming errors (via
+// assertions); recoverable conditions at API boundaries — file not found,
+// cache full, corrupt store — are reported through Status / Result<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace s4d {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kOutOfSpace,
+  kCorruption,
+  kIoError,
+  kFailedPrecondition,
+};
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "not found") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m = "already exists") {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status InvalidArgument(std::string m = "invalid argument") {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status OutOfSpace(std::string m = "out of space") {
+    return Status(StatusCode::kOutOfSpace, std::move(m));
+  }
+  static Status Corruption(std::string m = "corruption") {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status IoError(std::string m = "I/O error") {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m = "failed precondition") {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + (message_.empty() ? "" : ": " + message_);
+  }
+
+  static std::string CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kOutOfSpace: return "OUT_OF_SPACE";
+      case StatusCode::kCorruption: return "CORRUPTION";
+      case StatusCode::kIoError: return "IO_ERROR";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    }
+    return "UNKNOWN";
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Either a value or an error status. `value()` asserts on errors — callers
+// must check `ok()` (or use `value_or`) first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}       // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace s4d

@@ -1,0 +1,34 @@
+// Aligned ASCII table output for the benchmark harness — so each bench
+// binary can print the same rows/series the paper's tables and figures
+// report, in a form that is easy to eyeball and to grep.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace s4d {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Append a row; values are pre-formatted strings.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience formatters.
+  static std::string Num(double v, int precision = 1);
+  static std::string Percent(double v, int precision = 1);
+  static std::string Int(std::int64_t v);
+
+  // Renders with a header rule and right-aligned numeric-looking columns.
+  std::string ToString() const;
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace s4d

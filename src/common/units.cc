@@ -1,0 +1,20 @@
+#include "common/units.h"
+
+namespace s4d {
+
+std::string FormatBytes(byte_count n) {
+  if (n < 0) return "-" + FormatBytes(-n);
+  struct Unit {
+    byte_count size;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {{GiB, "GiB"}, {MiB, "MiB"}, {KiB, "KiB"}};
+  for (const auto& u : kUnits) {
+    if (n >= u.size && n % u.size == 0) {
+      return std::to_string(n / u.size) + u.suffix;
+    }
+  }
+  return std::to_string(n) + "B";
+}
+
+}  // namespace s4d

@@ -1,0 +1,35 @@
+// Byte-size units and helpers shared across the code base.
+//
+// All sizes and offsets in the system are expressed in plain bytes using
+// signed 64-bit integers (see ES.102/ES.106: signed arithmetic for
+// quantities we subtract). These helpers exist so call sites can say
+// `64 * KiB` instead of sprinkling magic numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace s4d {
+
+using byte_count = std::int64_t;
+
+inline constexpr byte_count KiB = 1024;
+inline constexpr byte_count MiB = 1024 * KiB;
+inline constexpr byte_count GiB = 1024 * MiB;
+
+// Decimal units, used when reporting throughput (MB/s as in the paper).
+inline constexpr byte_count KB = 1000;
+inline constexpr byte_count MB = 1000 * KB;
+inline constexpr byte_count GB = 1000 * MB;
+
+// Human-readable rendering, e.g. "16KiB", "2GiB", "513B".
+// Chooses the largest binary unit that divides the value exactly,
+// so request sizes round-trip losslessly in reports.
+std::string FormatBytes(byte_count n);
+
+// Ceiling division for non-negative quantities.
+constexpr std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace s4d

@@ -1,0 +1,107 @@
+#include "core/cache_space.h"
+
+#include <cassert>
+
+namespace s4d::core {
+
+CacheSpaceAllocator::CacheSpaceAllocator(byte_count capacity,
+                                         byte_count spread_granularity)
+    : capacity_(capacity),
+      free_bytes_(capacity),
+      spread_granularity_(spread_granularity) {
+  assert(capacity >= 0);
+  assert(spread_granularity >= 0);
+  if (capacity > 0) free_.emplace(0, capacity);
+}
+
+std::optional<byte_count> CacheSpaceAllocator::AllocateAtOrAfter(
+    byte_count from, byte_count size) {
+  auto it = free_.lower_bound(from);
+  // The extent straddling `from` also qualifies if its tail fits.
+  if (it != free_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second - from >= size && prev->second > from) it = prev;
+  }
+  for (; it != free_.end(); ++it) {
+    const byte_count begin = std::max(it->first, from);
+    if (it->second - begin < size) continue;
+    const byte_count extent_begin = it->first;
+    const byte_count extent_end = it->second;
+    free_.erase(it);
+    if (extent_begin < begin) free_.emplace(extent_begin, begin);
+    if (begin + size < extent_end) free_.emplace(begin + size, extent_end);
+    free_bytes_ -= size;
+    return begin;
+  }
+  return std::nullopt;
+}
+
+std::optional<byte_count> CacheSpaceAllocator::Allocate(byte_count size) {
+  assert(size > 0);
+  const byte_count from = spread_granularity_ > 0 ? hint_ : 0;
+  auto offset = AllocateAtOrAfter(from, size);
+  if (!offset && from > 0) offset = AllocateAtOrAfter(0, size);  // wrap
+  if (!offset) return std::nullopt;
+  if (spread_granularity_ > 0) {
+    // Rotate the next search start to the following stripe.
+    hint_ = (*offset + std::max(size, spread_granularity_)) % capacity_;
+    hint_ = hint_ / spread_granularity_ * spread_granularity_;
+  }
+  return offset;
+}
+
+bool CacheSpaceAllocator::Reserve(byte_count offset, byte_count size) {
+  assert(size > 0);
+  if (offset < 0 || offset + size > capacity_) return false;
+  auto it = free_.upper_bound(offset);
+  if (it == free_.begin()) return false;
+  --it;
+  if (it->first > offset || it->second < offset + size) return false;
+
+  const byte_count extent_begin = it->first;
+  const byte_count extent_end = it->second;
+  free_.erase(it);
+  if (extent_begin < offset) free_.emplace(extent_begin, offset);
+  if (offset + size < extent_end) free_.emplace(offset + size, extent_end);
+  free_bytes_ -= size;
+  return true;
+}
+
+void CacheSpaceAllocator::Free(byte_count offset, byte_count size) {
+  assert(size > 0);
+  assert(offset >= 0 && offset + size <= capacity_);
+  auto next = free_.lower_bound(offset);
+  // Double-free / overlap checks.
+  assert(next == free_.end() || offset + size <= next->first);
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    assert(prev->second <= offset && "freeing range overlapping free extent");
+    if (prev->second == offset) {
+      // Coalesce with predecessor.
+      prev->second = offset + size;
+      free_bytes_ += size;
+      if (next != free_.end() && prev->second == next->first) {
+        prev->second = next->second;
+        free_.erase(next);
+      }
+      return;
+    }
+  }
+  byte_count end = offset + size;
+  if (next != free_.end() && end == next->first) {
+    end = next->second;
+    free_.erase(next);
+  }
+  free_.emplace(offset, end);
+  free_bytes_ += size;
+}
+
+byte_count CacheSpaceAllocator::largest_free_extent() const {
+  byte_count largest = 0;
+  for (const auto& [begin, end] : free_) {
+    largest = std::max(largest, end - begin);
+  }
+  return largest;
+}
+
+}  // namespace s4d::core

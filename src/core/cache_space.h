@@ -1,0 +1,58 @@
+// Contiguous-extent allocator over the cache file's logical space.
+//
+// The Redirector allocates one extent per admitted request out of the
+// CServers' configured capacity (§III-E: "find free space in CServers").
+// Freeing coalesces with neighbours, so space released by eviction or
+// invalidation is immediately reusable. Clean-LRU victim *selection* lives
+// in the DataMappingTable (the D_flag and recency are properties of
+// mappings); this class only manages byte ranges.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/units.h"
+
+namespace s4d::core {
+
+class CacheSpaceAllocator {
+ public:
+  // `spread_granularity`, when non-zero, rotates the first-fit search start
+  // by that amount per allocation (set it to the CPFS stripe size): without
+  // it, consecutive small admissions pack into one stripe and serialize on
+  // a single CServer instead of spreading over all N.
+  explicit CacheSpaceAllocator(byte_count capacity,
+                               byte_count spread_granularity = 0);
+
+  // Contiguous allocation (rotating first-fit). nullopt when no fit.
+  std::optional<byte_count> Allocate(byte_count size);
+
+  // Claims exactly [offset, offset+size) if that range is entirely free.
+  // Used when recovering a persisted DMT whose mappings own fixed offsets.
+  bool Reserve(byte_count offset, byte_count size);
+
+  // Returns [offset, offset+size) to the free pool; the range must have
+  // been allocated (possibly as part of a larger extent — partial frees of
+  // an allocation are allowed and coalesce).
+  void Free(byte_count offset, byte_count size);
+
+  byte_count capacity() const { return capacity_; }
+  byte_count free_bytes() const { return free_bytes_; }
+  byte_count used_bytes() const { return capacity_ - free_bytes_; }
+  byte_count largest_free_extent() const;
+  std::size_t free_extent_count() const { return free_.size(); }
+
+ private:
+  // First-fit scan over free extents, considering only offsets >= `from`.
+  std::optional<byte_count> AllocateAtOrAfter(byte_count from,
+                                              byte_count size);
+
+  byte_count capacity_;
+  byte_count free_bytes_;
+  byte_count spread_granularity_;
+  byte_count hint_ = 0;
+  std::map<byte_count, byte_count> free_;  // begin -> end, disjoint, sorted
+};
+
+}  // namespace s4d::core

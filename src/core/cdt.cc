@@ -1,0 +1,66 @@
+#include "core/cdt.h"
+
+namespace s4d::core {
+
+bool CriticalDataTable::Add(const CdtKey& key) {
+  auto [it, inserted] = entries_.emplace(key, Info{});
+  if (!inserted) return false;
+  insertion_order_.push_back(key);
+  while (entries_.size() > max_entries_ && !insertion_order_.empty()) {
+    const CdtKey& victim = insertion_order_.front();
+    // The victim may equal the key just inserted only if max_entries_ == 0;
+    // the FIFO guarantees oldest-first otherwise.
+    entries_.erase(victim);
+    insertion_order_.pop_front();
+    ++evictions_;
+  }
+  return true;
+}
+
+bool CriticalDataTable::SetCacheFlag(const CdtKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  if (!it->second.c_flag) {
+    it->second.c_flag = true;
+    flagged_.push_back(key);
+  }
+  return true;
+}
+
+void CriticalDataTable::ClearCacheFlag(const CdtKey& key) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) it->second.c_flag = false;
+}
+
+bool CriticalDataTable::CacheFlag(const CdtKey& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.c_flag;
+}
+
+bool CriticalDataTable::AnyPendingFetch() const {
+  for (const CdtKey& key : flagged_) {
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.c_flag) return true;
+  }
+  return false;
+}
+
+std::vector<CdtKey> CriticalDataTable::PendingFetches(std::size_t limit) {
+  std::vector<CdtKey> out;
+  std::size_t scanned = 0;
+  // Prune stale queue entries (cleared flags, evicted keys) as we walk.
+  while (scanned < flagged_.size() && out.size() < limit) {
+    const CdtKey& key = flagged_[scanned];
+    auto it = entries_.find(key);
+    if (it == entries_.end() || !it->second.c_flag) {
+      flagged_.erase(flagged_.begin() +
+                     static_cast<std::ptrdiff_t>(scanned));
+      continue;
+    }
+    out.push_back(key);
+    ++scanned;
+  }
+  return out;
+}
+
+}  // namespace s4d::core

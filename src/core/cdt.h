@@ -1,0 +1,88 @@
+// Critical Data Table (CDT), §III-C Fig. 5.
+//
+// Each entry records one performance-critical request: (D_file, D_offset,
+// Length) plus the C_flag that tells the Rebuilder the range still needs to
+// be fetched into CServers ("lazy" read caching, §III-E line 18).
+// Lookup is exact-match on (file, offset, length) — the table exists to
+// recognize *recurring* requests, and MPI applications re-issue requests
+// with identical shapes across runs (§V-A).
+//
+// The table is bounded: when full, the oldest entries are dropped FIFO
+// (the paper leaves CDT sizing unspecified; an unbounded table would grow
+// with every unique critical request ever seen).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+
+namespace s4d::core {
+
+struct CdtKey {
+  std::string file;
+  byte_count offset = 0;
+  byte_count length = 0;
+
+  friend bool operator==(const CdtKey&, const CdtKey&) = default;
+};
+
+struct CdtKeyHash {
+  std::size_t operator()(const CdtKey& k) const {
+    std::size_t h = std::hash<std::string>{}(k.file);
+    h ^= std::hash<byte_count>{}(k.offset) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    h ^= std::hash<byte_count>{}(k.length) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    return h;
+  }
+};
+
+class CriticalDataTable {
+ public:
+  explicit CriticalDataTable(std::size_t max_entries = 1 << 20)
+      : max_entries_(max_entries) {}
+
+  // Records a critical request; no-op if already present.
+  // Returns true if a new entry was created.
+  bool Add(const CdtKey& key);
+
+  bool Contains(const CdtKey& key) const {
+    return entries_.find(key) != entries_.end();
+  }
+
+  // Sets C_flag — the range should be fetched into CServers by the
+  // Rebuilder. Returns false if the entry is unknown.
+  bool SetCacheFlag(const CdtKey& key);
+
+  // Clears C_flag once the Rebuilder has cached the range.
+  void ClearCacheFlag(const CdtKey& key);
+
+  bool CacheFlag(const CdtKey& key) const;
+
+  // Up to `limit` entries whose C_flag is set, oldest-marked first.
+  // (Consumes nothing; the Rebuilder clears flags when fetches complete.)
+  std::vector<CdtKey> PendingFetches(std::size_t limit);
+
+  // True iff any entry currently has its C_flag set.
+  bool AnyPendingFetch() const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::int64_t evictions() const { return evictions_; }
+
+ private:
+  struct Info {
+    bool c_flag = false;
+  };
+
+  std::size_t max_entries_;
+  std::unordered_map<CdtKey, Info, CdtKeyHash> entries_;
+  std::deque<CdtKey> insertion_order_;   // FIFO eviction
+  std::deque<CdtKey> flagged_;           // SetCacheFlag order, lazily pruned
+  std::int64_t evictions_ = 0;
+};
+
+}  // namespace s4d::core

@@ -1,0 +1,79 @@
+#include "core/data_identifier.h"
+
+#include <cstdlib>
+
+namespace s4d::core {
+
+byte_count DataIdentifier::DistanceFor(const std::string& file, int rank,
+                                       byte_count offset) const {
+  // Global stream table first: a request continuing any rank's recent tail
+  // within the servers' readahead reach is a stream continuation, however
+  // far the issuing rank itself jumped. The reach in file space is one
+  // local window spread over the M servers of the layout.
+  const byte_count reach =
+      model_.params().hdd.readahead_window * model_.params().hdd_servers;
+  if (auto git = global_tails_.find(file); git != global_tails_.end()) {
+    const auto& tails = git->second;
+    // Greatest tail at or before `offset` = smallest forward gap.
+    auto it = tails.upper_bound(offset);
+    if (it != tails.begin()) {
+      auto prev = std::prev(it);
+      const byte_count gap = offset - prev->first;
+      if (gap >= 0 && gap < reach) return gap;
+    }
+    // A request just *behind* a tail touches data that stream recently
+    // passed — still resident in the servers' caches; report the negative
+    // in-cache gap so the cost model scores it as a stream access.
+    if (it != tails.end()) {
+      const byte_count back_gap = offset - it->first;  // negative
+      if (-back_gap <= reach) return back_gap;
+    }
+  }
+
+  auto it = last_end_.find(StreamKey{file, rank});
+  // The first request of a stream has no predecessor; treat it as fully
+  // random (maximum uncertainty), which is also what a cold disk head sees.
+  if (it == last_end_.end()) return model_.params().hdd.capacity;
+  // Signed: negative means the stream jumped backward, which server-side
+  // readahead cannot absorb.
+  return offset - it->second;
+}
+
+bool DataIdentifier::Identify(const std::string& file, int rank,
+                              device::IoKind kind, byte_count offset,
+                              byte_count size) {
+  ++stats_.requests;
+  const byte_count distance = DistanceFor(file, rank, offset);
+  last_end_[StreamKey{file, rank}] = offset + size;
+
+  // Maintain the global tail table: a continuation replaces the tail it
+  // extends; anything else opens a new stream, evicting the least recently
+  // used tail when the table is full.
+  const byte_count reach =
+      model_.params().hdd.readahead_window * model_.params().hdd_servers;
+  auto& tails = global_tails_[file];
+  auto it = tails.upper_bound(offset);
+  if (it != tails.begin()) {
+    auto prev = std::prev(it);
+    if (offset - prev->first >= 0 && offset - prev->first < reach) {
+      tails.erase(prev);
+    }
+  }
+  tails[offset + size] = ++tail_seq_;
+  if (tails.size() > kMaxTailsPerFile) {
+    auto victim = tails.begin();
+    for (auto scan = tails.begin(); scan != tails.end(); ++scan) {
+      if (scan->second < victim->second) victim = scan;
+    }
+    tails.erase(victim);
+  }
+
+  const bool critical = model_.IsCritical(kind, distance, offset, size);
+  if (critical) {
+    ++stats_.critical;
+    if (cdt_.Add(CdtKey{file, offset, size})) ++stats_.cdt_inserts;
+  }
+  return critical;
+}
+
+}  // namespace s4d::core

@@ -1,0 +1,81 @@
+// Data Identifier (§III-C): computes the cost-model benefit of every
+// incoming request and records performance-critical ones in the CDT.
+//
+// The request distance d (Table I) is the logical gap between a request's
+// offset and the end of the previous request in the *same process's stream
+// on the same file* — the per-process randomness signal the selection
+// algorithm is derived from.
+//
+// Refinement: the identifier additionally keeps a bounded table of recent
+// stream tails per file across *all* ranks (the middleware sees the global
+// request stream — the paper's stated advantage of sitting at this layer).
+// Interleaved dense patterns (HPIO with small spacing, MPI-Tile-IO rows)
+// look random per rank but continue each other globally, and the buffered
+// file servers serve them as streams; a request continuing any recent tail
+// within the readahead window is measured by that small forward gap
+// instead of its per-rank jump.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "core/cdt.h"
+#include "core/cost_model.h"
+
+namespace s4d::core {
+
+struct IdentifierStats {
+  std::int64_t requests = 0;
+  std::int64_t critical = 0;
+  std::int64_t cdt_inserts = 0;
+};
+
+class DataIdentifier {
+ public:
+  DataIdentifier(const CostModel& model, CriticalDataTable& cdt)
+      : model_(model), cdt_(cdt) {}
+
+  // Evaluates one request; adds it to the CDT when B > 0 (and it is not
+  // already present). Returns whether the request is performance-critical.
+  // Always advances the (file, rank) stream position.
+  bool Identify(const std::string& file, int rank, device::IoKind kind,
+                byte_count offset, byte_count size);
+
+  // Current *signed* stream distance a request at `offset` would have
+  // (negative = backward jump). Exposed for tests.
+  byte_count DistanceFor(const std::string& file, int rank,
+                         byte_count offset) const;
+
+  const IdentifierStats& stats() const { return stats_; }
+
+ private:
+  struct StreamKey {
+    std::string file;
+    int rank;
+    friend bool operator==(const StreamKey&, const StreamKey&) = default;
+  };
+  struct StreamKeyHash {
+    std::size_t operator()(const StreamKey& k) const {
+      return std::hash<std::string>{}(k.file) * 31 +
+             std::hash<int>{}(k.rank);
+    }
+  };
+
+  const CostModel& model_;
+  CriticalDataTable& cdt_;
+  std::unordered_map<StreamKey, byte_count, StreamKeyHash> last_end_;
+  // Per file: recent stream tails across all ranks, ordered by position for
+  // O(log n) nearest-preceding-tail lookup; values are recency sequence
+  // numbers for LRU eviction. Sized like the servers' aggregate stream
+  // capacity (max_streams per disk x M disks).
+  std::unordered_map<std::string, std::map<byte_count, std::uint64_t>>
+      global_tails_;
+  std::uint64_t tail_seq_ = 0;
+  IdentifierStats stats_;
+
+  static constexpr std::size_t kMaxTailsPerFile = 512;
+};
+
+}  // namespace s4d::core

@@ -1,0 +1,394 @@
+#include "core/dmt.h"
+
+#include <cassert>
+#include <charconv>
+#include <cstdio>
+
+namespace s4d::core {
+
+namespace {
+
+std::string RecordKey(const std::string& file, byte_count begin) {
+  return "D|" + file + "|" + std::to_string(begin);
+}
+
+}  // namespace
+
+DataMappingTable::DataMappingTable(kv::KvStore* store) : store_(store) {}
+
+std::uint32_t DataMappingTable::InternFile(const std::string& file) {
+  auto [it, inserted] = file_index_.emplace(
+      file, static_cast<std::uint32_t>(file_names_.size()));
+  if (inserted) {
+    file_names_.push_back(file);
+    files_.emplace_back();
+  }
+  return it->second;
+}
+
+DataMappingTable::FileMap* DataMappingTable::FindFile(
+    const std::string& file) {
+  auto it = file_index_.find(file);
+  return it == file_index_.end() ? nullptr : &files_[it->second];
+}
+
+const DataMappingTable::FileMap* DataMappingTable::FindFile(
+    const std::string& file) const {
+  auto it = file_index_.find(file);
+  return it == file_index_.end() ? nullptr : &files_[it->second];
+}
+
+void DataMappingTable::IndexLru(std::uint32_t file_index, byte_count begin,
+                                Entry& entry) {
+  entry.lru_seq = next_lru_seq_++;
+  lru_index_.emplace(entry.lru_seq, LruRef{file_index, begin});
+}
+
+void DataMappingTable::UnindexLru(const Entry& entry) {
+  lru_index_.erase(entry.lru_seq);
+}
+
+void DataMappingTable::PersistEntry(std::uint32_t file_index,
+                                    byte_count begin, const Entry& entry) {
+  if (!store_) return;
+  char value[96];
+  std::snprintf(value, sizeof(value), "%lld %lld %d %llu",
+                static_cast<long long>(entry.end),
+                static_cast<long long>(entry.cache_offset),
+                entry.dirty ? 1 : 0,
+                static_cast<unsigned long long>(entry.version));
+  const Status s = store_->Put(RecordKey(file_names_[file_index], begin), value);
+  assert(s.ok());
+  (void)s;
+}
+
+void DataMappingTable::ErasePersisted(std::uint32_t file_index,
+                                      byte_count begin) {
+  if (!store_) return;
+  (void)store_->Delete(RecordKey(file_names_[file_index], begin));
+}
+
+Status DataMappingTable::LoadFromStore() {
+  if (!store_) return Status::FailedPrecondition("DMT has no backing store");
+  for (const std::string& key : store_->KeysWithPrefix("D|")) {
+    const auto last_sep = key.rfind('|');
+    if (last_sep == std::string::npos || last_sep < 2) {
+      return Status::Corruption("bad DMT key: " + key);
+    }
+    const std::string file = key.substr(2, last_sep - 2);
+    byte_count begin = 0;
+    {
+      const char* first = key.data() + last_sep + 1;
+      const char* last = key.data() + key.size();
+      if (std::from_chars(first, last, begin).ec != std::errc{}) {
+        return Status::Corruption("bad DMT key offset: " + key);
+      }
+    }
+    const auto value = store_->Get(key);
+    if (!value) return Status::Corruption("DMT record vanished: " + key);
+    long long end = 0;
+    long long cache_offset = 0;
+    int dirty = 0;
+    unsigned long long version = 0;
+    if (std::sscanf(value->c_str(), "%lld %lld %d %llu", &end, &cache_offset,
+                    &dirty, &version) != 4) {
+      return Status::Corruption("bad DMT record: " + *value);
+    }
+
+    const std::uint32_t file_index = InternFile(file);
+    Entry entry;
+    entry.end = end;
+    entry.cache_offset = cache_offset;
+    entry.dirty = dirty != 0;
+    entry.version = version;
+    next_version_ = std::max(next_version_, entry.version + 1);
+    auto [it, inserted] = files_[file_index].emplace(begin, entry);
+    if (!inserted) return Status::Corruption("duplicate DMT record: " + key);
+    mapped_bytes_ += entry.end - begin;
+    if (entry.dirty) dirty_bytes_ += entry.end - begin;
+    IndexLru(file_index, begin, it->second);
+  }
+  return Status::Ok();
+}
+
+DmtLookup DataMappingTable::Lookup(const std::string& file, byte_count offset,
+                                   byte_count size) const {
+  DmtLookup result;
+  if (size <= 0) return result;
+  const byte_count end = offset + size;
+  const FileMap* map = FindFile(file);
+  byte_count cursor = offset;
+  if (map) {
+    auto it = map->upper_bound(offset);
+    if (it != map->begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > offset) it = prev;
+    }
+    for (; it != map->end() && it->first < end; ++it) {
+      const byte_count seg_begin = std::max(offset, it->first);
+      const byte_count seg_end = std::min(end, it->second.end);
+      if (seg_begin >= seg_end) continue;
+      if (seg_begin > cursor) result.gaps.emplace_back(cursor, seg_begin);
+      MappedSegment seg;
+      seg.orig_begin = seg_begin;
+      seg.orig_end = seg_end;
+      seg.cache_offset = it->second.cache_offset + (seg_begin - it->first);
+      seg.dirty = it->second.dirty;
+      result.mapped.push_back(seg);
+      cursor = seg_end;
+    }
+  }
+  if (cursor < end) result.gaps.emplace_back(cursor, end);
+  return result;
+}
+
+void DataMappingTable::SplitAt(std::uint32_t file_index, byte_count pos) {
+  FileMap& map = files_[file_index];
+  auto it = map.upper_bound(pos);
+  if (it == map.begin()) return;
+  --it;
+  if (it->first >= pos || it->second.end <= pos) return;
+
+  Entry right = it->second;
+  right.cache_offset += pos - it->first;
+  // Halves keep the version: a flush snapshot identifies its target by the
+  // exact (begin, end) range, so a split alone invalidates the snapshot
+  // match without needing a version bump.
+  it->second.end = pos;
+  PersistEntry(file_index, it->first, it->second);
+  auto [new_it, inserted] = map.emplace(pos, right);
+  assert(inserted);
+  IndexLru(file_index, pos, new_it->second);
+  PersistEntry(file_index, pos, new_it->second);
+}
+
+void DataMappingTable::Insert(const std::string& file, byte_count offset,
+                              byte_count size, byte_count cache_offset,
+                              bool dirty) {
+  assert(size > 0);
+  const std::uint32_t file_index = InternFile(file);
+  FileMap& map = files_[file_index];
+#ifndef NDEBUG
+  {
+    const DmtLookup existing = Lookup(file, offset, size);
+    assert(existing.mapped.empty() && "Insert over an existing mapping");
+  }
+#endif
+  Entry entry;
+  entry.end = offset + size;
+  entry.cache_offset = cache_offset;
+  entry.dirty = dirty;
+  entry.version = next_version_++;
+  auto [it, inserted] = map.emplace(offset, entry);
+  assert(inserted);
+  IndexLru(file_index, offset, it->second);
+  PersistEntry(file_index, offset, it->second);
+  mapped_bytes_ += size;
+  if (dirty) dirty_bytes_ += size;
+}
+
+std::vector<RemovedExtent> DataMappingTable::Invalidate(
+    const std::string& file, byte_count offset, byte_count size) {
+  std::vector<RemovedExtent> removed;
+  if (size <= 0) return removed;
+  auto idx_it = file_index_.find(file);
+  if (idx_it == file_index_.end()) return removed;
+  const std::uint32_t file_index = idx_it->second;
+  const byte_count end = offset + size;
+
+  SplitAt(file_index, offset);
+  SplitAt(file_index, end);
+
+  FileMap& map = files_[file_index];
+  auto it = map.lower_bound(offset);
+  while (it != map.end() && it->first < end) {
+    assert(it->second.end <= end);
+    RemovedExtent ext;
+    ext.file = file;
+    ext.orig_begin = it->first;
+    ext.orig_end = it->second.end;
+    ext.cache_offset = it->second.cache_offset;
+    ext.dirty = it->second.dirty;
+    removed.push_back(ext);
+
+    mapped_bytes_ -= ext.length();
+    if (ext.dirty) dirty_bytes_ -= ext.length();
+    UnindexLru(it->second);
+    ErasePersisted(file_index, it->first);
+    it = map.erase(it);
+  }
+  return removed;
+}
+
+void DataMappingTable::SetDirty(const std::string& file, byte_count offset,
+                                byte_count size, bool dirty) {
+  if (size <= 0) return;
+  auto idx_it = file_index_.find(file);
+  if (idx_it == file_index_.end()) return;
+  const std::uint32_t file_index = idx_it->second;
+  const byte_count end = offset + size;
+
+  SplitAt(file_index, offset);
+  SplitAt(file_index, end);
+
+  FileMap& map = files_[file_index];
+  for (auto it = map.lower_bound(offset); it != map.end() && it->first < end;
+       ++it) {
+    Entry& entry = it->second;
+    if (entry.dirty != dirty) {
+      entry.dirty = dirty;
+      const byte_count len = entry.end - it->first;
+      dirty_bytes_ += dirty ? len : -len;
+    }
+    if (dirty) entry.version = next_version_++;
+    PersistEntry(file_index, it->first, entry);
+  }
+}
+
+void DataMappingTable::Touch(const std::string& file, byte_count offset,
+                             byte_count size) {
+  if (size <= 0) return;
+  auto idx_it = file_index_.find(file);
+  if (idx_it == file_index_.end()) return;
+  FileMap& map = files_[idx_it->second];
+  const byte_count end = offset + size;
+  auto it = map.upper_bound(offset);
+  if (it != map.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > offset) it = prev;
+  }
+  for (; it != map.end() && it->first < end; ++it) {
+    UnindexLru(it->second);
+    IndexLru(idx_it->second, it->first, it->second);
+  }
+}
+
+std::optional<RemovedExtent> DataMappingTable::EvictLruClean() {
+  for (auto lru_it = lru_index_.begin(); lru_it != lru_index_.end();
+       ++lru_it) {
+    const LruRef ref = lru_it->second;
+    FileMap& map = files_[ref.file_index];
+    auto it = map.find(ref.begin);
+    assert(it != map.end() && it->second.lru_seq == lru_it->first &&
+           "LRU index out of sync");
+    if (it->second.dirty) continue;  // only clean space is reclaimable
+
+    RemovedExtent ext;
+    ext.file = file_names_[ref.file_index];
+    ext.orig_begin = it->first;
+    ext.orig_end = it->second.end;
+    ext.cache_offset = it->second.cache_offset;
+    ext.dirty = false;
+
+    mapped_bytes_ -= ext.length();
+    lru_index_.erase(lru_it);
+    ErasePersisted(ref.file_index, it->first);
+    map.erase(it);
+    return ext;
+  }
+  return std::nullopt;
+}
+
+std::vector<DirtyRange> DataMappingTable::CollectDirty(
+    std::size_t max_ranges) const {
+  std::vector<DirtyRange> out;
+  for (const auto& [seq, ref] : lru_index_) {
+    if (out.size() >= max_ranges) break;
+    const FileMap& map = files_[ref.file_index];
+    auto it = map.find(ref.begin);
+    assert(it != map.end());
+    if (!it->second.dirty) continue;
+    DirtyRange range;
+    range.file = file_names_[ref.file_index];
+    range.orig_begin = it->first;
+    range.orig_end = it->second.end;
+    range.cache_offset = it->second.cache_offset;
+    range.version = it->second.version;
+    out.push_back(std::move(range));
+  }
+  return out;
+}
+
+std::vector<DirtyRun> DataMappingTable::CollectDirtyRuns(
+    byte_count max_total_bytes, byte_count max_run_bytes) const {
+  std::vector<DirtyRun> runs;
+  byte_count total = 0;
+  for (std::size_t i = 0; i < files_.size() && total < max_total_bytes; ++i) {
+    DirtyRun run;
+    auto emit = [&] {
+      if (!run.segments.empty()) {
+        total += run.length();
+        runs.push_back(std::move(run));
+        run = DirtyRun{};
+      }
+    };
+    for (const auto& [begin, entry] : files_[i]) {
+      if (total + run.length() >= max_total_bytes) break;
+      if (!entry.dirty) {
+        emit();
+        continue;
+      }
+      const bool continues = !run.segments.empty() &&
+                             run.orig_end == begin &&
+                             run.length() + (entry.end - begin) <= max_run_bytes;
+      if (!continues) emit();
+      if (run.segments.empty()) {
+        run.file = file_names_[i];
+        run.orig_begin = begin;
+      }
+      run.orig_end = entry.end;
+      DirtyRange seg;
+      seg.file = file_names_[i];
+      seg.orig_begin = begin;
+      seg.orig_end = entry.end;
+      seg.cache_offset = entry.cache_offset;
+      seg.version = entry.version;
+      run.segments.push_back(std::move(seg));
+    }
+    emit();
+  }
+  return runs;
+}
+
+bool DataMappingTable::MarkCleanIfVersion(const std::string& file,
+                                          byte_count begin, byte_count end,
+                                          std::uint64_t version) {
+  auto idx_it = file_index_.find(file);
+  if (idx_it == file_index_.end()) return false;
+  FileMap& map = files_[idx_it->second];
+  auto it = map.find(begin);
+  if (it == map.end() || it->second.end != end ||
+      it->second.version != version || !it->second.dirty) {
+    return false;  // the extent changed while the flush was in flight
+  }
+  it->second.dirty = false;
+  dirty_bytes_ -= end - begin;
+  PersistEntry(idx_it->second, begin, it->second);
+  return true;
+}
+
+std::vector<RemovedExtent> DataMappingTable::AllExtents() const {
+  std::vector<RemovedExtent> out;
+  out.reserve(lru_index_.size());
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    for (const auto& [begin, entry] : files_[i]) {
+      RemovedExtent ext;
+      ext.file = file_names_[i];
+      ext.orig_begin = begin;
+      ext.orig_end = entry.end;
+      ext.cache_offset = entry.cache_offset;
+      ext.dirty = entry.dirty;
+      out.push_back(std::move(ext));
+    }
+  }
+  return out;
+}
+
+std::size_t DataMappingTable::entry_count() const {
+  return lru_index_.size();
+}
+
+byte_count DataMappingTable::mapped_bytes() const { return mapped_bytes_; }
+byte_count DataMappingTable::dirty_bytes() const { return dirty_bytes_; }
+
+}  // namespace s4d::core

@@ -1,0 +1,181 @@
+// Data Mapping Table (DMT), §III-D Fig. 5.
+//
+// Tracks which byte ranges of each original (DServer) file are cached in
+// the corresponding cache (CServer) file, where they live there, and
+// whether the cached copy is dirty (D_flag). The in-memory table is a
+// per-file ordered extent map supporting range lookup, splitting on partial
+// overwrite/invalidation, LRU victim selection over *clean* extents, and a
+// per-extent version counter that lets the Rebuilder detect writes that
+// raced with an in-flight flush.
+//
+// When constructed with a KvStore, every mutation is written through to the
+// store (the paper persists the DMT synchronously via Berkeley DB so it
+// survives power failures); LoadFromStore() rebuilds the table on restart.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "kvstore/kvstore.h"
+
+namespace s4d::core {
+
+// One contiguous piece of a lookup result.
+struct MappedSegment {
+  byte_count orig_begin = 0;
+  byte_count orig_end = 0;
+  byte_count cache_offset = 0;  // cache-file offset of orig_begin
+  bool dirty = false;
+};
+
+struct DmtLookup {
+  std::vector<MappedSegment> mapped;  // ascending, clipped to the query
+  std::vector<std::pair<byte_count, byte_count>> gaps;
+
+  bool fully_mapped() const { return gaps.empty() && !mapped.empty(); }
+  bool fully_unmapped() const { return mapped.empty(); }
+};
+
+// A mapping removed by eviction or invalidation; the caller returns
+// [cache_offset, cache_offset + (orig_end - orig_begin)) to the allocator.
+struct RemovedExtent {
+  std::string file;
+  byte_count orig_begin = 0;
+  byte_count orig_end = 0;
+  byte_count cache_offset = 0;
+  bool dirty = false;
+
+  byte_count length() const { return orig_end - orig_begin; }
+};
+
+// A dirty range snapshot handed to the Rebuilder for flushing.
+struct DirtyRange {
+  std::string file;
+  byte_count orig_begin = 0;
+  byte_count orig_end = 0;
+  byte_count cache_offset = 0;
+  std::uint64_t version = 0;  // entry version at snapshot time
+};
+
+// A run of dirty extents contiguous in *original-file* space. The segments
+// are usually scattered in the cache file (admitted at different times),
+// which is fine: the SSD reads them cheaply, and the write-back becomes one
+// large sequential HDD write — the coalescing that lets the Rebuilder keep
+// up with random-write admission.
+struct DirtyRun {
+  std::string file;
+  byte_count orig_begin = 0;
+  byte_count orig_end = 0;
+  std::vector<DirtyRange> segments;  // ascending, exactly covering the run
+
+  byte_count length() const { return orig_end - orig_begin; }
+};
+
+class DataMappingTable {
+ public:
+  // `store` may be null (volatile DMT — used by tests and ablations).
+  explicit DataMappingTable(kv::KvStore* store = nullptr);
+
+  // Rebuilds the in-memory table from the persisted records.
+  Status LoadFromStore();
+
+  DmtLookup Lookup(const std::string& file, byte_count offset,
+                   byte_count size) const;
+
+  // Maps [offset, offset+size) -> cache [cache_offset, ...). The range must
+  // currently be unmapped (callers Invalidate or fill gaps only).
+  void Insert(const std::string& file, byte_count offset, byte_count size,
+              byte_count cache_offset, bool dirty);
+
+  // Removes all mappings overlapping [offset, offset+size), splitting
+  // boundary entries. Returns the removed (clipped) extents.
+  std::vector<RemovedExtent> Invalidate(const std::string& file,
+                                        byte_count offset, byte_count size);
+
+  // Sets/clears D_flag over the mapped parts of the range (splits entries
+  // at the boundaries). Setting dirty bumps the entries' versions.
+  void SetDirty(const std::string& file, byte_count offset, byte_count size,
+                bool dirty);
+
+  // LRU bump over mapped parts of the range (no splitting: recency applies
+  // to whole entries).
+  void Touch(const std::string& file, byte_count offset, byte_count size);
+
+  // Removes and returns the least-recently-used *clean* mapping, or
+  // nullopt when every mapping is dirty (or the table is empty).
+  std::optional<RemovedExtent> EvictLruClean();
+
+  // Snapshots up to `max_ranges` dirty extents (least recently used first).
+  std::vector<DirtyRange> CollectDirty(std::size_t max_ranges) const;
+
+  // Snapshots dirty extents in file order, coalescing extents adjacent in
+  // the original file into runs of at most `max_run_bytes`, until about
+  // `max_total_bytes` have been collected.
+  std::vector<DirtyRun> CollectDirtyRuns(byte_count max_total_bytes,
+                                         byte_count max_run_bytes) const;
+
+  // Clears D_flag on the entry exactly spanning [begin, end) iff its
+  // version still equals `version` (no write raced the flush). Returns
+  // whether the entry was cleaned.
+  bool MarkCleanIfVersion(const std::string& file, byte_count begin,
+                          byte_count end, std::uint64_t version);
+
+  // Every current mapping (ascending per file). Used for recovery-time
+  // cache-space re-reservation and by diagnostics.
+  std::vector<RemovedExtent> AllExtents() const;
+
+  std::size_t entry_count() const;
+  byte_count mapped_bytes() const;
+  byte_count dirty_bytes() const;
+
+  // Serialized size of one persisted record; reported by bench_metadata to
+  // reproduce the §V-E.1 space-overhead estimate.
+  static std::size_t ApproxRecordBytes() { return 6 * 4; }
+
+ private:
+  struct Entry {
+    byte_count end = 0;           // exclusive
+    byte_count cache_offset = 0;  // of the entry's begin
+    bool dirty = false;
+    std::uint64_t version = 0;
+    std::uint64_t lru_seq = 0;
+  };
+  using FileMap = std::map<byte_count, Entry>;  // begin -> Entry
+
+  struct LruRef {
+    std::uint32_t file_index;
+    byte_count begin;
+  };
+
+  FileMap* FindFile(const std::string& file);
+  const FileMap* FindFile(const std::string& file) const;
+  std::uint32_t InternFile(const std::string& file);
+
+  // Splits the entry containing `pos` (if any) so `pos` becomes a boundary.
+  void SplitAt(std::uint32_t file_index, byte_count pos);
+
+  void IndexLru(std::uint32_t file_index, byte_count begin, Entry& entry);
+  void UnindexLru(const Entry& entry);
+
+  void PersistEntry(std::uint32_t file_index, byte_count begin,
+                    const Entry& entry);
+  void ErasePersisted(std::uint32_t file_index, byte_count begin);
+
+  kv::KvStore* store_;
+  std::unordered_map<std::string, std::uint32_t> file_index_;
+  std::vector<std::string> file_names_;
+  std::vector<FileMap> files_;
+  std::map<std::uint64_t, LruRef> lru_index_;  // lru_seq -> entry
+  std::uint64_t next_lru_seq_ = 1;
+  std::uint64_t next_version_ = 1;
+  byte_count mapped_bytes_ = 0;
+  byte_count dirty_bytes_ = 0;
+};
+
+}  // namespace s4d::core

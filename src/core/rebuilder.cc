@@ -1,0 +1,175 @@
+#include "core/rebuilder.h"
+
+#include <utility>
+
+namespace s4d::core {
+
+Rebuilder::Rebuilder(
+    sim::Engine& engine, pfs::FileSystem& dservers, pfs::FileSystem& cservers,
+    DataMappingTable& dmt, CriticalDataTable& cdt, Redirector& redirector,
+    std::function<std::string(const std::string&)> cache_file_namer,
+    RebuilderConfig config)
+    : engine_(engine),
+      dservers_(dservers),
+      cservers_(cservers),
+      dmt_(dmt),
+      cdt_(cdt),
+      redirector_(redirector),
+      cache_file_namer_(std::move(cache_file_namer)),
+      config_(config) {}
+
+void Rebuilder::Start() {
+  if (running_) return;
+  running_ = true;
+  ScheduleNext();
+}
+
+void Rebuilder::Stop() {
+  running_ = false;
+  if (pending_tick_ != sim::kInvalidEvent) {
+    engine_.Cancel(pending_tick_);
+    pending_tick_ = sim::kInvalidEvent;
+  }
+}
+
+void Rebuilder::ScheduleNext() {
+  if (!running_) return;
+  pending_tick_ = engine_.ScheduleAfter(config_.interval, [this]() {
+    pending_tick_ = sim::kInvalidEvent;
+    Tick();
+    ScheduleNext();
+  });
+}
+
+void Rebuilder::Tick() {
+  ++stats_.ticks;
+  FlushDirty();
+  FetchCritical();
+}
+
+void Rebuilder::FlushDirty() {
+  const auto runs = dmt_.CollectDirtyRuns(config_.flush_batch_bytes,
+                                          config_.flush_run_bytes);
+  for (const DirtyRun& run : runs) {
+    // Skip a run if any of its extents is already being flushed.
+    bool busy = false;
+    for (const DirtyRange& seg : run.segments) {
+      if (inflight_flush_.count(
+              std::make_tuple(seg.file, seg.orig_begin, seg.version)) > 0) {
+        busy = true;
+        break;
+      }
+    }
+    if (busy) continue;
+
+    ++stats_.flush_runs_started;
+    stats_.flushes_started += static_cast<std::int64_t>(run.segments.size());
+    stats_.flushed_bytes += run.length();
+
+    const std::string cache_file = cache_file_namer_(run.file);
+    const pfs::FileId cache_id = cservers_.OpenOrCreate(cache_file);
+    const pfs::FileId orig_id = dservers_.OpenOrCreate(run.file);
+
+    for (const DirtyRange& seg : run.segments) {
+      inflight_flush_.insert(
+          std::make_tuple(seg.file, seg.orig_begin, seg.version));
+      // Copy the cached tokens to the original file at issue time — the
+      // simulator's linearization point for content effects.
+      for (const auto& entry : cservers_.ReadContent(
+               cache_id, seg.cache_offset, seg.orig_end - seg.orig_begin)) {
+        const byte_count orig_pos =
+            seg.orig_begin + (entry.begin - seg.cache_offset);
+        dservers_.StampContent(orig_id, orig_pos, entry.length(), entry.value);
+      }
+    }
+
+    // Gather the scattered cache extents (cheap SSD reads), then write the
+    // whole run back as one sequential DServer write.
+    auto run_copy = std::make_shared<DirtyRun>(run);
+    auto read_join = std::make_shared<sim::CompletionJoin>(
+        static_cast<int>(run.segments.size()),
+        [this, run_copy, orig_id](SimTime) {
+          dservers_.Submit(
+              orig_id, device::IoKind::kWrite, run_copy->orig_begin,
+              run_copy->length(), pfs::Priority::kBackground,
+              [this, run_copy](SimTime) {
+                for (const DirtyRange& seg : run_copy->segments) {
+                  inflight_flush_.erase(
+                      std::make_tuple(seg.file, seg.orig_begin, seg.version));
+                  if (dmt_.MarkCleanIfVersion(seg.file, seg.orig_begin,
+                                              seg.orig_end, seg.version)) {
+                    ++stats_.flushes_cleaned;
+                  } else {
+                    ++stats_.flush_races;
+                  }
+                }
+              });
+        });
+    for (const DirtyRange& seg : run.segments) {
+      cservers_.Submit(cache_id, device::IoKind::kRead, seg.cache_offset,
+                       seg.orig_end - seg.orig_begin,
+                       pfs::Priority::kBackground,
+                       [read_join](SimTime t) { read_join->Arrive(t); });
+    }
+  }
+}
+
+void Rebuilder::FetchCritical() {
+  for (const CdtKey& key : cdt_.PendingFetches(config_.fetch_batch_ranges)) {
+    // Skip ranges that got (partially) cached since the mark: a foreground
+    // admission may have raced the lazy fetch.
+    const DmtLookup lookup = dmt_.Lookup(key.file, key.offset, key.length);
+    if (!lookup.gaps.empty() && !lookup.mapped.empty()) {
+      // Partially cached: fetching the gaps piecemeal would fragment the
+      // allocation; just clear the flag and let future misses re-mark.
+      cdt_.ClearCacheFlag(key);
+      continue;
+    }
+    if (lookup.fully_mapped()) {
+      cdt_.ClearCacheFlag(key);
+      continue;
+    }
+
+    auto cache_offset = config_.fetch_may_evict
+                            ? redirector_.AllocateCacheSpace(key.length)
+                            : redirector_.AllocateFreeOnly(key.length);
+    if (!cache_offset) {
+      ++stats_.fetch_space_failures;
+      // Leave the flag set — space may free up by the next tick.
+      continue;
+    }
+
+    ++stats_.fetches_started;
+    stats_.fetched_bytes += key.length;
+    cdt_.ClearCacheFlag(key);
+
+    const std::string cache_file = cache_file_namer_(key.file);
+    const pfs::FileId cache_id = cservers_.OpenOrCreate(cache_file);
+    const pfs::FileId orig_id = dservers_.OpenOrCreate(key.file);
+
+    // Mapping inserted at issue time (clean): see header comment.
+    dmt_.Insert(key.file, key.offset, key.length, *cache_offset,
+                /*dirty=*/false);
+
+    // The allocated cache range may be recycled space still carrying a
+    // previous tenant's content; clear it so holes in the original file
+    // stay holes in the cache copy.
+    cservers_.EraseContent(cache_id, *cache_offset, key.length);
+    for (const auto& entry :
+         dservers_.ReadContent(orig_id, key.offset, key.length)) {
+      const byte_count cache_pos = *cache_offset + (entry.begin - key.offset);
+      cservers_.StampContent(cache_id, cache_pos, entry.length(), entry.value);
+    }
+
+    dservers_.Submit(
+        orig_id, device::IoKind::kRead, key.offset, key.length,
+        pfs::Priority::kBackground,
+        [this, key, cache_id, cache_offset](SimTime) {
+          cservers_.Submit(cache_id, device::IoKind::kWrite, *cache_offset,
+                           key.length, pfs::Priority::kBackground,
+                           [this](SimTime) { ++stats_.fetches_completed; });
+        });
+  }
+}
+
+}  // namespace s4d::core

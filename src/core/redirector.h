@@ -1,0 +1,149 @@
+// Redirector (§III-E, Algorithm 1): decides, per request, which servers
+// serve which bytes, and performs cache admission / eviction bookkeeping.
+//
+// The Redirector produces a RoutingPlan — a list of segments, each aimed at
+// either the DServers (original file, original offsets) or the CServers
+// (cache file, cache offsets). Algorithm 1 covers full-hit and full-miss
+// requests; this implementation additionally handles *partial* overlaps
+// (a request straddling a cached range) in the only consistency-preserving
+// ways available:
+//   * partial write, admittable  -> admit the gaps, dirty the cached parts,
+//     serve everything from CServers;
+//   * partial write, not admittable -> write the whole request to DServers
+//     and invalidate every overlapping mapping (a stale dirty extent must
+//     not be flushed over newer data);
+//   * partial read  -> read mapped parts from CServers, gaps from DServers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cache_space.h"
+#include "core/cdt.h"
+#include "core/dmt.h"
+#include "device/device_model.h"
+
+namespace s4d::core {
+
+// Admission policy — kCostModel is the paper's scheme; the others exist for
+// the ablation benches.
+enum class AdmissionPolicy {
+  kCostModel,  // admit iff the Data Identifier found the request critical
+  kAlways,     // admit every miss (classic cache-everything)
+  kNever,      // never admit (cache serves only pre-existing mappings)
+};
+
+struct IoSegment {
+  enum class Target { kDServers, kCServers };
+  Target target = Target::kDServers;
+  byte_count offset = 0;       // offset within the target file
+  byte_count orig_offset = 0;  // corresponding original-file offset
+  byte_count size = 0;
+};
+
+struct RoutingPlan {
+  std::vector<IoSegment> segments;
+  bool served_fully_by_cache = false;
+  bool admitted = false;     // a new mapping was created for this request
+  bool lazy_fetch_marked = false;  // C_flag set for a critical read miss
+  // The plan changed DMT state (admission, dirty-marking, invalidation,
+  // eviction) — such changes are persisted synchronously (§III-D) and pay
+  // the serialized metadata-update latency.
+  bool dmt_mutated = false;
+
+  byte_count cache_bytes() const {
+    byte_count n = 0;
+    for (const auto& s : segments) {
+      if (s.target == IoSegment::Target::kCServers) n += s.size;
+    }
+    return n;
+  }
+  byte_count dserver_bytes() const {
+    byte_count n = 0;
+    for (const auto& s : segments) {
+      if (s.target == IoSegment::Target::kDServers) n += s.size;
+    }
+    return n;
+  }
+};
+
+struct RedirectorStats {
+  std::int64_t write_requests = 0;
+  std::int64_t write_cache_hits = 0;    // fully mapped writes
+  std::int64_t write_admissions = 0;    // new space allocated for a write
+  std::int64_t write_to_dservers = 0;   // writes routed (fully) to DServers
+  std::int64_t read_requests = 0;
+  std::int64_t read_cache_hits = 0;     // fully mapped reads
+  std::int64_t read_partial_hits = 0;
+  std::int64_t read_misses = 0;
+  // Clean hits served by DServers because the model scored B <= 0.
+  std::int64_t read_clean_bypasses = 0;
+  std::int64_t lazy_fetch_marks = 0;
+  std::int64_t evictions = 0;
+  std::int64_t admission_failures = 0;  // wanted to admit, no space
+  std::int64_t invalidated_extents = 0;
+};
+
+class Redirector {
+ public:
+  // `on_release` fires whenever a mapping's cache extent is released back
+  // to the allocator (eviction or invalidation) with the *original* file
+  // name and the cache-file range — the facade uses it to scrub recycled
+  // space so a later tenant never observes a previous tenant's bytes.
+  using ReleaseHook = std::function<void(const std::string& orig_file,
+                                         byte_count cache_offset,
+                                         byte_count length)>;
+
+  Redirector(CriticalDataTable& cdt, DataMappingTable& dmt,
+             CacheSpaceAllocator& space,
+             AdmissionPolicy policy = AdmissionPolicy::kCostModel,
+             ReleaseHook on_release = nullptr)
+      : cdt_(cdt),
+        dmt_(dmt),
+        space_(space),
+        policy_(policy),
+        on_release_(std::move(on_release)) {}
+
+  // `critical` is the Data Identifier's verdict for this request (ignored
+  // under kAlways / kNever policies).
+  RoutingPlan PlanWrite(const std::string& file, byte_count offset,
+                        byte_count size, bool critical);
+  RoutingPlan PlanRead(const std::string& file, byte_count offset,
+                       byte_count size, bool critical);
+
+  // Allocates cache space, evicting clean LRU mappings as needed
+  // (Algorithm 1 lines 4–10). Exposed for the Rebuilder's fetch path.
+  std::optional<byte_count> AllocateCacheSpace(byte_count size);
+
+  // Allocation from free space only — no eviction (speculative fetches).
+  std::optional<byte_count> AllocateFreeOnly(byte_count size) {
+    return space_.Allocate(size);
+  }
+
+  const RedirectorStats& stats() const { return stats_; }
+  AdmissionPolicy policy() const { return policy_; }
+
+ private:
+  bool ShouldAdmit(bool critical) const {
+    switch (policy_) {
+      case AdmissionPolicy::kCostModel: return critical;
+      case AdmissionPolicy::kAlways: return true;
+      case AdmissionPolicy::kNever: return false;
+    }
+    return false;
+  }
+
+  void Release(const RemovedExtent& extent);
+
+  CriticalDataTable& cdt_;
+  DataMappingTable& dmt_;
+  CacheSpaceAllocator& space_;
+  AdmissionPolicy policy_;
+  ReleaseHook on_release_;
+  RedirectorStats stats_;
+};
+
+}  // namespace s4d::core

@@ -1,0 +1,210 @@
+#include "core/s4d_cache.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace s4d::core {
+
+S4DCache::S4DCache(sim::Engine& engine, pfs::FileSystem& dservers,
+                   pfs::FileSystem& cservers, CostModel cost_model,
+                   S4DConfig config, kv::KvStore* dmt_store)
+    : engine_(engine),
+      dservers_(dservers),
+      cservers_(cservers),
+      cost_model_(std::move(cost_model)),
+      config_(std::move(config)),
+      cdt_(config_.cdt_max_entries),
+      dmt_(dmt_store),
+      space_(config_.cache_capacity, cservers.config().stripe.stripe_size),
+      identifier_(cost_model_, cdt_),
+      redirector_(cdt_, dmt_, space_, config_.policy,
+                  [this](const std::string& orig_file, byte_count cache_offset,
+                         byte_count length) {
+                    // Scrub recycled cache space (verification content).
+                    const pfs::FileId id =
+                        cservers_.OpenOrCreate(CacheFileName(orig_file));
+                    cservers_.EraseContent(id, cache_offset, length);
+                  }),
+      rebuilder_(
+          engine_, dservers_, cservers_, dmt_, cdt_, redirector_,
+          [this](const std::string& file) { return CacheFileName(file); },
+          config_.rebuilder) {
+  if (dmt_store != nullptr) {
+    const Status s = dmt_.LoadFromStore();
+    if (!s.ok()) {
+      S4D_WARN("DMT recovery failed, starting empty: " + s.ToString());
+    } else {
+      // Recovered mappings re-claim their exact prior cache-file offsets.
+      // A mapping that no longer fits (e.g. the configured capacity shrank)
+      // is dropped — safe for clean data; a dropped *dirty* mapping is a
+      // real loss, so it is logged loudly.
+      for (const RemovedExtent& ext : dmt_.AllExtents()) {
+        if (space_.Reserve(ext.cache_offset, ext.length())) continue;
+        if (ext.dirty) {
+          S4D_ERROR("dropping unrecoverable dirty mapping for " + ext.file);
+        }
+        (void)dmt_.Invalidate(ext.file, ext.orig_begin, ext.length());
+      }
+    }
+  }
+  metadata_shard_free_at_.assign(
+      static_cast<std::size_t>(std::max(1, config_.dmt_shards)), 0);
+  if (config_.enable_rebuilder) rebuilder_.Start();
+}
+
+S4DCache::~S4DCache() { rebuilder_.Stop(); }
+
+void S4DCache::Open(const std::string& file) {
+  // §IV-B MPI_File_open: open the original file and its companion cache
+  // file (and make sure the DMT is resident — ours always is).
+  dservers_.OpenOrCreate(file);
+  cservers_.OpenOrCreate(CacheFileName(file));
+  open_files_.insert(file);
+}
+
+void S4DCache::Close(const std::string& file) { open_files_.erase(file); }
+
+void S4DCache::StampPlanContent(const mpiio::FileRequest& request,
+                                const RoutingPlan& plan) {
+  if (request.content_token == 0) return;
+  for (const IoSegment& seg : plan.segments) {
+    if (seg.target == IoSegment::Target::kCServers) {
+      const pfs::FileId id = cservers_.OpenOrCreate(CacheFileName(request.file));
+      cservers_.StampContent(id, seg.offset, seg.size, request.content_token);
+    } else {
+      const pfs::FileId id = dservers_.OpenOrCreate(request.file);
+      dservers_.StampContent(id, seg.offset, seg.size, request.content_token);
+    }
+  }
+}
+
+void S4DCache::Execute(device::IoKind kind, const mpiio::FileRequest& request,
+                       const RoutingPlan& plan, mpiio::IoCompletion done) {
+  assert(!plan.segments.empty());
+
+  // Routing accounting (Table III): a request counts toward the side that
+  // serves it; split requests count toward both plus the split counter.
+  const byte_count c_bytes = plan.cache_bytes();
+  const byte_count d_bytes = plan.dserver_bytes();
+  if (c_bytes > 0 && d_bytes > 0) ++counters_.split_requests;
+  if (c_bytes > 0) ++counters_.cserver_requests;
+  if (d_bytes > 0) ++counters_.dserver_requests;
+  counters_.cserver_bytes += c_bytes;
+  counters_.dserver_bytes += d_bytes;
+
+  const pfs::FileId orig_id = dservers_.OpenOrCreate(request.file);
+  const pfs::FileId cache_id =
+      c_bytes > 0 ? cservers_.OpenOrCreate(CacheFileName(request.file))
+                  : pfs::kInvalidFile;
+
+  auto join = std::make_shared<sim::CompletionJoin>(
+      static_cast<int>(plan.segments.size()),
+      [done = std::move(done)](SimTime last) {
+        if (done) done(last);
+      });
+
+  // The in-memory bookkeeping (cost model, CDT/DMT lookups) delays the
+  // physical I/O by a small constant (§V-E.2); a plan that changed the
+  // mapping additionally waits for the synchronous DMT persist (§III-D) —
+  // one writer at a time per metadata shard.
+  SimTime delay = config_.metadata_overhead_per_op;
+  if (plan.dmt_mutated && config_.dmt_update_latency > 0) {
+    const std::size_t shard =
+        (std::hash<std::string>{}(request.file) ^
+         static_cast<std::size_t>(request.offset / MiB)) %
+        metadata_shard_free_at_.size();
+    SimTime& free_at = metadata_shard_free_at_[shard];
+    const SimTime start = std::max(engine_.now(), free_at);
+    free_at = start + config_.dmt_update_latency;
+    delay += free_at - engine_.now();
+  }
+  engine_.ScheduleAfter(
+      delay,
+      [this, kind, plan, orig_id, cache_id, join]() {
+        for (const IoSegment& seg : plan.segments) {
+          auto on_complete = [join](SimTime t) { join->Arrive(t); };
+          if (seg.target == IoSegment::Target::kCServers) {
+            cservers_.Submit(cache_id, kind, seg.offset, seg.size,
+                             pfs::Priority::kNormal, std::move(on_complete));
+          } else {
+            dservers_.Submit(orig_id, kind, seg.offset, seg.size,
+                             pfs::Priority::kNormal, std::move(on_complete));
+          }
+        }
+      });
+}
+
+void S4DCache::Write(const mpiio::FileRequest& request,
+                     mpiio::IoCompletion done) {
+  assert(request.size > 0);
+  const bool critical =
+      identifier_.Identify(request.file, request.rank, device::IoKind::kWrite,
+                           request.offset, request.size);
+  const RoutingPlan plan =
+      redirector_.PlanWrite(request.file, request.offset, request.size, critical);
+  StampPlanContent(request, plan);
+  Execute(device::IoKind::kWrite, request, plan, std::move(done));
+}
+
+void S4DCache::Read(const mpiio::FileRequest& request,
+                    mpiio::IoCompletion done) {
+  assert(request.size > 0);
+  const bool critical =
+      identifier_.Identify(request.file, request.rank, device::IoKind::kRead,
+                           request.offset, request.size);
+  const RoutingPlan plan =
+      redirector_.PlanRead(request.file, request.offset, request.size, critical);
+  Execute(device::IoKind::kRead, request, plan, std::move(done));
+}
+
+void S4DCache::StampContent(const std::string& file, byte_count offset,
+                            byte_count size, std::uint64_t token) {
+  if (size <= 0 || token == 0) return;
+  const DmtLookup lookup = dmt_.Lookup(file, offset, size);
+  const pfs::FileId orig_id = dservers_.OpenOrCreate(file);
+  const pfs::FileId cache_id = cservers_.OpenOrCreate(CacheFileName(file));
+  for (const MappedSegment& seg : lookup.mapped) {
+    cservers_.StampContent(cache_id, seg.cache_offset,
+                           seg.orig_end - seg.orig_begin, token);
+  }
+  for (const auto& [gap_begin, gap_end] : lookup.gaps) {
+    dservers_.StampContent(orig_id, gap_begin, gap_end - gap_begin, token);
+  }
+}
+
+std::vector<mpiio::ContentEntry> S4DCache::ReadContent(const std::string& file,
+                                                       byte_count offset,
+                                                       byte_count size) {
+  // Assemble what an application read would observe right now: mapped
+  // ranges come from the cache file, gaps from the original file. Entries
+  // are reported in original-file coordinates.
+  std::vector<mpiio::ContentEntry> out;
+  const DmtLookup lookup = dmt_.Lookup(file, offset, size);
+
+  const pfs::FileId orig_id = dservers_.OpenOrCreate(file);
+  const pfs::FileId cache_id = cservers_.OpenOrCreate(CacheFileName(file));
+
+  for (const MappedSegment& seg : lookup.mapped) {
+    for (const auto& entry : cservers_.ReadContent(
+             cache_id, seg.cache_offset, seg.orig_end - seg.orig_begin)) {
+      mpiio::ContentEntry translated = entry;
+      translated.begin = seg.orig_begin + (entry.begin - seg.cache_offset);
+      translated.end = translated.begin + entry.length();
+      out.push_back(translated);
+    }
+  }
+  for (const auto& [gap_begin, gap_end] : lookup.gaps) {
+    for (const auto& entry :
+         dservers_.ReadContent(orig_id, gap_begin, gap_end - gap_begin)) {
+      out.push_back(entry);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const mpiio::ContentEntry& a, const mpiio::ContentEntry& b) {
+              return a.begin < b.begin;
+            });
+  return out;
+}
+
+}  // namespace s4d::core

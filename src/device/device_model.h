@@ -1,0 +1,48 @@
+// Storage-device service-time models.
+//
+// A DeviceModel answers one question: how long does this device need to
+// serve a read/write of `size` bytes at byte offset `offset`, given the
+// device's current mechanical state? The answer is split into a
+// *positioning* phase (seek + rotation for HDDs, fixed command latency for
+// SSDs) and a *transfer* phase, because the file server overlaps the
+// transfer phase with the network transfer of the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/sim_time.h"
+#include "common/units.h"
+
+namespace s4d::device {
+
+enum class IoKind { kRead, kWrite };
+
+inline const char* IoKindName(IoKind k) {
+  return k == IoKind::kRead ? "read" : "write";
+}
+
+struct AccessCosts {
+  SimTime positioning = 0;  // before any byte moves
+  SimTime transfer = 0;     // proportional to size
+
+  SimTime total() const { return positioning + transfer; }
+};
+
+class DeviceModel {
+ public:
+  virtual ~DeviceModel() = default;
+
+  // Computes the service cost of one access and updates device state
+  // (e.g. the HDD head position) as if the access completed.
+  virtual AccessCosts Access(IoKind kind, byte_count offset,
+                             byte_count size) = 0;
+
+  // Forgets positional state (fresh run); statistics are unaffected.
+  virtual void Reset() = 0;
+
+  virtual std::string Describe() const = 0;
+};
+
+}  // namespace s4d::device

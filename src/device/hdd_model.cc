@@ -1,0 +1,111 @@
+#include "device/hdd_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace s4d::device {
+
+HddProfile SeagateST32502NS() {
+  HddProfile p;
+  p.name = "Seagate-ST32502NS-250GB";
+  p.capacity = 250 * GiB;
+  p.rpm = 7200.0;
+  p.track_to_track_seek = FromMillis(0.8);
+  p.average_seek = FromMillis(8.5);
+  p.max_seek = FromMillis(17.0);
+  p.transfer_bps = 78.0e6;
+  p.command_overhead = FromMicros(200);
+  return p;
+}
+
+HddModel::HddModel(HddProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed) {}
+
+SimTime HddModel::SeekTime(byte_count distance) const {
+  return SeekTimeForProfile(profile_, distance);
+}
+
+SimTime SeekTimeForProfile(const HddProfile& profile, byte_count distance) {
+  if (distance <= 0) return 0;
+  const double frac =
+      std::min(1.0, static_cast<double>(distance) /
+                        static_cast<double>(profile.capacity));
+  const double t2t = static_cast<double>(profile.track_to_track_seek);
+  const double avg = static_cast<double>(profile.average_seek);
+  const double max = static_cast<double>(profile.max_seek);
+  // Short seeks follow a sqrt law up to the "average seek" at 1/3 stroke;
+  // beyond that, seek time grows linearly to the full-stroke maximum.
+  constexpr double kAvgStrokeFrac = 1.0 / 3.0;
+  double seek;
+  if (frac <= kAvgStrokeFrac) {
+    seek = t2t + (avg - t2t) * std::sqrt(frac / kAvgStrokeFrac);
+  } else {
+    const double t = (frac - kAvgStrokeFrac) / (1.0 - kAvgStrokeFrac);
+    seek = avg + (max - avg) * t;
+  }
+  return static_cast<SimTime>(seek);
+}
+
+AccessCosts HddModel::Access(IoKind kind, byte_count offset, byte_count size) {
+  (void)kind;  // readahead (reads) and writeback coalescing (writes) are
+               // modelled symmetrically at this level.
+  AccessCosts costs;
+
+  // Stream continuation: served by readahead / coalesced writeback without
+  // repositioning, paying media transfer for any skipped forward gap (the
+  // page cache read that data ahead anyway). A small *backward* gap is data
+  // the stream just passed — still resident in the page cache, served at
+  // memory speed (charged the plain transfer, conservatively). Streams are
+  // checked MRU-first.
+  for (auto it = streams_.rbegin(); it != streams_.rend(); ++it) {
+    const byte_count gap = offset - *it;
+    if (gap >= profile_.readahead_window || -gap > profile_.readahead_window) {
+      continue;
+    }
+    costs.positioning = 0;
+    // Forward: the media reads the skipped gap plus the payload. Backward:
+    // those bytes were already read and sit in the page cache — the device
+    // does no media work (the network transfer still gates the request in
+    // the server loop).
+    costs.transfer =
+        gap >= 0 ? static_cast<SimTime>(static_cast<double>(gap + size) /
+                                        profile_.transfer_bps * 1e9)
+                 : 0;
+    const byte_count next = std::max(*it, offset + size);
+    streams_.erase(std::next(it).base());
+    streams_.push_back(next);
+    head_position_ = next;
+    return costs;
+  }
+
+  // New stream: position the head (unless it happens to sit exactly there).
+  const byte_count distance = std::llabs(offset - head_position_);
+  if (distance == 0) {
+    costs.positioning = 0;
+  } else {
+    const SimTime rotation =
+        static_cast<SimTime>(rng_.NextBelow(
+            static_cast<std::uint64_t>(profile_.full_rotation())));
+    costs.positioning = profile_.command_overhead + SeekTime(distance) + rotation;
+  }
+  costs.transfer = static_cast<SimTime>(
+      static_cast<double>(size) / profile_.transfer_bps * 1e9);
+  head_position_ = offset + size;
+  streams_.push_back(head_position_);
+  if (streams_.size() > static_cast<std::size_t>(profile_.max_streams)) {
+    streams_.erase(streams_.begin());  // drop the least recently used
+  }
+  return costs;
+}
+
+void HddModel::Reset() {
+  head_position_ = 0;
+  streams_.clear();
+}
+
+std::string HddModel::Describe() const {
+  return "HDD(" + profile_.name + ")";
+}
+
+}  // namespace s4d::device

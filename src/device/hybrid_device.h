@@ -1,0 +1,69 @@
+// Per-server hybrid HDD+SSD device — the conventional deployment the paper
+// contrasts with (§I: "an SSD is commonly used as a cache of HDD or as a
+// hybrid storage on each file server ... it requires a large number of
+// SSDs thus may be costly [and] the global utilization of SSDs becomes
+// impossible"; §II-C: Flashcache, Hystor, I-CASH). Each file server owns a
+// small SSD acting as a block cache in front of its HDD:
+//
+//   * block-granular LRU over the device's address space;
+//   * reads: hit blocks served at SSD cost, misses at HDD cost with
+//     write-allocate admission;
+//   * writes: write-back — absorbed by the SSD; evicting a dirty block
+//     charges the HDD write to the access that triggered the eviction.
+//
+// The bench_ablation comparison gives this baseline the same total SSD
+// capacity as S4D's CServers, spread across the DServers.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "device/hdd_model.h"
+#include "device/ssd_model.h"
+
+namespace s4d::device {
+
+struct HybridProfile {
+  HddProfile hdd = SeagateST32502NS();
+  SsdProfile ssd = OczRevoDriveX2Effective();
+  byte_count ssd_capacity = 12 * GiB;  // per server
+  byte_count block_size = 64 * KiB;
+};
+
+struct HybridStats {
+  std::int64_t block_hits = 0;
+  std::int64_t block_misses = 0;
+  std::int64_t dirty_evictions = 0;
+};
+
+class HybridHddSsd final : public DeviceModel {
+ public:
+  explicit HybridHddSsd(HybridProfile profile, std::uint64_t seed = 1);
+
+  AccessCosts Access(IoKind kind, byte_count offset, byte_count size) override;
+  void Reset() override;
+  std::string Describe() const override;
+
+  const HybridStats& stats() const { return stats_; }
+  std::size_t cached_blocks() const { return blocks_.size(); }
+
+ private:
+  struct BlockState {
+    std::list<byte_count>::iterator lru;
+    bool dirty = false;
+  };
+
+  // Touches `block`, inserting it if absent; returns the HDD write-back
+  // cost incurred by any dirty eviction this insertion caused.
+  AccessCosts InsertBlock(byte_count block, bool dirty);
+
+  HybridProfile profile_;
+  HddModel hdd_;
+  SsdModel ssd_;
+  std::size_t max_blocks_;
+  std::list<byte_count> lru_;  // most recent at front
+  std::unordered_map<byte_count, BlockState> blocks_;
+  HybridStats stats_;
+};
+
+}  // namespace s4d::device

@@ -1,0 +1,51 @@
+#include "device/ssd_model.h"
+
+namespace s4d::device {
+
+SsdProfile OczRevoDriveX2() {
+  SsdProfile p;
+  p.name = "OCZ-RevoDriveX2-100GB";
+  p.capacity = 100 * GiB;
+  p.read_latency = FromMicros(60);
+  p.write_latency = FromMicros(120);
+  p.read_bps = 500.0e6;
+  p.write_bps = 420.0e6;
+  return p;
+}
+
+SsdProfile OczRevoDriveX2Effective() {
+  SsdProfile p;
+  p.name = "OCZ-RevoDriveX2-100GB-effective";
+  p.capacity = 100 * GiB;
+  // Per-request server software overhead (PVFS2 request processing + flash
+  // access), measured-style rather than datasheet values.
+  p.read_latency = FromMicros(300);
+  p.write_latency = FromMicros(500);
+  // Sustained incompressible-data throughput through the PVFS2 server.
+  p.read_bps = 200.0e6;
+  p.write_bps = 36.0e6;
+  return p;
+}
+
+SsdModel::SsdModel(SsdProfile profile) : profile_(std::move(profile)) {}
+
+AccessCosts SsdModel::Access(IoKind kind, byte_count offset, byte_count size) {
+  (void)offset;  // no positional state
+  AccessCosts costs;
+  if (kind == IoKind::kRead) {
+    costs.positioning = profile_.read_latency;
+    costs.transfer = static_cast<SimTime>(
+        static_cast<double>(size) / profile_.read_bps * 1e9);
+  } else {
+    costs.positioning = profile_.write_latency;
+    costs.transfer = static_cast<SimTime>(
+        static_cast<double>(size) / profile_.write_bps * 1e9);
+  }
+  return costs;
+}
+
+void SsdModel::Reset() {}
+
+std::string SsdModel::Describe() const { return "SSD(" + profile_.name + ")"; }
+
+}  // namespace s4d::device

@@ -1,0 +1,69 @@
+#include "harness/content_checker.h"
+
+#include <sstream>
+
+namespace s4d::harness {
+
+std::uint64_t ContentChecker::OnWrite(const std::string& file,
+                                      byte_count offset, byte_count size) {
+  const std::uint64_t token = next_token_++;
+  reference_[file].Assign(offset, offset + size, token);
+  return token;
+}
+
+namespace {
+
+// Coalesces adjacent equal-token entries: the middleware may deliver the
+// same bytes as several segments (cache + original file pieces), which is
+// byte-identical to the reference's maximal segments.
+std::vector<mpiio::ContentEntry> Normalize(
+    std::vector<mpiio::ContentEntry> entries) {
+  std::vector<mpiio::ContentEntry> out;
+  for (const auto& e : entries) {
+    if (e.begin >= e.end) continue;
+    if (!out.empty() && out.back().end == e.begin &&
+        out.back().value == e.value) {
+      out.back().end = e.end;
+    } else {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ContentChecker::CheckRead(mpiio::IoDispatch& dispatch,
+                               const std::string& file, byte_count offset,
+                               byte_count size) {
+  ++checks_;
+  const auto expected =
+      Normalize(reference_[file].Overlapping(offset, offset + size));
+  const auto actual = Normalize(dispatch.ReadContent(file, offset, size));
+  if (expected == actual) return true;
+
+  ++failures_;
+  if (first_failure_.empty()) {
+    std::ostringstream msg;
+    msg << "read mismatch on " << file << " [" << offset << ", "
+        << offset + size << "): expected " << expected.size()
+        << " segments, got " << actual.size();
+    auto dump = [&msg](const char* tag, const auto& segs) {
+      msg << "; " << tag << ":";
+      std::size_t shown = 0;
+      for (const auto& s : segs) {
+        if (++shown > 6) {
+          msg << " ...";
+          break;
+        }
+        msg << " [" << s.begin << "," << s.end << ")=" << s.value;
+      }
+    };
+    dump("expected", expected);
+    dump("actual", actual);
+    first_failure_ = msg.str();
+  }
+  return false;
+}
+
+}  // namespace s4d::harness

@@ -1,0 +1,44 @@
+// End-to-end content verification for integration tests.
+//
+// The checker maintains a reference image (an interval map of write tokens)
+// per logical file. Each write gets a fresh token that both the reference
+// and the system under test record; each read compares what the middleware
+// would deliver (IoDispatch::ReadContent, assembled across cache and
+// original files) against the reference. Any divergence is a consistency
+// bug in the caching machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval_map.h"
+#include "mpiio/io_dispatch.h"
+
+namespace s4d::harness {
+
+class ContentChecker {
+ public:
+  // Registers a write and returns the token to stamp it with.
+  std::uint64_t OnWrite(const std::string& file, byte_count offset,
+                        byte_count size);
+
+  // Compares the dispatch's view of [offset, offset+size) with the
+  // reference. Returns true when identical; failures are also counted.
+  bool CheckRead(mpiio::IoDispatch& dispatch, const std::string& file,
+                 byte_count offset, byte_count size);
+
+  std::int64_t checks() const { return checks_; }
+  std::int64_t failures() const { return failures_; }
+  const std::string& first_failure() const { return first_failure_; }
+
+ private:
+  std::unordered_map<std::string, IntervalMap<std::uint64_t>> reference_;
+  std::uint64_t next_token_ = 1;
+  std::int64_t checks_ = 0;
+  std::int64_t failures_ = 0;
+  std::string first_failure_;
+};
+
+}  // namespace s4d::harness

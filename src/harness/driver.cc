@@ -1,0 +1,83 @@
+#include "harness/driver.h"
+
+#include <cassert>
+#include <vector>
+
+namespace s4d::harness {
+
+RunResult RunClosedLoop(mpiio::MpiIoLayer& layer,
+                        workloads::Workload& workload,
+                        const DriverOptions& options) {
+  sim::Engine& engine = layer.engine();
+  const int ranks = workload.ranks();
+  assert(ranks >= 1);
+
+  RunResult result;
+  result.start = engine.now();
+  RunningStats latency_us;
+  int active = ranks;
+
+  std::vector<mpiio::MpiFile> files(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    files[static_cast<std::size_t>(r)] = layer.Open(r, workload.file());
+  }
+
+  std::function<void(int)> issue = [&](int rank) {
+    const auto request = workload.Next(rank);
+    if (!request) {
+      layer.Close(files[static_cast<std::size_t>(rank)]);
+      --active;
+      return;
+    }
+    if (options.on_issue) options.on_issue(rank, *request);
+    ++result.requests;
+    result.bytes += request->size;
+    const SimTime issued = engine.now();
+    auto done = [&, rank, issued](SimTime t) {
+      latency_us.Add(ToMicros(t - issued));
+      issue(rank);
+    };
+    mpiio::MpiFile& file = files[static_cast<std::size_t>(rank)];
+    if (request->kind == device::IoKind::kWrite) {
+      std::uint64_t token = 0;
+      if (options.checker) {
+        token = options.checker->OnWrite(workload.file(), request->offset,
+                                         request->size);
+      }
+      layer.WriteAt(file, request->offset, request->size, std::move(done),
+                    token);
+    } else {
+      if (options.checker) {
+        options.checker->CheckRead(layer.dispatch(), workload.file(),
+                                   request->offset, request->size);
+      }
+      layer.ReadAt(file, request->offset, request->size, std::move(done));
+    }
+  };
+
+  for (int r = 0; r < ranks; ++r) issue(r);
+
+  while (active > 0) {
+    const bool progressed = engine.Step();
+    assert(progressed && "engine drained with ranks still active");
+    if (!progressed) break;
+  }
+
+  result.end = engine.now();
+  result.throughput_mbps = ThroughputMBps(result.bytes, result.elapsed());
+  result.mean_latency_us = latency_us.mean();
+  result.max_latency_us = latency_us.max();
+  return result;
+}
+
+bool DrainUntil(sim::Engine& engine, const std::function<bool()>& quiescent,
+                SimTime max_duration, SimTime slice) {
+  const SimTime deadline = engine.now() + max_duration;
+  while (!quiescent()) {
+    if (engine.now() >= deadline) return false;
+    engine.RunUntil(std::min(deadline, engine.now() + slice));
+  }
+  return true;
+}
+
+}  // namespace s4d::harness

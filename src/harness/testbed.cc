@@ -1,0 +1,46 @@
+#include "harness/testbed.h"
+
+namespace s4d::harness {
+
+Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+  pfs::FsConfig d_config;
+  d_config.name = "OPFS";
+  d_config.stripe = pfs::StripeConfig{config_.dservers, config_.stripe_size};
+  d_config.link = config_.link;
+  d_config.file_reservation_per_server = config_.file_reservation;
+  d_config.track_content = config_.track_content;
+  dservers_ = std::make_unique<pfs::FileSystem>(
+      engine_, d_config, [this](int index) {
+        return std::make_unique<device::HddModel>(
+            config_.hdd, config_.seed * 1000003 + static_cast<std::uint64_t>(index));
+      });
+
+  pfs::FsConfig c_config;
+  c_config.name = "CPFS";
+  c_config.stripe = pfs::StripeConfig{config_.cservers, config_.stripe_size};
+  c_config.link = config_.link;
+  c_config.file_reservation_per_server = config_.file_reservation;
+  c_config.track_content = config_.track_content;
+  cservers_ = std::make_unique<pfs::FileSystem>(
+      engine_, c_config, [this](int index) {
+        (void)index;
+        return std::make_unique<device::SsdModel>(config_.ssd);
+      });
+
+  stock_ = std::make_unique<mpiio::StockDispatch>(*dservers_);
+}
+
+core::CostModel Testbed::MakeCostModel() const {
+  return core::CostModel(core::CostModelParams::FromProfiles(
+      config_.dservers, config_.cservers, config_.stripe_size, config_.hdd,
+      config_.ssd, config_.link));
+}
+
+std::unique_ptr<core::S4DCache> Testbed::MakeS4D(core::S4DConfig s4d_config,
+                                                 kv::KvStore* dmt_store) {
+  return std::make_unique<core::S4DCache>(engine_, *dservers_, *cservers_,
+                                          MakeCostModel(),
+                                          std::move(s4d_config), dmt_store);
+}
+
+}  // namespace s4d::harness

@@ -1,0 +1,61 @@
+// Testbed: the simulated counterpart of the paper's experimental cluster
+// (§V-A) — M HDD-backed DServers under one PVFS2-like file system, N
+// SSD-backed CServers under another, Gigabit-Ethernet links, and a choice
+// of middleware (stock passthrough or S4D-Cache). Every bench and most
+// integration tests build one of these.
+#pragma once
+
+#include <memory>
+
+#include "core/cost_model.h"
+#include "core/s4d_cache.h"
+#include "device/hdd_model.h"
+#include "device/ssd_model.h"
+#include "mpiio/mpi_io.h"
+#include "mpiio/stock_dispatch.h"
+#include "net/link_model.h"
+#include "pfs/file_system.h"
+#include "sim/engine.h"
+
+namespace s4d::harness {
+
+struct TestbedConfig {
+  int dservers = 8;  // the paper's deployment: 8 DServers, 4 CServers
+  int cservers = 4;
+  byte_count stripe_size = 64 * KiB;  // PVFS2 default
+  device::HddProfile hdd = device::SeagateST32502NS();
+  device::SsdProfile ssd = device::OczRevoDriveX2Effective();
+  net::LinkProfile link = net::GigabitEthernet();
+  bool track_content = false;
+  // Per-server LBA reservation per file; must exceed the largest
+  // per-server share of any file in the experiment.
+  byte_count file_reservation = 16 * GiB;
+  std::uint64_t seed = 1;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+
+  sim::Engine& engine() { return engine_; }
+  pfs::FileSystem& dservers() { return *dservers_; }
+  pfs::FileSystem& cservers() { return *cservers_; }
+  mpiio::StockDispatch& stock() { return *stock_; }
+  const TestbedConfig& config() const { return config_; }
+
+  // The analytic cost model matching this testbed's hardware.
+  core::CostModel MakeCostModel() const;
+
+  // Builds an S4D-Cache middleware over this testbed. The caller owns it.
+  std::unique_ptr<core::S4DCache> MakeS4D(core::S4DConfig s4d_config,
+                                          kv::KvStore* dmt_store = nullptr);
+
+ private:
+  TestbedConfig config_;
+  sim::Engine engine_;
+  std::unique_ptr<pfs::FileSystem> dservers_;
+  std::unique_ptr<pfs::FileSystem> cservers_;
+  std::unique_ptr<mpiio::StockDispatch> stock_;
+};
+
+}  // namespace s4d::harness

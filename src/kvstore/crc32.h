@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3 polynomial), table-driven. Used to detect torn or
+// corrupt records in the key-value store's write-ahead log.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace s4d::kv {
+
+std::uint32_t Crc32(const void* data, std::size_t length,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32(std::string_view s, std::uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace s4d::kv

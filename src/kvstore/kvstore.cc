@@ -1,0 +1,302 @@
+#include "kvstore/kvstore.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "kvstore/crc32.h"
+
+namespace s4d::kv {
+
+namespace {
+
+constexpr std::uint8_t kOpPut = 1;
+constexpr std::uint8_t kOpDelete = 2;
+constexpr std::size_t kHeaderSize = 4 + 1 + 4 + 4;  // crc, op, klen, vlen
+constexpr std::uint32_t kMaxKeyLen = 1 << 20;
+constexpr std::uint32_t kMaxValueLen = 1 << 26;
+
+void PutU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t GetU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::string EncodeRecord(std::uint8_t op, std::string_view key,
+                         std::string_view value) {
+  std::string body;
+  body.reserve(1 + 8 + key.size() + value.size());
+  body.push_back(static_cast<char>(op));
+  PutU32(body, static_cast<std::uint32_t>(key.size()));
+  PutU32(body, static_cast<std::uint32_t>(value.size()));
+  body.append(key);
+  body.append(value);
+
+  std::string record;
+  record.reserve(4 + body.size());
+  PutU32(record, Crc32(body));
+  record.append(body);
+  return record;
+}
+
+Status WriteAll(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write: ") + std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+KvStore::KvStore(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {}
+
+KvStore::~KvStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(const std::string& path,
+                                               const Options& options) {
+  std::unique_ptr<KvStore> store(new KvStore(path, options));
+  int flags = O_RDWR;
+  if (options.create_if_missing) flags |= O_CREAT;
+  store->fd_ = ::open(path.c_str(), flags, 0644);
+  if (store->fd_ < 0) {
+    if (errno == ENOENT) return Status::NotFound("no store at " + path);
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  if (Status s = store->ReplayLog(); !s.ok()) return s;
+  return store;
+}
+
+Status KvStore::ReplayLog() {
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) return Status::IoError("lseek failed");
+  std::string buffer(static_cast<std::size_t>(end), '\0');
+  std::size_t done = 0;
+  while (done < buffer.size()) {
+    const ssize_t n = ::pread(fd_, buffer.data() + done, buffer.size() - done,
+                              static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (n == 0) break;  // file shrank under us; treat remainder as torn
+    done += static_cast<std::size_t>(n);
+  }
+
+  std::size_t pos = 0;
+  std::size_t good_end = 0;
+  while (pos + kHeaderSize <= done) {
+    const std::uint32_t crc = GetU32(buffer.data() + pos);
+    const auto op = static_cast<std::uint8_t>(buffer[pos + 4]);
+    const std::uint32_t klen = GetU32(buffer.data() + pos + 5);
+    const std::uint32_t vlen = GetU32(buffer.data() + pos + 9);
+    if ((op != kOpPut && op != kOpDelete) || klen > kMaxKeyLen ||
+        vlen > kMaxValueLen) {
+      break;  // corrupt header
+    }
+    const std::size_t record_size = kHeaderSize + klen + vlen;
+    if (pos + record_size > done) break;  // torn tail
+    const std::string_view body(buffer.data() + pos + 4, record_size - 4);
+    if (Crc32(body) != crc) break;  // bit rot or torn write
+
+    const std::string key(buffer.data() + pos + kHeaderSize, klen);
+    if (op == kOpPut) {
+      const std::string value(buffer.data() + pos + kHeaderSize + klen, vlen);
+      auto [it, inserted] = map_.insert_or_assign(key, value);
+      (void)it;
+      (void)inserted;
+    } else {
+      map_.erase(key);
+    }
+    pos += record_size;
+    good_end = pos;
+  }
+
+  stats_.truncated_tail_bytes = static_cast<std::int64_t>(done - good_end);
+  if (good_end < done) {
+    // Crash recovery: cut the torn tail so future appends start clean.
+    if (::ftruncate(fd_, static_cast<off_t>(good_end)) != 0) {
+      return Status::IoError("ftruncate failed");
+    }
+    if (::lseek(fd_, static_cast<off_t>(good_end), SEEK_SET) < 0) {
+      return Status::IoError("lseek failed");
+    }
+  }
+  log_bytes_ = static_cast<std::int64_t>(good_end);
+  live_bytes_ = 0;
+  for (const auto& [k, v] : map_) {
+    live_bytes_ +=
+        static_cast<std::int64_t>(kHeaderSize + k.size() + v.size());
+  }
+  return Status::Ok();
+}
+
+Status KvStore::AppendRecord(std::uint8_t op, std::string_view key,
+                             std::string_view value) {
+  const std::string record = EncodeRecord(op, key, value);
+  if (Status s = WriteAll(fd_, record.data(), record.size()); !s.ok()) {
+    return s;
+  }
+  log_bytes_ += static_cast<std::int64_t>(record.size());
+  if (options_.sync_writes && ::fsync(fd_) != 0) {
+    return Status::IoError(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status KvStore::Put(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (key.size() > kMaxKeyLen || value.size() > kMaxValueLen) {
+    return Status::InvalidArgument("key or value too large");
+  }
+  if (Status s = AppendRecord(kOpPut, key, value); !s.ok()) return s;
+  auto it = map_.find(std::string(key));
+  if (it != map_.end()) {
+    live_bytes_ -= static_cast<std::int64_t>(kHeaderSize + key.size() +
+                                             it->second.size());
+    it->second = std::string(value);
+  } else {
+    map_.emplace(std::string(key), std::string(value));
+  }
+  live_bytes_ +=
+      static_cast<std::int64_t>(kHeaderSize + key.size() + value.size());
+  ++stats_.puts;
+  return MaybeCompactLocked();
+}
+
+Status KvStore::Delete(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) return Status::NotFound();
+  if (Status s = AppendRecord(kOpDelete, key, ""); !s.ok()) return s;
+  live_bytes_ -= static_cast<std::int64_t>(kHeaderSize + key.size() +
+                                           it->second.size());
+  map_.erase(it);
+  ++stats_.deletes;
+  return MaybeCompactLocked();
+}
+
+std::optional<std::string> KvStore::Get(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.gets;
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::Contains(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.find(std::string(key)) != map_.end();
+}
+
+std::vector<std::string> KvStore::Keys() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(map_.size());
+  for (const auto& [k, v] : map_) keys.push_back(k);
+  return keys;
+}
+
+std::vector<std::string> KvStore::KeysWithPrefix(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : map_) {
+    if (k.size() >= prefix.size() &&
+        std::string_view(k).substr(0, prefix.size()) == prefix) {
+      keys.push_back(k);
+    }
+  }
+  return keys;
+}
+
+std::size_t KvStore::Size() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+Status KvStore::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status KvStore::Compact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return CompactLocked();
+}
+
+Status KvStore::MaybeCompactLocked() {
+  if (log_bytes_ < options_.min_compaction_bytes) return Status::Ok();
+  if (static_cast<double>(log_bytes_) <=
+      options_.compaction_ratio * static_cast<double>(live_bytes_ + 1)) {
+    return Status::Ok();
+  }
+  return CompactLocked();
+}
+
+Status KvStore::CompactLocked() {
+  const std::string tmp_path = path_ + ".compact";
+  const int tmp_fd = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) {
+    return Status::IoError("open " + tmp_path + ": " + std::strerror(errno));
+  }
+  std::int64_t new_bytes = 0;
+  for (const auto& [key, value] : map_) {
+    const std::string record = EncodeRecord(kOpPut, key, value);
+    if (Status s = WriteAll(tmp_fd, record.data(), record.size()); !s.ok()) {
+      ::close(tmp_fd);
+      ::unlink(tmp_path.c_str());
+      return s;
+    }
+    new_bytes += static_cast<std::int64_t>(record.size());
+  }
+  if (::fsync(tmp_fd) != 0) {
+    ::close(tmp_fd);
+    ::unlink(tmp_path.c_str());
+    return Status::IoError("fsync compacted log failed");
+  }
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    ::close(tmp_fd);
+    ::unlink(tmp_path.c_str());
+    return Status::IoError("rename compacted log failed");
+  }
+  ::close(fd_);
+  fd_ = tmp_fd;
+  if (::lseek(fd_, 0, SEEK_END) < 0) return Status::IoError("lseek failed");
+  log_bytes_ = new_bytes;
+  live_bytes_ = new_bytes;
+  ++stats_.compactions;
+  return Status::Ok();
+}
+
+StoreStats KvStore::Stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StoreStats s = stats_;
+  s.log_bytes = log_bytes_;
+  s.live_records = static_cast<std::int64_t>(map_.size());
+  return s;
+}
+
+}  // namespace s4d::kv

@@ -1,0 +1,103 @@
+// Embedded persistent key-value store — the role Berkeley DB plays in the
+// paper (§IV-A): a synchronously-persisted, lock-mediated hash table that
+// the Data Mapping Table lives in.
+//
+// Design: an in-memory hash map over an append-only write-ahead log.
+//   * Every Put/Delete appends a CRC-framed record; with Options.sync_writes
+//     the record is flushed before the call returns ("changes to the mapping
+//     table are synchronously written to the storage in order to survive
+//     power failures", §III-D).
+//   * Open replays the log; a torn or corrupt tail (crash mid-append) is
+//     detected by CRC/length checks and cleanly truncated away — everything
+//     before the tear is recovered.
+//   * When the log holds mostly dead records it is compacted by writing a
+//     fresh log and atomically renaming it into place.
+//   * All operations are internally serialized by a mutex, standing in for
+//     BDB's lock subsystem.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace s4d::kv {
+
+struct Options {
+  // Flush + fsync each mutation before returning.
+  bool sync_writes = true;
+  // Compact when log bytes exceed this multiple of live bytes (and the log
+  // is at least min_compaction_bytes).
+  double compaction_ratio = 4.0;
+  std::int64_t min_compaction_bytes = 1 << 20;
+  // Create the file if missing (otherwise Open fails with NotFound).
+  bool create_if_missing = true;
+};
+
+struct StoreStats {
+  std::int64_t puts = 0;
+  std::int64_t deletes = 0;
+  std::int64_t gets = 0;
+  std::int64_t compactions = 0;
+  std::int64_t log_bytes = 0;
+  std::int64_t live_records = 0;
+  // Records dropped at Open because of a detected torn/corrupt tail.
+  std::int64_t truncated_tail_bytes = 0;
+};
+
+class KvStore {
+ public:
+  ~KvStore();
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  // Opens (and if necessary creates) a store at `path`.
+  static Result<std::unique_ptr<KvStore>> Open(const std::string& path,
+                                               const Options& options = {});
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+  std::optional<std::string> Get(std::string_view key);
+  bool Contains(std::string_view key);
+
+  // All live keys, in unspecified order.
+  std::vector<std::string> Keys();
+  // Live keys beginning with `prefix`.
+  std::vector<std::string> KeysWithPrefix(std::string_view prefix);
+
+  std::size_t Size();
+
+  // Forces a durability barrier (no-op when sync_writes is on).
+  Status Sync();
+
+  // Rewrites the log to contain only live records.
+  Status Compact();
+
+  StoreStats Stats();
+
+ private:
+  KvStore(std::string path, Options options);
+
+  Status ReplayLog();
+  Status AppendRecord(std::uint8_t op, std::string_view key,
+                      std::string_view value);
+  Status CompactLocked();
+  Status MaybeCompactLocked();
+
+  std::string path_;
+  Options options_;
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::string> map_;
+  int fd_ = -1;
+  std::int64_t log_bytes_ = 0;
+  std::int64_t live_bytes_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace s4d::kv

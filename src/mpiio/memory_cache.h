@@ -1,0 +1,99 @@
+// Client-side memory page cache — the paper's future-work integration
+// (§II-B: "SSDs are a complement of memory cache... The integration of
+// memory cache and S4D-Cache will be an interesting topic for future
+// study"). Implemented as a stacking IoDispatch: it can wrap the stock
+// dispatch (modelling GPFS/Lustre-style client caching) or the S4D-Cache
+// facade (memory in front of the SSD tier).
+//
+// Model: page-granular LRU over the logical file space, shared by all
+// ranks of the (single-node-modelled) client.
+//   * Read fully covered by cached pages -> served at memory latency.
+//   * Read with any miss -> forwarded whole to the backend; the covering
+//     pages are inserted on completion of the backend read.
+//   * Write -> write-through: cached pages covering the range are updated
+//     (kept valid), and the write is forwarded unchanged, so the backend's
+//     content/token state — and therefore consistency — is untouched.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "mpiio/io_dispatch.h"
+#include "sim/engine.h"
+
+namespace s4d::mpiio {
+
+struct MemoryCacheConfig {
+  byte_count capacity = 256 * MiB;
+  byte_count page_size = 64 * KiB;
+  // Service time of a fully-cached read (memcpy + bookkeeping).
+  SimTime hit_latency = FromMicros(10);
+};
+
+struct MemoryCacheStats {
+  std::int64_t read_hits = 0;
+  std::int64_t read_misses = 0;
+  std::int64_t writes = 0;
+  std::int64_t evictions = 0;
+};
+
+class MemoryCacheDispatch final : public IoDispatch {
+ public:
+  MemoryCacheDispatch(sim::Engine& engine, IoDispatch& backend,
+                      MemoryCacheConfig config);
+
+  void Open(const std::string& file) override { backend_.Open(file); }
+  void Close(const std::string& file) override { backend_.Close(file); }
+  void Read(const FileRequest& request, IoCompletion done) override;
+  void Write(const FileRequest& request, IoCompletion done) override;
+  std::vector<ContentEntry> ReadContent(const std::string& file,
+                                        byte_count offset,
+                                        byte_count size) override {
+    // Write-through keeps the backend authoritative for content.
+    return backend_.ReadContent(file, offset, size);
+  }
+  void StampContent(const std::string& file, byte_count offset,
+                    byte_count size, std::uint64_t token) override {
+    backend_.StampContent(file, offset, size, token);
+  }
+  std::string Name() const override {
+    return "memcache(" + backend_.Name() + ")";
+  }
+
+  const MemoryCacheStats& stats() const { return stats_; }
+  std::size_t cached_pages() const { return pages_.size(); }
+  byte_count cached_bytes() const {
+    return static_cast<byte_count>(pages_.size()) * config_.page_size;
+  }
+
+ private:
+  struct PageKey {
+    std::string file;
+    byte_count page_index;
+    friend bool operator==(const PageKey&, const PageKey&) = default;
+  };
+  struct PageKeyHash {
+    std::size_t operator()(const PageKey& k) const {
+      return std::hash<std::string>{}(k.file) * 31 +
+             std::hash<byte_count>{}(k.page_index);
+    }
+  };
+  using LruList = std::list<PageKey>;
+
+  bool FullyCached(const std::string& file, byte_count offset,
+                   byte_count size);
+  void InsertPages(const std::string& file, byte_count offset,
+                   byte_count size);
+
+  sim::Engine& engine_;
+  IoDispatch& backend_;
+  MemoryCacheConfig config_;
+  std::size_t max_pages_;
+  LruList lru_;  // most recent at front
+  std::unordered_map<PageKey, LruList::iterator, PageKeyHash> pages_;
+  MemoryCacheStats stats_;
+};
+
+}  // namespace s4d::mpiio

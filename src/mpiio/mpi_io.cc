@@ -1,0 +1,88 @@
+#include "mpiio/mpi_io.h"
+
+namespace s4d::mpiio {
+
+MpiFile MpiIoLayer::Open(int rank, const std::string& name) {
+  if (++open_counts_[name] == 1) {
+    dispatch_.Open(name);
+  }
+  MpiFile file;
+  file.layer_ = this;
+  file.name_ = name;
+  file.rank_ = rank;
+  file.position_ = 0;
+  return file;
+}
+
+void MpiIoLayer::Close(MpiFile& file) {
+  if (!file.valid()) return;
+  auto it = open_counts_.find(file.name_);
+  assert(it != open_counts_.end() && it->second > 0);
+  if (--it->second == 0) {
+    open_counts_.erase(it);
+    dispatch_.Close(file.name_);
+  }
+  file.layer_ = nullptr;
+}
+
+void MpiIoLayer::Seek(MpiFile& file, byte_count offset, Whence whence) {
+  assert(file.valid());
+  switch (whence) {
+    case Whence::kSet:
+      file.position_ = offset;
+      break;
+    case Whence::kCurrent:
+      file.position_ += offset;
+      break;
+  }
+  assert(file.position_ >= 0);
+}
+
+void MpiIoLayer::Read(MpiFile& file, byte_count size, IoCompletion done,
+                      std::uint64_t content_token) {
+  assert(file.valid());
+  const byte_count offset = file.position_;
+  file.position_ += size;
+  Submit(device::IoKind::kRead, file, offset, size, std::move(done),
+         content_token);
+}
+
+void MpiIoLayer::Write(MpiFile& file, byte_count size, IoCompletion done,
+                       std::uint64_t content_token) {
+  assert(file.valid());
+  const byte_count offset = file.position_;
+  file.position_ += size;
+  Submit(device::IoKind::kWrite, file, offset, size, std::move(done),
+         content_token);
+}
+
+void MpiIoLayer::ReadAt(MpiFile& file, byte_count offset, byte_count size,
+                        IoCompletion done, std::uint64_t content_token) {
+  Submit(device::IoKind::kRead, file, offset, size, std::move(done),
+         content_token);
+}
+
+void MpiIoLayer::WriteAt(MpiFile& file, byte_count offset, byte_count size,
+                         IoCompletion done, std::uint64_t content_token) {
+  Submit(device::IoKind::kWrite, file, offset, size, std::move(done),
+         content_token);
+}
+
+void MpiIoLayer::Submit(device::IoKind kind, MpiFile& file, byte_count offset,
+                        byte_count size, IoCompletion done,
+                        std::uint64_t token) {
+  assert(file.valid());
+  FileRequest request;
+  request.file = file.name_;
+  request.rank = file.rank_;
+  request.offset = offset;
+  request.size = size;
+  request.content_token = token;
+  if (kind == device::IoKind::kRead) {
+    dispatch_.Read(request, std::move(done));
+  } else {
+    dispatch_.Write(request, std::move(done));
+  }
+}
+
+}  // namespace s4d::mpiio

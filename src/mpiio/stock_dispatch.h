@@ -1,0 +1,56 @@
+// The baseline "stock I/O system": every request goes straight to the
+// HDD-backed parallel file system, exactly as unmodified MPI-IO over PVFS2
+// would behave.
+#pragma once
+
+#include "mpiio/io_dispatch.h"
+#include "pfs/file_system.h"
+
+namespace s4d::mpiio {
+
+class StockDispatch final : public IoDispatch {
+ public:
+  explicit StockDispatch(pfs::FileSystem& dservers) : dservers_(dservers) {}
+
+  void Open(const std::string& file) override {
+    dservers_.OpenOrCreate(file);
+  }
+
+  void Close(const std::string& file) override { (void)file; }
+
+  void Read(const FileRequest& request, IoCompletion done) override {
+    const pfs::FileId id = dservers_.OpenOrCreate(request.file);
+    dservers_.Submit(id, device::IoKind::kRead, request.offset, request.size,
+                     pfs::Priority::kNormal, std::move(done));
+  }
+
+  void Write(const FileRequest& request, IoCompletion done) override {
+    const pfs::FileId id = dservers_.OpenOrCreate(request.file);
+    if (request.content_token != 0) {
+      dservers_.StampContent(id, request.offset, request.size,
+                             request.content_token);
+    }
+    dservers_.Submit(id, device::IoKind::kWrite, request.offset, request.size,
+                     pfs::Priority::kNormal, std::move(done));
+  }
+
+  std::vector<ContentEntry> ReadContent(const std::string& file,
+                                        byte_count offset,
+                                        byte_count size) override {
+    const pfs::FileId id = dservers_.OpenOrCreate(file);
+    return dservers_.ReadContent(id, offset, size);
+  }
+
+  void StampContent(const std::string& file, byte_count offset,
+                    byte_count size, std::uint64_t token) override {
+    const pfs::FileId id = dservers_.OpenOrCreate(file);
+    dservers_.StampContent(id, offset, size, token);
+  }
+
+  std::string Name() const override { return "stock"; }
+
+ private:
+  pfs::FileSystem& dservers_;
+};
+
+}  // namespace s4d::mpiio

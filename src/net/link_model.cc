@@ -1,0 +1,14 @@
+#include "net/link_model.h"
+
+namespace s4d::net {
+
+LinkProfile GigabitEthernet() {
+  LinkProfile p;
+  p.name = "gigabit-ethernet";
+  p.bandwidth_bps = 125.0e6;
+  p.message_latency = FromMicros(50);
+  p.arrival_jitter = FromMicros(25);
+  return p;
+}
+
+}  // namespace s4d::net

@@ -1,0 +1,51 @@
+// Network-link model for a file server.
+//
+// The paper's cluster uses Gigabit Ethernet, whose ~125 MB/s per-link cap is
+// what bounds large-request throughput per server (and is why DServers'
+// higher parallelism beats CServers for large sequential requests). Each
+// file server owns one full-duplex link; a sub-request's data transfer
+// occupies that link for bytes/bandwidth and pays a fixed one-way message
+// latency. Link occupancy is serialized by the server's request loop, so no
+// separate queueing state is needed here.
+#pragma once
+
+#include <string>
+
+#include "common/sim_time.h"
+#include "common/units.h"
+
+namespace s4d::net {
+
+struct LinkProfile {
+  std::string name = "gigabit-ethernet";
+  double bandwidth_bps = 125.0e6;       // bytes per second on the wire
+  SimTime message_latency = FromMicros(50);  // one-way, per RPC
+  // Uniform per-request arrival jitter [0, this). Real networks reorder
+  // near-simultaneous requests; without it, a perfectly deterministic
+  // baseline gets an unrealistically ideal arrival order that any
+  // middleware latency would then "break". Zero for unit tests.
+  SimTime arrival_jitter = 0;
+};
+
+LinkProfile GigabitEthernet();
+
+class LinkModel {
+ public:
+  explicit LinkModel(LinkProfile profile) : profile_(std::move(profile)) {}
+
+  // Time the link is occupied moving `bytes` of payload.
+  SimTime TransferTime(byte_count bytes) const {
+    return static_cast<SimTime>(
+        static_cast<double>(bytes) / profile_.bandwidth_bps * 1e9);
+  }
+
+  // Fixed request/response round-trip overhead for one RPC.
+  SimTime RpcOverhead() const { return 2 * profile_.message_latency; }
+
+  const LinkProfile& profile() const { return profile_; }
+
+ private:
+  LinkProfile profile_;
+};
+
+}  // namespace s4d::net

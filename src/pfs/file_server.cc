@@ -1,0 +1,108 @@
+#include "pfs/file_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace s4d::pfs {
+
+FileServer::FileServer(sim::Engine& engine,
+                       std::unique_ptr<device::DeviceModel> device,
+                       net::LinkModel link, std::string name,
+                       SimTime background_idle_grace)
+    : engine_(engine),
+      device_(std::move(device)),
+      link_(std::move(link)),
+      name_(std::move(name)),
+      background_idle_grace_(background_idle_grace),
+      jitter_rng_(std::hash<std::string>{}(name_) | 1) {
+  assert(device_ != nullptr);
+}
+
+void FileServer::Submit(ServerJob job) {
+  assert(job.size > 0);
+  // Network arrival jitter: near-simultaneous requests reach the server in
+  // slightly perturbed order, exactly as on a real switch fabric.
+  const SimTime jitter_bound = link_.profile().arrival_jitter;
+  if (jitter_bound > 0) {
+    const SimTime jitter = static_cast<SimTime>(
+        jitter_rng_.NextBelow(static_cast<std::uint64_t>(jitter_bound)));
+    engine_.ScheduleAfter(jitter, [this, job = std::move(job)]() mutable {
+      if (job.priority == Priority::kNormal) {
+        last_normal_activity_ = engine_.now();
+        normal_queue_.push_back(std::move(job));
+      } else {
+        background_queue_.push_back(std::move(job));
+      }
+      MaybeStartNext();
+    });
+    return;
+  }
+  if (job.priority == Priority::kNormal) {
+    last_normal_activity_ = engine_.now();
+    normal_queue_.push_back(std::move(job));
+  } else {
+    background_queue_.push_back(std::move(job));
+  }
+  MaybeStartNext();
+}
+
+void FileServer::MaybeStartNext() {
+  if (busy_) return;
+  ServerJob job;
+  if (!normal_queue_.empty()) {
+    job = std::move(normal_queue_.front());
+    normal_queue_.pop_front();
+    last_normal_activity_ = engine_.now();
+  } else if (!background_queue_.empty()) {
+    // Anticipatory idling: hold background work until the server has been
+    // genuinely idle for the grace period.
+    const SimTime idle_until = last_normal_activity_ + background_idle_grace_;
+    if (engine_.now() < idle_until) {
+      if (!idle_check_scheduled_) {
+        idle_check_scheduled_ = true;
+        engine_.ScheduleAt(idle_until, [this]() {
+          idle_check_scheduled_ = false;
+          MaybeStartNext();
+        });
+      }
+      return;
+    }
+    job = std::move(background_queue_.front());
+    background_queue_.pop_front();
+  } else {
+    return;
+  }
+  busy_ = true;
+  Serve(std::move(job));
+}
+
+void FileServer::Serve(ServerJob job) {
+  const device::AccessCosts costs = device_->Access(job.kind, job.lba, job.size);
+  // The device transfer and the wire transfer of the same bytes are
+  // pipelined; the slower of the two gates the request.
+  const SimTime data_phase = std::max(costs.transfer, link_.TransferTime(job.size));
+  const SimTime service = link_.RpcOverhead() + costs.positioning + data_phase;
+
+  if (job.priority == Priority::kNormal) {
+    ++stats_.requests;
+    stats_.bytes += job.size;
+  } else {
+    ++stats_.background_requests;
+    stats_.background_bytes += job.size;
+  }
+  stats_.busy_time += service;
+  stats_.positioning_time += costs.positioning;
+  if (costs.positioning == 0) ++stats_.zero_positioning_jobs;
+
+  const bool normal = job.priority == Priority::kNormal;
+  engine_.ScheduleAfter(
+      service, [this, normal, cb = std::move(job.on_complete)]() {
+        if (normal) last_normal_activity_ = engine_.now();
+        if (cb) cb(engine_.now());
+        busy_ = false;
+        MaybeStartNext();
+      });
+}
+
+}  // namespace s4d::pfs

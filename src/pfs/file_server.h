@@ -1,0 +1,96 @@
+// One simulated file server: a storage device behind a network link, with a
+// two-level (normal / background) FIFO request queue.
+//
+// The server serves one sub-request at a time — the device is the serial
+// resource — and overlaps the device transfer with the network transfer of
+// the same bytes (PVFS2's flow protocol pipelines them). Background jobs
+// (the Rebuilder's reorganization I/O, §III-F) are only dequeued when no
+// normal job is waiting, reproducing the paper's low-priority I/O.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "device/device_model.h"
+#include "net/link_model.h"
+#include "sim/engine.h"
+
+namespace s4d::pfs {
+
+enum class Priority { kNormal = 0, kBackground = 1 };
+
+struct ServerJob {
+  device::IoKind kind = device::IoKind::kRead;
+  byte_count lba = 0;  // absolute device address
+  byte_count size = 0;
+  Priority priority = Priority::kNormal;
+  // Invoked exactly once, at the simulated completion time.
+  std::function<void(SimTime)> on_complete;
+};
+
+struct ServerStats {
+  std::int64_t requests = 0;             // normal-priority jobs served
+  std::int64_t background_requests = 0;  // background jobs served
+  byte_count bytes = 0;
+  byte_count background_bytes = 0;
+  SimTime busy_time = 0;
+  SimTime positioning_time = 0;
+  // Jobs that required no positioning (head already in place) — a direct
+  // measure of how sequential the stream arriving at this server is.
+  std::int64_t zero_positioning_jobs = 0;
+};
+
+class FileServer {
+ public:
+  // `background_idle_grace`: a background job may only start once the
+  // server has seen no normal-priority activity for this long
+  // (anticipatory idling). Without it, a long seek-heavy background write
+  // pops into every micro-gap between foreground requests and — being
+  // non-preemptive — stalls them, exactly the interference §III-F's
+  // low-priority I/O is meant to avoid.
+  FileServer(sim::Engine& engine, std::unique_ptr<device::DeviceModel> device,
+             net::LinkModel link, std::string name,
+             SimTime background_idle_grace = FromMillis(2));
+
+  FileServer(const FileServer&) = delete;
+  FileServer& operator=(const FileServer&) = delete;
+
+  // Enqueues a job; it will be served in FIFO order within its priority.
+  void Submit(ServerJob job);
+
+  const ServerStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+  device::DeviceModel& device() { return *device_; }
+  const net::LinkModel& link() const { return link_; }
+  std::size_t queue_depth() const {
+    return normal_queue_.size() + background_queue_.size();
+  }
+  bool busy() const { return busy_; }
+
+  // Drops positional device state (between experiment phases).
+  void ResetDevice() { device_->Reset(); }
+
+ private:
+  void MaybeStartNext();
+  void Serve(ServerJob job);
+
+  sim::Engine& engine_;
+  std::unique_ptr<device::DeviceModel> device_;
+  net::LinkModel link_;
+  std::string name_;
+
+  std::deque<ServerJob> normal_queue_;
+  std::deque<ServerJob> background_queue_;
+  bool busy_ = false;
+  SimTime background_idle_grace_;
+  SimTime last_normal_activity_ = 0;
+  bool idle_check_scheduled_ = false;
+  Rng jitter_rng_;
+  ServerStats stats_;
+};
+
+}  // namespace s4d::pfs

@@ -1,0 +1,127 @@
+#include "pfs/file_system.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace s4d::pfs {
+
+FileSystem::FileSystem(sim::Engine& engine, FsConfig config,
+                       DeviceFactory factory)
+    : engine_(engine), config_(std::move(config)) {
+  assert(config_.stripe.server_count >= 1);
+  servers_.reserve(static_cast<std::size_t>(config_.stripe.server_count));
+  for (int i = 0; i < config_.stripe.server_count; ++i) {
+    servers_.push_back(std::make_unique<FileServer>(
+        engine_, factory(i), net::LinkModel(config_.link),
+        config_.name + "/server" + std::to_string(i)));
+  }
+}
+
+FileId FileSystem::OpenOrCreate(const std::string& name) {
+  auto [it, inserted] =
+      files_by_name_.emplace(name, static_cast<FileId>(file_names_.size()));
+  if (inserted) {
+    file_names_.push_back(name);
+    if (config_.track_content) contents_.emplace_back();
+  }
+  return it->second;
+}
+
+FileId FileSystem::Lookup(const std::string& name) const {
+  auto it = files_by_name_.find(name);
+  return it == files_by_name_.end() ? kInvalidFile : it->second;
+}
+
+byte_count FileSystem::FileBaseLba(FileId file) const {
+  return static_cast<byte_count>(file) * config_.file_reservation_per_server;
+}
+
+void FileSystem::Submit(FileId file, device::IoKind kind, byte_count offset,
+                        byte_count size, Priority priority,
+                        std::function<void(SimTime)> on_complete) {
+  assert(file >= 0 && static_cast<std::size_t>(file) < file_names_.size());
+  assert(offset >= 0);
+
+  const auto subs = SplitRequest(config_.stripe, offset, size);
+  if (subs.empty()) {
+    engine_.ScheduleAfter(0, [cb = std::move(on_complete), this]() {
+      if (cb) cb(engine_.now());
+    });
+    return;
+  }
+
+  ++stats_.requests;
+  stats_.bytes += size;
+
+  RequestRecord record;
+  record.file = file;
+  record.kind = kind;
+  record.offset = offset;
+  record.size = size;
+  record.priority = priority;
+  record.issue_time = engine_.now();
+  record.server_count = static_cast<int>(subs.size());
+  for (const auto& observer : observers_) observer(record);
+
+  auto join = std::make_shared<sim::CompletionJoin>(
+      static_cast<int>(subs.size()),
+      [cb = std::move(on_complete)](SimTime last) {
+        if (cb) cb(last);
+      });
+
+  const byte_count base = FileBaseLba(file);
+  for (const SubRequest& sub : subs) {
+    ServerJob job;
+    job.kind = kind;
+    job.lba = base + sub.server_offset;
+    job.size = sub.size;
+    job.priority = priority;
+    job.on_complete = [join](SimTime t) { join->Arrive(t); };
+    servers_[static_cast<std::size_t>(sub.server)]->Submit(std::move(job));
+  }
+}
+
+void FileSystem::StampContent(FileId file, byte_count offset, byte_count size,
+                              std::uint64_t token) {
+  if (!config_.track_content || size <= 0) return;
+  assert(file >= 0 && static_cast<std::size_t>(file) < contents_.size());
+  contents_[static_cast<std::size_t>(file)].Assign(offset, offset + size,
+                                                   token);
+}
+
+void FileSystem::EraseContent(FileId file, byte_count offset,
+                              byte_count size) {
+  if (!config_.track_content || size <= 0) return;
+  assert(file >= 0 && static_cast<std::size_t>(file) < contents_.size());
+  contents_[static_cast<std::size_t>(file)].Erase(offset, offset + size);
+}
+
+std::vector<FileSystem::ContentMap::Entry> FileSystem::ReadContent(
+    FileId file, byte_count offset, byte_count size) const {
+  if (!config_.track_content || size <= 0) return {};
+  assert(file >= 0 && static_cast<std::size_t>(file) < contents_.size());
+  return contents_[static_cast<std::size_t>(file)].Overlapping(offset,
+                                                               offset + size);
+}
+
+ServerStats FileSystem::TotalServerStats() const {
+  ServerStats total;
+  for (const auto& server : servers_) {
+    const ServerStats& s = server->stats();
+    total.requests += s.requests;
+    total.background_requests += s.background_requests;
+    total.bytes += s.bytes;
+    total.background_bytes += s.background_bytes;
+    total.busy_time += s.busy_time;
+    total.positioning_time += s.positioning_time;
+    total.zero_positioning_jobs += s.zero_positioning_jobs;
+  }
+  return total;
+}
+
+void FileSystem::ResetDevices() {
+  for (auto& server : servers_) server->ResetDevice();
+}
+
+}  // namespace s4d::pfs

@@ -1,0 +1,128 @@
+// A simulated parallel file system (the role PVFS2 plays in the paper).
+//
+// The system stripes each file round-robin across its servers
+// (src/pfs/striping.h), fans a request out into per-server sub-requests,
+// and completes the request when the *last* sub-request finishes — the
+// max-over-servers behaviour the paper's cost model analyses.
+//
+// Two independent instances are built in an S4D deployment: the OPFS over
+// HDD DServers and the CPFS over SSD CServers.
+//
+// For correctness verification the file system can optionally track file
+// *contents* as version tokens over byte ranges (no payload bytes are
+// simulated). Content effects are applied at request submission time; the
+// middleware serializes its decisions per request, so this is a
+// deterministic linearization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval_map.h"
+#include "common/status.h"
+#include "pfs/file_server.h"
+#include "pfs/striping.h"
+
+namespace s4d::pfs {
+
+using FileId = std::int32_t;
+inline constexpr FileId kInvalidFile = -1;
+
+struct FsConfig {
+  std::string name = "pfs";
+  StripeConfig stripe;
+  net::LinkProfile link;  // one such link per server
+  // Per-server device-address reservation per file: file i's server-local
+  // offsets map to LBA [i * reservation, (i+1) * reservation).
+  byte_count file_reservation_per_server = 8 * GiB;
+  bool track_content = false;
+};
+
+// Every request submitted to the file system is reported to observers —
+// this is the hook the IOSIG-like trace collector attaches to.
+struct RequestRecord {
+  FileId file = kInvalidFile;
+  device::IoKind kind = device::IoKind::kRead;
+  byte_count offset = 0;
+  byte_count size = 0;
+  Priority priority = Priority::kNormal;
+  SimTime issue_time = 0;
+  int server_count = 0;
+};
+
+struct FsStats {
+  std::int64_t requests = 0;
+  byte_count bytes = 0;
+};
+
+class FileSystem {
+ public:
+  using DeviceFactory =
+      std::function<std::unique_ptr<device::DeviceModel>(int server_index)>;
+  using ContentMap = IntervalMap<std::uint64_t>;
+
+  FileSystem(sim::Engine& engine, FsConfig config, DeviceFactory factory);
+
+  // Opens `name`, creating it on first open. Open is idempotent: the same
+  // name always yields the same FileId.
+  FileId OpenOrCreate(const std::string& name);
+
+  // Returns the id of an existing file, or kInvalidFile.
+  FileId Lookup(const std::string& name) const;
+
+  // Issues a striped request. `on_complete` fires once, at the simulated
+  // time the last sub-request finishes. Zero-size requests complete
+  // immediately (next engine step).
+  void Submit(FileId file, device::IoKind kind, byte_count offset,
+              byte_count size, Priority priority,
+              std::function<void(SimTime)> on_complete);
+
+  // --- content tracking (only when config.track_content) ---------------
+  // Records that [offset, offset+size) of `file` now holds `token`.
+  void StampContent(FileId file, byte_count offset, byte_count size,
+                    std::uint64_t token);
+  // Forgets any content in [offset, offset+size) — used when storage space
+  // is recycled for a new purpose (a hole must not expose a previous
+  // tenant's bytes).
+  void EraseContent(FileId file, byte_count offset, byte_count size);
+  // Returns the tokens covering [offset, offset+size), clipped.
+  std::vector<ContentMap::Entry> ReadContent(FileId file, byte_count offset,
+                                             byte_count size) const;
+
+  void AddObserver(std::function<void(const RequestRecord&)> observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  const FsConfig& config() const { return config_; }
+  int server_count() const { return static_cast<int>(servers_.size()); }
+  FileServer& server(int i) { return *servers_[static_cast<std::size_t>(i)]; }
+  const FileServer& server(int i) const {
+    return *servers_[static_cast<std::size_t>(i)];
+  }
+  const FsStats& stats() const { return stats_; }
+  sim::Engine& engine() { return engine_; }
+
+  // Aggregates across servers (for reports).
+  ServerStats TotalServerStats() const;
+
+  // Resets device head positions on all servers (between phases).
+  void ResetDevices();
+
+ private:
+  byte_count FileBaseLba(FileId file) const;
+
+  sim::Engine& engine_;
+  FsConfig config_;
+  std::vector<std::unique_ptr<FileServer>> servers_;
+  std::unordered_map<std::string, FileId> files_by_name_;
+  std::vector<std::string> file_names_;
+  std::vector<ContentMap> contents_;
+  std::vector<std::function<void(const RequestRecord&)>> observers_;
+  FsStats stats_;
+};
+
+}  // namespace s4d::pfs

@@ -1,0 +1,115 @@
+#include "pfs/striping.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace s4d::pfs {
+
+std::vector<SubRequest> SplitRequest(const StripeConfig& cfg,
+                                     byte_count offset, byte_count size) {
+  assert(cfg.server_count >= 1);
+  assert(cfg.stripe_size >= 1);
+  assert(offset >= 0);
+  std::vector<SubRequest> out;
+  if (size <= 0) return out;
+
+  const int servers = cfg.server_count;
+  const byte_count str = cfg.stripe_size;
+
+  struct Agg {
+    bool used = false;
+    byte_count local_begin = 0;
+    byte_count file_begin = 0;
+    byte_count total = 0;
+  };
+  std::vector<Agg> agg(static_cast<std::size_t>(servers));
+
+  byte_count pos = offset;
+  byte_count remaining = size;
+  while (remaining > 0) {
+    const byte_count stripe = pos / str;
+    const auto server = static_cast<std::size_t>(stripe % servers);
+    const byte_count within = pos % str;
+    const byte_count fragment = std::min(remaining, str - within);
+    const byte_count local = (stripe / servers) * str + within;
+
+    Agg& a = agg[server];
+    if (!a.used) {
+      a.used = true;
+      a.local_begin = local;
+      a.file_begin = pos;
+    }
+    // Round-robin placement keeps one file's stripes contiguous per server,
+    // so per-server fragments of a contiguous request coalesce exactly.
+    assert(a.local_begin + a.total == local || a.total == 0);
+    a.total += fragment;
+    pos += fragment;
+    remaining -= fragment;
+  }
+
+  for (int s = 0; s < servers; ++s) {
+    const Agg& a = agg[static_cast<std::size_t>(s)];
+    if (!a.used) continue;
+    out.push_back(SubRequest{s, a.file_begin, a.local_begin, a.total});
+  }
+  return out;
+}
+
+int InvolvedServerCount(const StripeConfig& cfg, byte_count offset,
+                        byte_count size) {
+  if (size <= 0) return 0;
+  const byte_count str = cfg.stripe_size;
+  const byte_count begin_stripe = offset / str;
+  const byte_count end_stripe = (offset + size - 1) / str;
+  const byte_count span = end_stripe - begin_stripe + 1;
+  return static_cast<int>(
+      std::min<byte_count>(span, cfg.server_count));
+}
+
+byte_count MaxSubRequestSize(const StripeConfig& cfg, byte_count offset,
+                             byte_count size) {
+  byte_count max_size = 0;
+  for (const SubRequest& sub : SplitRequest(cfg, offset, size)) {
+    max_size = std::max(max_size, sub.size);
+  }
+  return max_size;
+}
+
+byte_count MaxSubRequestSizeClosedForm(const StripeConfig& cfg,
+                                       byte_count offset, byte_count size) {
+  if (size <= 0) return 0;
+  const byte_count str = cfg.stripe_size;
+  const byte_count servers = cfg.server_count;
+  // The paper defines E = floor((f+r)/str); we use the last byte
+  // (f+r-1) so that stripe-aligned request ends do not spill into a
+  // phantom stripe. The ending-fragment size e is adjusted to match.
+  const byte_count begin_stripe = offset / str;
+  const byte_count end_stripe = (offset + size - 1) / str;
+  const byte_count delta = end_stripe - begin_stripe;  // Δ = E - B
+
+  if (delta == 0) return size;  // Table II case 1
+  // Table II implicitly assumes M >= 2: its case-2/4 terms count full
+  // stripes on servers other than the B/E-server, which do not exist when
+  // there is a single server. With M == 1 the whole request is one
+  // sub-request.
+  if (servers == 1) return size;
+
+  const byte_count b = str - offset % str;        // beginning fragment
+  const byte_count e = (offset + size - 1) % str + 1;  // ending fragment
+  const byte_count stripes_per_server = CeilDiv(delta, servers);  // ⌈Δ/M⌉
+
+  if (delta % servers == 0) {
+    // Case 2: stripes B and E land on the same server.
+    return std::max(b + e + (stripes_per_server - 1) * str,
+                    stripes_per_server * str);
+  }
+  if (delta % servers == 1) {
+    // Case 3: the B-server and E-server each add ⌈Δ/M⌉-1 full stripes.
+    return std::max(b + (stripes_per_server - 1) * str,
+                    e + (stripes_per_server - 1) * str);
+  }
+  // Case 4: some interior server holds ⌈Δ/M⌉ full stripes.
+  return stripes_per_server * str;
+}
+
+}  // namespace s4d::pfs

@@ -1,0 +1,137 @@
+// Deterministic discrete-event simulation engine.
+//
+// The engine owns the simulated clock and a priority queue of events.
+// Events with equal timestamps fire in scheduling order (a monotonically
+// increasing sequence number breaks ties), so a run is a pure function of
+// its inputs — there is no wall-clock anywhere in the simulator.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace s4d::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute simulated time `t` (>= now).
+  EventId ScheduleAt(SimTime t, Callback fn) {
+    assert(t >= now_ && "cannot schedule into the past");
+    const EventId id = next_id_++;
+    callbacks_.emplace(id, std::move(fn));
+    queue_.push(QueuedEvent{t, id});
+    return id;
+  }
+
+  // Schedules `fn` after a non-negative delay from now.
+  EventId ScheduleAfter(SimTime delay, Callback fn) {
+    assert(delay >= 0);
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event. Safe to call on already-fired or unknown ids;
+  // returns whether an event was actually cancelled.
+  bool Cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+  // Fires the next pending event, if any. Returns false when idle.
+  bool Step() {
+    while (!queue_.empty()) {
+      QueuedEvent ev = queue_.top();
+      queue_.pop();
+      auto it = callbacks_.find(ev.id);
+      if (it == callbacks_.end()) continue;  // cancelled
+      Callback fn = std::move(it->second);
+      callbacks_.erase(it);
+      assert(ev.time >= now_);
+      now_ = ev.time;
+      ++events_fired_;
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  // Runs until no events remain.
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+  // Runs events with time <= deadline; afterwards now() == deadline
+  // (even if the queue drained earlier).
+  void RunUntil(SimTime deadline) {
+    while (!queue_.empty()) {
+      // Skip over cancelled heads without advancing time.
+      if (callbacks_.find(queue_.top().id) == callbacks_.end()) {
+        queue_.pop();
+        continue;
+      }
+      if (queue_.top().time > deadline) break;
+      Step();
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  bool idle() const { return callbacks_.empty(); }
+  std::size_t pending_events() const { return callbacks_.size(); }
+  std::uint64_t events_fired() const { return events_fired_; }
+
+ private:
+  struct QueuedEvent {
+    SimTime time;
+    EventId id;  // doubles as the FIFO tie-breaker: ids increase monotonically
+    bool operator>(const QueuedEvent& o) const {
+      if (time != o.time) return time > o.time;
+      return id > o.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t events_fired_ = 0;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
+                      std::greater<QueuedEvent>>
+      queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+// Join-counter: invokes `done` once `Expect`ed completions have all arrived.
+// Used to complete a parallel request when its last sub-request finishes.
+class CompletionJoin {
+ public:
+  CompletionJoin(int expected, std::function<void(SimTime last)> done)
+      : remaining_(expected), done_(std::move(done)) {
+    assert(expected > 0);
+  }
+
+  // Records one arrival at time `t`; fires the callback on the last one.
+  void Arrive(SimTime t) {
+    assert(remaining_ > 0);
+    last_ = std::max(last_, t);
+    if (--remaining_ == 0 && done_) {
+      auto fn = std::move(done_);
+      fn(last_);
+    }
+  }
+
+  int remaining() const { return remaining_; }
+
+ private:
+  int remaining_;
+  SimTime last_ = 0;
+  std::function<void(SimTime)> done_;
+};
+
+}  // namespace s4d::sim

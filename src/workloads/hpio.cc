@@ -1,0 +1,42 @@
+#include "workloads/hpio.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace s4d::workloads {
+
+HpioWorkload::HpioWorkload(HpioConfig config) : config_(std::move(config)) {
+  assert(config_.ranks >= 1);
+  assert(config_.region_count >= 1);
+  assert(config_.region_size >= 1);
+  assert(config_.region_spacing >= 0);
+  cursor_.assign(static_cast<std::size_t>(config_.ranks), 0);
+}
+
+byte_count HpioWorkload::OffsetFor(int rank, std::int64_t region) const {
+  const byte_count slot = config_.region_size + config_.region_spacing;
+  return (region * config_.ranks + rank) * slot;
+}
+
+std::optional<Request> HpioWorkload::Next(int rank) {
+  assert(rank >= 0 && rank < config_.ranks);
+  std::int64_t& cursor = cursor_[static_cast<std::size_t>(rank)];
+  if (cursor >= config_.region_count) return std::nullopt;
+  Request req;
+  req.kind = config_.kind;
+  req.offset = OffsetFor(rank, cursor);
+  req.size = config_.region_size;
+  ++cursor;
+  return req;
+}
+
+void HpioWorkload::Reset() {
+  std::fill(cursor_.begin(), cursor_.end(), 0);
+}
+
+byte_count HpioWorkload::total_bytes() const {
+  return static_cast<byte_count>(config_.ranks) * config_.region_count *
+         config_.region_size;
+}
+
+}  // namespace s4d::workloads

@@ -1,0 +1,43 @@
+// HPIO-like workload (§V-C): noncontiguous access controlled by three
+// parameters — region count, region size, and region spacing. The file
+// holds `region_count` rounds of rank-interleaved regions; process p's i-th
+// region starts at (i * ranks + p) * (region_size + spacing). Spacing 0
+// degenerates to a fully contiguous interleaved layout ("sequential
+// access" in the paper's Fig. 9); larger spacing leaves holes between
+// consecutive regions of a process, reducing sequential locality without
+// being fully random.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace s4d::workloads {
+
+struct HpioConfig {
+  std::string file = "hpio.dat";
+  int ranks = 16;
+  std::int64_t region_count = 4096;  // regions per process
+  byte_count region_size = 8 * KiB;
+  byte_count region_spacing = 0;
+  device::IoKind kind = device::IoKind::kWrite;
+};
+
+class HpioWorkload final : public Workload {
+ public:
+  explicit HpioWorkload(HpioConfig config);
+
+  int ranks() const override { return config_.ranks; }
+  std::string file() const override { return config_.file; }
+  std::optional<Request> Next(int rank) override;
+  void Reset() override;
+  byte_count total_bytes() const override;
+
+  byte_count OffsetFor(int rank, std::int64_t region) const;
+
+ private:
+  HpioConfig config_;
+  std::vector<std::int64_t> cursor_;
+};
+
+}  // namespace s4d::workloads

@@ -1,0 +1,61 @@
+#include "workloads/ior.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace s4d::workloads {
+
+IorWorkload::IorWorkload(IorConfig config) : config_(std::move(config)) {
+  assert(config_.ranks >= 1);
+  assert(config_.request_size >= 1);
+  partition_size_ = config_.file_size / config_.ranks;
+  blocks_per_rank_ = partition_size_ / config_.request_size;
+  assert(blocks_per_rank_ >= 1 &&
+         "partition smaller than one request; shrink ranks or request size");
+  cursor_.assign(static_cast<std::size_t>(config_.ranks), 0);
+
+  if (config_.random) {
+    Rng rng(config_.seed);
+    block_order_.resize(static_cast<std::size_t>(config_.ranks));
+    for (int r = 0; r < config_.ranks; ++r) {
+      auto& order = block_order_[static_cast<std::size_t>(r)];
+      order.resize(static_cast<std::size_t>(blocks_per_rank_));
+      std::iota(order.begin(), order.end(), std::int64_t{0});
+      Rng rank_rng = rng.Fork(static_cast<std::uint64_t>(r));
+      std::shuffle(order.begin(), order.end(), rank_rng);
+    }
+  }
+}
+
+byte_count IorWorkload::OffsetFor(int rank, std::int64_t index) const {
+  const byte_count partition_base = static_cast<byte_count>(rank) * partition_size_;
+  const std::int64_t block =
+      config_.random ? block_order_[static_cast<std::size_t>(rank)]
+                                   [static_cast<std::size_t>(index)]
+                     : index;
+  return partition_base + block * config_.request_size;
+}
+
+std::optional<Request> IorWorkload::Next(int rank) {
+  assert(rank >= 0 && rank < config_.ranks);
+  std::int64_t& cursor = cursor_[static_cast<std::size_t>(rank)];
+  if (cursor >= blocks_per_rank_) return std::nullopt;
+  Request req;
+  req.kind = config_.kind;
+  req.offset = OffsetFor(rank, cursor);
+  req.size = config_.request_size;
+  ++cursor;
+  return req;
+}
+
+void IorWorkload::Reset() {
+  std::fill(cursor_.begin(), cursor_.end(), 0);
+}
+
+byte_count IorWorkload::total_bytes() const {
+  return static_cast<byte_count>(config_.ranks) * blocks_per_rank_ *
+         config_.request_size;
+}
+
+}  // namespace s4d::workloads

@@ -1,0 +1,48 @@
+// IOR-like workload (§V-B): each of the n processes owns 1/n of a shared
+// file and issues fixed-size requests over its partition with either
+// sequential or random offsets. Random mode visits every aligned block of
+// the partition exactly once, in a seeded shuffle (IOR's -z behaviour), so
+// sequential and random passes move identical byte volumes.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace s4d::workloads {
+
+struct IorConfig {
+  std::string file = "ior.dat";
+  int ranks = 16;
+  byte_count file_size = 2 * GiB;   // shared-file size
+  byte_count request_size = 16 * KiB;
+  bool random = false;
+  device::IoKind kind = device::IoKind::kWrite;
+  std::uint64_t seed = 42;
+};
+
+class IorWorkload final : public Workload {
+ public:
+  explicit IorWorkload(IorConfig config);
+
+  int ranks() const override { return config_.ranks; }
+  std::string file() const override { return config_.file; }
+  std::optional<Request> Next(int rank) override;
+  void Reset() override;
+  byte_count total_bytes() const override;
+
+  // Number of requests each rank issues in one pass.
+  std::int64_t requests_per_rank() const { return blocks_per_rank_; }
+
+ private:
+  byte_count OffsetFor(int rank, std::int64_t index) const;
+
+  IorConfig config_;
+  byte_count partition_size_ = 0;
+  std::int64_t blocks_per_rank_ = 0;
+  std::vector<std::int64_t> cursor_;                  // per-rank progress
+  std::vector<std::vector<std::int64_t>> block_order_;  // random mode only
+};
+
+}  // namespace s4d::workloads

@@ -1,0 +1,103 @@
+#include "workloads/replay.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <charconv>
+#include <sstream>
+
+namespace s4d::workloads {
+
+ReplayWorkload::ReplayWorkload(std::string file,
+                               std::vector<ReplayEntry> entries)
+    : file_(std::move(file)), entries_(std::move(entries)) {
+  for (const ReplayEntry& entry : entries_) {
+    assert(entry.rank >= 0);
+    ranks_ = std::max(ranks_, entry.rank + 1);
+    total_bytes_ += entry.request.size;
+  }
+  ranks_ = std::max(ranks_, 1);
+  per_rank_.resize(static_cast<std::size_t>(ranks_));
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    per_rank_[static_cast<std::size_t>(entries_[i].rank)].push_back(i);
+  }
+  cursor_.assign(static_cast<std::size_t>(ranks_), 0);
+}
+
+std::optional<Request> ReplayWorkload::Next(int rank) {
+  assert(rank >= 0 && rank < ranks_);
+  auto& cursor = cursor_[static_cast<std::size_t>(rank)];
+  const auto& list = per_rank_[static_cast<std::size_t>(rank)];
+  if (cursor >= list.size()) return std::nullopt;
+  return entries_[list[cursor++]].request;
+}
+
+void ReplayWorkload::Reset() {
+  std::fill(cursor_.begin(), cursor_.end(), 0);
+}
+
+Result<std::vector<ReplayEntry>> ReplayWorkload::ParseCsv(
+    const std::string& text) {
+  std::vector<ReplayEntry> entries;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line_number == 1 && line.rfind("rank", 0) == 0) continue;  // header
+
+    std::array<std::string, 4> fields;
+    std::size_t field = 0;
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i <= line.size() && field < 4; ++i) {
+      if (i == line.size() || line[i] == ',') {
+        fields[field++] = line.substr(begin, i - begin);
+        begin = i + 1;
+      }
+    }
+    if (field != 4) {
+      return Status::InvalidArgument("bad CSV row at line " +
+                                     std::to_string(line_number));
+    }
+
+    ReplayEntry entry;
+    auto parse_int = [](const std::string& s, auto& out) {
+      const auto result =
+          std::from_chars(s.data(), s.data() + s.size(), out);
+      return result.ec == std::errc{} && result.ptr == s.data() + s.size();
+    };
+    byte_count offset = 0;
+    byte_count size = 0;
+    if (!parse_int(fields[0], entry.rank) || !parse_int(fields[2], offset) ||
+        !parse_int(fields[3], size) || entry.rank < 0 || offset < 0 ||
+        size <= 0) {
+      return Status::InvalidArgument("bad CSV values at line " +
+                                     std::to_string(line_number));
+    }
+    if (fields[1] == "read") {
+      entry.request.kind = device::IoKind::kRead;
+    } else if (fields[1] == "write") {
+      entry.request.kind = device::IoKind::kWrite;
+    } else {
+      return Status::InvalidArgument("bad kind at line " +
+                                     std::to_string(line_number));
+    }
+    entry.request.offset = offset;
+    entry.request.size = size;
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+std::string ReplayWorkload::ToCsv(const std::vector<ReplayEntry>& entries) {
+  std::ostringstream out;
+  out << "rank,kind,offset,size\n";
+  for (const ReplayEntry& entry : entries) {
+    out << entry.rank << ',' << device::IoKindName(entry.request.kind) << ','
+        << entry.request.offset << ',' << entry.request.size << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace s4d::workloads

@@ -1,0 +1,53 @@
+// Replay workload: drives the system with an explicit request list —
+// either built programmatically or loaded from a CSV trace captured by a
+// previous run (the driver's on_issue hook or the IOSIG-style collector).
+// This is how a real deployment would study production I/O: capture once,
+// replay against what-if configurations (more CServers, different cache
+// capacity, admission policies).
+//
+// CSV format (header optional):
+//   rank,kind,offset,size
+//   0,write,1048576,16384
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workloads/workload.h"
+
+namespace s4d::workloads {
+
+struct ReplayEntry {
+  int rank = 0;
+  Request request;
+};
+
+class ReplayWorkload final : public Workload {
+ public:
+  ReplayWorkload(std::string file, std::vector<ReplayEntry> entries);
+
+  // Parses CSV text; malformed rows produce an error Status.
+  static Result<std::vector<ReplayEntry>> ParseCsv(const std::string& text);
+  // Serializes entries back to CSV (with header).
+  static std::string ToCsv(const std::vector<ReplayEntry>& entries);
+
+  int ranks() const override { return ranks_; }
+  std::string file() const override { return file_; }
+  std::optional<Request> Next(int rank) override;
+  void Reset() override;
+  byte_count total_bytes() const override { return total_bytes_; }
+
+  std::size_t entry_count() const { return entries_.size(); }
+
+ private:
+  std::string file_;
+  std::vector<ReplayEntry> entries_;
+  // Per-rank index lists into entries_, preserving capture order.
+  std::vector<std::vector<std::size_t>> per_rank_;
+  std::vector<std::size_t> cursor_;
+  int ranks_ = 0;
+  byte_count total_bytes_ = 0;
+};
+
+}  // namespace s4d::workloads

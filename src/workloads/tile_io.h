@@ -1,0 +1,46 @@
+// MPI-Tile-IO-like workload (§V-D): the file is a dense 2-D dataset of
+// fixed-size elements; processes are arranged in a pr x pc grid, each
+// owning a tile of nx x ny elements. A process accesses its tile one
+// element-row at a time: nx contiguous elements, then a stride to the next
+// dataset row — the nested-stride pattern the paper describes.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace s4d::workloads {
+
+struct TileIoConfig {
+  std::string file = "tile.dat";
+  int ranks = 100;
+  int elements_x = 10;  // per-tile elements in X
+  int elements_y = 10;  // per-tile elements in Y
+  byte_count element_size = 32 * KiB;
+  device::IoKind kind = device::IoKind::kWrite;
+};
+
+class TileIoWorkload final : public Workload {
+ public:
+  explicit TileIoWorkload(TileIoConfig config);
+
+  int ranks() const override { return config_.ranks; }
+  std::string file() const override { return config_.file; }
+  std::optional<Request> Next(int rank) override;
+  void Reset() override;
+  byte_count total_bytes() const override;
+
+  int grid_cols() const { return grid_cols_; }
+  int grid_rows() const { return grid_rows_; }
+  // Offset of (tile row `ty` of rank `rank`)'s first byte in the file.
+  byte_count RowOffset(int rank, int tile_row) const;
+
+ private:
+  TileIoConfig config_;
+  int grid_cols_ = 1;
+  int grid_rows_ = 1;
+  byte_count dataset_row_bytes_ = 0;  // one full element-row of the dataset
+  std::vector<int> cursor_;           // per-rank tile row progress
+};
+
+}  // namespace s4d::workloads

@@ -1,0 +1,41 @@
+// Common workload abstraction: a workload is a set of per-rank request
+// streams over one shared file, pulled by the harness's closed-loop
+// processes (each simulated MPI process issues its next request when the
+// previous one completes — blocking MPI-IO semantics).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/units.h"
+#include "device/device_model.h"
+
+namespace s4d::workloads {
+
+struct Request {
+  device::IoKind kind = device::IoKind::kWrite;
+  byte_count offset = 0;
+  byte_count size = 0;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual int ranks() const = 0;
+  virtual std::string file() const = 0;
+
+  // The next request rank `rank` would issue, or nullopt when that rank's
+  // stream is exhausted.
+  virtual std::optional<Request> Next(int rank) = 0;
+
+  // Restarts every stream from the beginning (e.g. the paper's "second
+  // run" read experiments replay the same access pattern).
+  virtual void Reset() = 0;
+
+  // Total bytes the whole workload moves in one pass.
+  virtual byte_count total_bytes() const = 0;
+};
+
+}  // namespace s4d::workloads

@@ -1,0 +1,102 @@
+#include "core/cdt.h"
+
+#include <gtest/gtest.h>
+
+namespace s4d::core {
+namespace {
+
+const CdtKey kA{"file", 0, 16384};
+const CdtKey kB{"file", 16384, 16384};
+const CdtKey kC{"other", 0, 16384};
+
+TEST(Cdt, AddAndContains) {
+  CriticalDataTable cdt;
+  EXPECT_FALSE(cdt.Contains(kA));
+  EXPECT_TRUE(cdt.Add(kA));
+  EXPECT_TRUE(cdt.Contains(kA));
+  EXPECT_FALSE(cdt.Add(kA)) << "duplicate add must be a no-op";
+  EXPECT_EQ(cdt.size(), 1u);
+}
+
+TEST(Cdt, ExactMatchSemantics) {
+  CriticalDataTable cdt;
+  cdt.Add(kA);
+  EXPECT_FALSE(cdt.Contains(CdtKey{"file", 0, 8192}));
+  EXPECT_FALSE(cdt.Contains(CdtKey{"file", 1, 16384}));
+  EXPECT_FALSE(cdt.Contains(kC));
+}
+
+TEST(Cdt, CacheFlagLifecycle) {
+  CriticalDataTable cdt;
+  EXPECT_FALSE(cdt.SetCacheFlag(kA)) << "unknown entry cannot be flagged";
+  cdt.Add(kA);
+  EXPECT_FALSE(cdt.CacheFlag(kA));
+  EXPECT_TRUE(cdt.SetCacheFlag(kA));
+  EXPECT_TRUE(cdt.CacheFlag(kA));
+  EXPECT_TRUE(cdt.AnyPendingFetch());
+  cdt.ClearCacheFlag(kA);
+  EXPECT_FALSE(cdt.CacheFlag(kA));
+  EXPECT_FALSE(cdt.AnyPendingFetch());
+}
+
+TEST(Cdt, PendingFetchesOldestFirstAndLimited) {
+  CriticalDataTable cdt;
+  cdt.Add(kA);
+  cdt.Add(kB);
+  cdt.Add(kC);
+  cdt.SetCacheFlag(kB);
+  cdt.SetCacheFlag(kA);
+  cdt.SetCacheFlag(kC);
+  auto two = cdt.PendingFetches(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0], kB);
+  EXPECT_EQ(two[1], kA);
+  // Flags are not consumed by listing.
+  EXPECT_EQ(cdt.PendingFetches(10).size(), 3u);
+}
+
+TEST(Cdt, ReflaggingDoesNotDuplicate) {
+  CriticalDataTable cdt;
+  cdt.Add(kA);
+  cdt.SetCacheFlag(kA);
+  cdt.SetCacheFlag(kA);
+  EXPECT_EQ(cdt.PendingFetches(10).size(), 1u);
+}
+
+TEST(Cdt, ClearedEntriesPrunedFromPending) {
+  CriticalDataTable cdt;
+  cdt.Add(kA);
+  cdt.Add(kB);
+  cdt.SetCacheFlag(kA);
+  cdt.SetCacheFlag(kB);
+  cdt.ClearCacheFlag(kA);
+  auto pending = cdt.PendingFetches(10);
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0], kB);
+}
+
+TEST(Cdt, FifoEvictionWhenFull) {
+  CriticalDataTable cdt(/*max_entries=*/3);
+  for (int i = 0; i < 5; ++i) {
+    cdt.Add(CdtKey{"f", i * 100, 100});
+  }
+  EXPECT_EQ(cdt.size(), 3u);
+  EXPECT_EQ(cdt.evictions(), 2);
+  EXPECT_FALSE(cdt.Contains(CdtKey{"f", 0, 100}));
+  EXPECT_FALSE(cdt.Contains(CdtKey{"f", 100, 100}));
+  EXPECT_TRUE(cdt.Contains(CdtKey{"f", 400, 100}));
+}
+
+TEST(Cdt, EvictedFlaggedEntryDisappearsFromPending) {
+  CriticalDataTable cdt(/*max_entries=*/2);
+  cdt.Add(kA);
+  cdt.SetCacheFlag(kA);
+  cdt.Add(kB);
+  cdt.Add(kC);  // evicts kA
+  EXPECT_FALSE(cdt.Contains(kA));
+  EXPECT_TRUE(cdt.PendingFetches(10).empty());
+  EXPECT_FALSE(cdt.AnyPendingFetch());
+}
+
+}  // namespace
+}  // namespace s4d::core

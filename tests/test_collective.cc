@@ -1,0 +1,226 @@
+#include "mpiio/collective.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/content_checker.h"
+#include "harness/testbed.h"
+#include "workloads/hpio.h"
+
+namespace s4d::mpiio {
+namespace {
+
+// Records requests; completes after a fixed latency.
+class RecordingBackend final : public IoDispatch {
+ public:
+  explicit RecordingBackend(sim::Engine& engine) : engine_(engine) {}
+
+  struct Op {
+    device::IoKind kind;
+    byte_count offset;
+    byte_count size;
+  };
+
+  void Open(const std::string&) override {}
+  void Close(const std::string&) override {}
+  void Read(const FileRequest& r, IoCompletion done) override {
+    ops.push_back({device::IoKind::kRead, r.offset, r.size});
+    engine_.ScheduleAfter(FromMillis(1), [this, done = std::move(done)]() {
+      if (done) done(engine_.now());
+    });
+  }
+  void Write(const FileRequest& r, IoCompletion done) override {
+    ops.push_back({device::IoKind::kWrite, r.offset, r.size});
+    engine_.ScheduleAfter(FromMillis(1), [this, done = std::move(done)]() {
+      if (done) done(engine_.now());
+    });
+  }
+  std::vector<ContentEntry> ReadContent(const std::string&, byte_count,
+                                        byte_count) override {
+    return {};
+  }
+  void StampContent(const std::string& file, byte_count offset,
+                    byte_count size, std::uint64_t token) override {
+    stamps.Assign(offset, offset + size, token);
+    (void)file;
+  }
+  std::string Name() const override { return "recording"; }
+
+  std::vector<Op> ops;
+  IntervalMap<std::uint64_t> stamps;
+
+ private:
+  sim::Engine& engine_;
+};
+
+CollectiveConfig TestConfig(int aggregators = 2,
+                            byte_count buffer = 1 * MiB) {
+  CollectiveConfig cfg;
+  cfg.aggregators = aggregators;
+  cfg.buffer_size = buffer;
+  cfg.interconnect = net::GigabitEthernet();
+  return cfg;
+}
+
+TEST(Collective, MergesInterleavedSpansIntoFewRequests) {
+  sim::Engine engine;
+  RecordingBackend backend(engine);
+  CollectiveIo collective(engine, backend, TestConfig(2));
+  // 16 ranks, 4 KiB each, perfectly interleaved: 64 KiB contiguous.
+  std::vector<RankSpan> spans;
+  for (int r = 0; r < 16; ++r) {
+    spans.push_back(RankSpan{r, r * 4 * KiB, 4 * KiB, 0});
+  }
+  bool done = false;
+  collective.Write("f", spans, [&](SimTime) { done = true; });
+  engine.Run();
+  ASSERT_TRUE(done);
+  // Two aggregators, one contiguous extent each.
+  ASSERT_EQ(backend.ops.size(), 2u);
+  EXPECT_EQ(backend.ops[0].size + backend.ops[1].size, 64 * KiB);
+  for (const auto& op : backend.ops) {
+    EXPECT_EQ(op.kind, device::IoKind::kWrite);
+  }
+  EXPECT_EQ(collective.stats().shuffled_bytes, 64 * KiB);
+}
+
+TEST(Collective, DomainsPartitionTheCoveringRange) {
+  sim::Engine engine;
+  RecordingBackend backend(engine);
+  CollectiveIo collective(engine, backend, TestConfig(4));
+  std::vector<RankSpan> spans;
+  for (int r = 0; r < 8; ++r) {
+    spans.push_back(RankSpan{r, r * 1 * MiB, 1 * MiB, 0});
+  }
+  collective.Write("f", spans, nullptr);
+  engine.Run();
+  // 8 MiB over 4 aggregators with 1 MiB buffer rounds -> 8 requests.
+  EXPECT_EQ(backend.ops.size(), 8u);
+  byte_count total = 0;
+  for (const auto& op : backend.ops) total += op.size;
+  EXPECT_EQ(total, 8 * MiB);
+}
+
+TEST(Collective, HolesSplitWriteExtents) {
+  sim::Engine engine;
+  RecordingBackend backend(engine);
+  CollectiveIo collective(engine, backend, TestConfig(1));
+  std::vector<RankSpan> spans = {
+      {0, 0, 8 * KiB, 0}, {1, 16 * KiB, 8 * KiB, 0}};  // 8 KiB hole
+  collective.Write("f", spans, nullptr);
+  engine.Run();
+  ASSERT_EQ(backend.ops.size(), 2u) << "writes must not fill holes";
+  EXPECT_EQ(backend.ops[0].offset, 0);
+  EXPECT_EQ(backend.ops[1].offset, 16 * KiB);
+}
+
+TEST(Collective, DenseReadUsesDataSieving) {
+  sim::Engine engine;
+  RecordingBackend backend(engine);
+  CollectiveIo collective(engine, backend, TestConfig(1));
+  // 3 x 8 KiB regions with 1 KiB holes: density ~0.89 -> sieve.
+  std::vector<RankSpan> spans = {
+      {0, 0, 8 * KiB, 0}, {1, 9 * KiB, 8 * KiB, 0}, {2, 18 * KiB, 8 * KiB, 0}};
+  collective.Read("f", spans, nullptr);
+  engine.Run();
+  ASSERT_EQ(backend.ops.size(), 1u);
+  EXPECT_EQ(backend.ops[0].offset, 0);
+  EXPECT_EQ(backend.ops[0].size, 26 * KiB);  // includes the holes
+  EXPECT_EQ(collective.stats().sieved_hole_bytes, 2 * KiB);
+}
+
+TEST(Collective, SparseReadSkipsSieving) {
+  sim::Engine engine;
+  RecordingBackend backend(engine);
+  CollectiveIo collective(engine, backend, TestConfig(1));
+  // 2 x 4 KiB regions 100 KiB apart: density << 0.5 -> separate reads.
+  std::vector<RankSpan> spans = {{0, 0, 4 * KiB, 0},
+                                 {1, 100 * KiB, 4 * KiB, 0}};
+  collective.Read("f", spans, nullptr);
+  engine.Run();
+  EXPECT_EQ(backend.ops.size(), 2u);
+  EXPECT_EQ(collective.stats().sieved_hole_bytes, 0);
+}
+
+TEST(Collective, BufferSizeBoundsRounds) {
+  sim::Engine engine;
+  RecordingBackend backend(engine);
+  CollectiveIo collective(engine, backend, TestConfig(1, 64 * KiB));
+  std::vector<RankSpan> spans;
+  for (int i = 0; i < 8; ++i) {
+    spans.push_back(RankSpan{i, i * 64 * KiB, 64 * KiB, 0});
+  }
+  collective.Write("f", spans, nullptr);
+  engine.Run();
+  EXPECT_EQ(collective.stats().rounds, 8);
+  EXPECT_EQ(backend.ops.size(), 8u);
+}
+
+TEST(Collective, ShuffleCostPrecedesIo) {
+  sim::Engine engine;
+  RecordingBackend backend(engine);
+  CollectiveConfig cfg = TestConfig(1);
+  cfg.interconnect.bandwidth_bps = 1e6;  // 1 MB/s: shuffle dominates
+  cfg.interconnect.message_latency = 0;
+  CollectiveIo collective(engine, backend, cfg);
+  SimTime completed = -1;
+  collective.Write("f", {{0, 0, 1 * MB, 7}}, [&](SimTime t) { completed = t; });
+  engine.Run();
+  // 1 MB over 1 MB/s = 1 s shuffle + 1 ms backend latency.
+  EXPECT_NEAR(ToSeconds(completed), 1.001, 0.01);
+}
+
+TEST(Collective, PerSpanTokensAreStamped) {
+  sim::Engine engine;
+  RecordingBackend backend(engine);
+  CollectiveIo collective(engine, backend, TestConfig(2));
+  collective.Write("f", {{0, 0, 4 * KiB, 11}, {1, 4 * KiB, 4 * KiB, 22}},
+                   nullptr);
+  engine.Run();
+  EXPECT_EQ(backend.stamps.At(0), 11u);
+  EXPECT_EQ(backend.stamps.At(5 * KiB), 22u);
+}
+
+TEST(Collective, EmptyCallCompletes) {
+  sim::Engine engine;
+  RecordingBackend backend(engine);
+  CollectiveIo collective(engine, backend, TestConfig());
+  bool done = false;
+  collective.Write("f", {}, [&](SimTime) { done = true; });
+  engine.Run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(backend.ops.empty());
+}
+
+// End-to-end: collective writes through S4D keep content consistent.
+TEST(Collective, ContentConsistentThroughS4D) {
+  harness::TestbedConfig bed_cfg;
+  bed_cfg.track_content = true;
+  harness::Testbed bed(bed_cfg);
+  core::S4DConfig cfg;
+  cfg.cache_capacity = 8 * MiB;
+  auto s4d = bed.MakeS4D(cfg);
+  s4d->Open("f");
+  CollectiveIo collective(bed.engine(), *s4d, TestConfig(4));
+  harness::ContentChecker checker;
+
+  // Interleaved strided spans, collective-written in two waves.
+  for (int wave = 0; wave < 2; ++wave) {
+    std::vector<RankSpan> spans;
+    for (int r = 0; r < 16; ++r) {
+      const byte_count offset = (r * 2 + wave) * 8 * KiB;
+      const std::uint64_t token = checker.OnWrite("f", offset, 8 * KiB);
+      spans.push_back(RankSpan{r, offset, 8 * KiB, token});
+    }
+    bool done = false;
+    collective.Write("f", spans, [&](SimTime) { done = true; });
+    bed.engine().RunUntil(bed.engine().now() + FromSeconds(30));
+    ASSERT_TRUE(done);
+  }
+  EXPECT_TRUE(checker.CheckRead(*s4d, "f", 0, 32 * 8 * KiB))
+      << checker.first_failure();
+}
+
+}  // namespace
+}  // namespace s4d::mpiio

@@ -1,0 +1,320 @@
+#include "core/dmt.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+namespace s4d::core {
+namespace {
+
+TEST(Dmt, EmptyLookup) {
+  DataMappingTable dmt;
+  const auto result = dmt.Lookup("f", 0, 100);
+  EXPECT_TRUE(result.mapped.empty());
+  ASSERT_EQ(result.gaps.size(), 1u);
+  EXPECT_EQ(result.gaps[0].first, 0);
+  EXPECT_EQ(result.gaps[0].second, 100);
+  EXPECT_TRUE(result.fully_unmapped());
+  EXPECT_FALSE(result.fully_mapped());
+}
+
+TEST(Dmt, InsertAndExactLookup) {
+  DataMappingTable dmt;
+  dmt.Insert("f", 1000, 500, 0, /*dirty=*/true);
+  const auto result = dmt.Lookup("f", 1000, 500);
+  ASSERT_TRUE(result.fully_mapped());
+  ASSERT_EQ(result.mapped.size(), 1u);
+  EXPECT_EQ(result.mapped[0].orig_begin, 1000);
+  EXPECT_EQ(result.mapped[0].orig_end, 1500);
+  EXPECT_EQ(result.mapped[0].cache_offset, 0);
+  EXPECT_TRUE(result.mapped[0].dirty);
+  EXPECT_EQ(dmt.mapped_bytes(), 500);
+  EXPECT_EQ(dmt.dirty_bytes(), 500);
+}
+
+TEST(Dmt, SubRangeLookupTranslatesCacheOffset) {
+  DataMappingTable dmt;
+  dmt.Insert("f", 1000, 500, 8000, false);
+  const auto result = dmt.Lookup("f", 1200, 100);
+  ASSERT_TRUE(result.fully_mapped());
+  EXPECT_EQ(result.mapped[0].cache_offset, 8200);
+}
+
+TEST(Dmt, PartialOverlapYieldsMappedAndGaps) {
+  DataMappingTable dmt;
+  dmt.Insert("f", 100, 100, 0, false);
+  dmt.Insert("f", 300, 100, 100, false);
+  const auto result = dmt.Lookup("f", 0, 500);
+  ASSERT_EQ(result.mapped.size(), 2u);
+  ASSERT_EQ(result.gaps.size(), 3u);
+  EXPECT_EQ(result.gaps[0], (std::pair<byte_count, byte_count>{0, 100}));
+  EXPECT_EQ(result.gaps[1], (std::pair<byte_count, byte_count>{200, 300}));
+  EXPECT_EQ(result.gaps[2], (std::pair<byte_count, byte_count>{400, 500}));
+}
+
+TEST(Dmt, FilesAreIndependent) {
+  DataMappingTable dmt;
+  dmt.Insert("a", 0, 100, 0, false);
+  EXPECT_TRUE(dmt.Lookup("b", 0, 100).fully_unmapped());
+}
+
+TEST(Dmt, InvalidateSplitsBoundaries) {
+  DataMappingTable dmt;
+  dmt.Insert("f", 0, 300, 0, true);
+  const auto removed = dmt.Invalidate("f", 100, 100);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].orig_begin, 100);
+  EXPECT_EQ(removed[0].orig_end, 200);
+  EXPECT_EQ(removed[0].cache_offset, 100);
+  EXPECT_TRUE(removed[0].dirty);
+  // Left and right halves survive with translated cache offsets.
+  const auto left = dmt.Lookup("f", 0, 100);
+  ASSERT_TRUE(left.fully_mapped());
+  EXPECT_EQ(left.mapped[0].cache_offset, 0);
+  const auto right = dmt.Lookup("f", 200, 100);
+  ASSERT_TRUE(right.fully_mapped());
+  EXPECT_EQ(right.mapped[0].cache_offset, 200);
+  EXPECT_TRUE(dmt.Lookup("f", 100, 100).fully_unmapped());
+  EXPECT_EQ(dmt.mapped_bytes(), 200);
+  EXPECT_EQ(dmt.dirty_bytes(), 200);
+}
+
+TEST(Dmt, SetDirtyAndCleanAdjustCounters) {
+  DataMappingTable dmt;
+  dmt.Insert("f", 0, 100, 0, false);
+  EXPECT_EQ(dmt.dirty_bytes(), 0);
+  dmt.SetDirty("f", 0, 50, true);
+  EXPECT_EQ(dmt.dirty_bytes(), 50);
+  dmt.SetDirty("f", 0, 100, true);
+  EXPECT_EQ(dmt.dirty_bytes(), 100);
+  dmt.SetDirty("f", 25, 50, false);
+  EXPECT_EQ(dmt.dirty_bytes(), 50);
+}
+
+TEST(Dmt, EvictLruCleanPrefersOldest) {
+  DataMappingTable dmt;
+  dmt.Insert("f", 0, 100, 0, false);
+  dmt.Insert("f", 100, 100, 100, false);
+  dmt.Insert("f", 200, 100, 200, false);
+  dmt.Touch("f", 0, 100);  // entry 0 becomes most recent
+  const auto victim = dmt.EvictLruClean();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->orig_begin, 100) << "second-inserted is now LRU";
+  EXPECT_EQ(dmt.entry_count(), 2u);
+}
+
+TEST(Dmt, EvictSkipsDirty) {
+  DataMappingTable dmt;
+  dmt.Insert("f", 0, 100, 0, true);
+  dmt.Insert("f", 100, 100, 100, false);
+  const auto victim = dmt.EvictLruClean();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->orig_begin, 100);
+  EXPECT_EQ(dmt.EvictLruClean(), std::nullopt) << "only dirty data remains";
+}
+
+TEST(Dmt, CollectDirtyReturnsSnapshotsWithVersions) {
+  DataMappingTable dmt;
+  dmt.Insert("f", 0, 100, 500, true);
+  dmt.Insert("f", 200, 100, 600, false);
+  const auto dirty = dmt.CollectDirty(10);
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0].orig_begin, 0);
+  EXPECT_EQ(dirty[0].cache_offset, 500);
+  EXPECT_GT(dirty[0].version, 0u);
+}
+
+TEST(Dmt, CollectDirtyRunsCoalescesAdjacent) {
+  DataMappingTable dmt;
+  // Three adjacent dirty extents with scattered cache offsets, then a gap,
+  // then another dirty extent.
+  dmt.Insert("f", 0, 100, 500, true);
+  dmt.Insert("f", 100, 100, 900, true);
+  dmt.Insert("f", 200, 100, 100, true);
+  dmt.Insert("f", 400, 50, 700, true);
+  const auto runs = dmt.CollectDirtyRuns(1 << 20, 1 << 20);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].orig_begin, 0);
+  EXPECT_EQ(runs[0].orig_end, 300);
+  ASSERT_EQ(runs[0].segments.size(), 3u);
+  EXPECT_EQ(runs[0].segments[1].cache_offset, 900);
+  EXPECT_EQ(runs[1].orig_begin, 400);
+  EXPECT_EQ(runs[1].segments.size(), 1u);
+}
+
+TEST(Dmt, CollectDirtyRunsSkipsCleanNeighbours) {
+  DataMappingTable dmt;
+  dmt.Insert("f", 0, 100, 0, true);
+  dmt.Insert("f", 100, 100, 100, false);  // clean: breaks the run
+  dmt.Insert("f", 200, 100, 200, true);
+  const auto runs = dmt.CollectDirtyRuns(1 << 20, 1 << 20);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].orig_end, 100);
+  EXPECT_EQ(runs[1].orig_begin, 200);
+}
+
+TEST(Dmt, CollectDirtyRunsRespectsRunCap) {
+  DataMappingTable dmt;
+  for (int i = 0; i < 10; ++i) {
+    dmt.Insert("f", i * 100, 100, i * 100, true);
+  }
+  const auto runs = dmt.CollectDirtyRuns(1 << 20, 250);
+  // 1000 contiguous dirty bytes in runs of <= 250.
+  ASSERT_GE(runs.size(), 4u);
+  byte_count total = 0;
+  for (const auto& run : runs) {
+    EXPECT_LE(run.length(), 250);
+    total += run.length();
+  }
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(Dmt, CollectDirtyRunsRespectsTotalBudget) {
+  DataMappingTable dmt;
+  for (int i = 0; i < 10; ++i) {
+    dmt.Insert("f", i * 1000, 100, i * 100, true);  // non-adjacent
+  }
+  const auto runs = dmt.CollectDirtyRuns(350, 1 << 20);
+  // Stops once ~350 bytes are collected (4 x 100-byte runs).
+  EXPECT_EQ(runs.size(), 4u);
+}
+
+TEST(Dmt, CollectDirtyRunsSpansFiles) {
+  DataMappingTable dmt;
+  dmt.Insert("a", 0, 100, 0, true);
+  dmt.Insert("b", 0, 100, 100, true);
+  const auto runs = dmt.CollectDirtyRuns(1 << 20, 1 << 20);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_NE(runs[0].file, runs[1].file);
+}
+
+TEST(Dmt, MarkCleanIfVersionMatches) {
+  DataMappingTable dmt;
+  dmt.Insert("f", 0, 100, 0, true);
+  const auto dirty = dmt.CollectDirty(1);
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_TRUE(dmt.MarkCleanIfVersion("f", 0, 100, dirty[0].version));
+  EXPECT_EQ(dmt.dirty_bytes(), 0);
+  EXPECT_FALSE(dmt.MarkCleanIfVersion("f", 0, 100, dirty[0].version))
+      << "already clean";
+}
+
+TEST(Dmt, MarkCleanFailsAfterRedirtying) {
+  DataMappingTable dmt;
+  dmt.Insert("f", 0, 100, 0, true);
+  const auto snapshot = dmt.CollectDirty(1);
+  // A write races the in-flight flush and re-dirties the extent.
+  dmt.SetDirty("f", 0, 100, true);
+  EXPECT_FALSE(dmt.MarkCleanIfVersion("f", 0, 100, snapshot[0].version));
+  EXPECT_EQ(dmt.dirty_bytes(), 100) << "racing write's dirtiness preserved";
+}
+
+TEST(Dmt, MarkCleanFailsAfterSplit) {
+  DataMappingTable dmt;
+  dmt.Insert("f", 0, 100, 0, true);
+  const auto snapshot = dmt.CollectDirty(1);
+  (void)dmt.Invalidate("f", 40, 20);
+  EXPECT_FALSE(dmt.MarkCleanIfVersion("f", 0, 100, snapshot[0].version));
+}
+
+TEST(Dmt, AllExtentsEnumeratesEverything) {
+  DataMappingTable dmt;
+  dmt.Insert("a", 0, 100, 0, true);
+  dmt.Insert("b", 50, 25, 100, false);
+  const auto all = dmt.AllExtents();
+  EXPECT_EQ(all.size(), 2u);
+}
+
+// --- persistence -----------------------------------------------------------
+
+class DmtPersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("s4d_dmt_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "dmt.db").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<kv::KvStore> OpenStore() {
+    kv::Options options;
+    options.sync_writes = false;
+    auto store = kv::KvStore::Open(path_, options);
+    EXPECT_TRUE(store.ok());
+    return std::move(*store);
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(DmtPersistenceTest, RoundTripsThroughStore) {
+  {
+    auto store = OpenStore();
+    DataMappingTable dmt(store.get());
+    dmt.Insert("data/file1", 0, 16384, 0, true);
+    dmt.Insert("data/file1", 32768, 16384, 16384, false);
+    dmt.Insert("data/file2", 100, 50, 32768, false);
+  }
+  auto store = OpenStore();
+  DataMappingTable recovered(store.get());
+  ASSERT_TRUE(recovered.LoadFromStore().ok());
+  EXPECT_EQ(recovered.entry_count(), 3u);
+  EXPECT_EQ(recovered.mapped_bytes(), 16384 + 16384 + 50);
+  EXPECT_EQ(recovered.dirty_bytes(), 16384);
+  const auto result = recovered.Lookup("data/file1", 32768, 16384);
+  ASSERT_TRUE(result.fully_mapped());
+  EXPECT_EQ(result.mapped[0].cache_offset, 16384);
+  EXPECT_FALSE(result.mapped[0].dirty);
+}
+
+TEST_F(DmtPersistenceTest, MutationsArePersisted) {
+  {
+    auto store = OpenStore();
+    DataMappingTable dmt(store.get());
+    dmt.Insert("f", 0, 1000, 0, true);
+    (void)dmt.Invalidate("f", 200, 100);  // split + removal
+    dmt.SetDirty("f", 0, 200, false);
+  }
+  auto store = OpenStore();
+  DataMappingTable recovered(store.get());
+  ASSERT_TRUE(recovered.LoadFromStore().ok());
+  EXPECT_TRUE(recovered.Lookup("f", 200, 100).fully_unmapped());
+  const auto left = recovered.Lookup("f", 0, 200);
+  ASSERT_TRUE(left.fully_mapped());
+  EXPECT_FALSE(left.mapped[0].dirty);
+  const auto right = recovered.Lookup("f", 300, 700);
+  ASSERT_TRUE(right.fully_mapped());
+  EXPECT_TRUE(right.mapped[0].dirty);
+  EXPECT_EQ(right.mapped[0].cache_offset, 300);
+}
+
+TEST_F(DmtPersistenceTest, EvictionRemovesPersistedRecord) {
+  {
+    auto store = OpenStore();
+    DataMappingTable dmt(store.get());
+    dmt.Insert("f", 0, 100, 0, false);
+    ASSERT_TRUE(dmt.EvictLruClean().has_value());
+  }
+  auto store = OpenStore();
+  DataMappingTable recovered(store.get());
+  ASSERT_TRUE(recovered.LoadFromStore().ok());
+  EXPECT_EQ(recovered.entry_count(), 0u);
+}
+
+TEST_F(DmtPersistenceTest, FileNamesWithSeparatorsRoundTrip) {
+  {
+    auto store = OpenStore();
+    DataMappingTable dmt(store.get());
+    dmt.Insert("weird|name|with|pipes", 10, 20, 0, true);
+  }
+  auto store = OpenStore();
+  DataMappingTable recovered(store.get());
+  ASSERT_TRUE(recovered.LoadFromStore().ok());
+  EXPECT_TRUE(recovered.Lookup("weird|name|with|pipes", 10, 20).fully_mapped());
+}
+
+}  // namespace
+}  // namespace s4d::core

@@ -1,0 +1,111 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace s4d::sim {
+namespace {
+
+TEST(Engine, StartsAtZeroAndIdle) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_TRUE(engine.idle());
+  EXPECT_FALSE(engine.Step());
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.ScheduleAt(30, [&] { order.push_back(3); });
+  engine.ScheduleAt(10, [&] { order.push_back(1); });
+  engine.ScheduleAt(20, [&] { order.push_back(2); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(Engine, EqualTimesFireInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  engine.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine engine;
+  SimTime fired_at = -1;
+  engine.ScheduleAt(100, [&] {
+    engine.ScheduleAfter(50, [&] { fired_at = engine.now(); });
+  });
+  engine.Run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(engine.Cancel(id));
+  EXPECT_FALSE(engine.Cancel(id));  // second cancel is a no-op
+  engine.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.now(), 0);  // cancelled events do not advance time
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine engine;
+  int fired = 0;
+  for (SimTime t = 10; t <= 100; t += 10) {
+    engine.ScheduleAt(t, [&] { ++fired; });
+  }
+  engine.RunUntil(50);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.now(), 50);
+  engine.RunUntil(100);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenQueueDrains) {
+  Engine engine;
+  engine.ScheduleAt(10, [] {});
+  engine.RunUntil(500);
+  EXPECT_EQ(engine.now(), 500);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine engine;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) engine.ScheduleAfter(1, chain);
+  };
+  engine.ScheduleAt(0, chain);
+  engine.Run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(engine.now(), 99);
+  EXPECT_EQ(engine.events_fired(), 100u);
+}
+
+TEST(CompletionJoin, FiresOnLastArrivalWithMaxTime) {
+  SimTime completed = -1;
+  CompletionJoin join(3, [&](SimTime t) { completed = t; });
+  join.Arrive(10);
+  EXPECT_EQ(completed, -1);
+  join.Arrive(30);
+  EXPECT_EQ(completed, -1);
+  join.Arrive(20);
+  EXPECT_EQ(completed, 30);  // max of arrivals, not last
+}
+
+TEST(CompletionJoin, SingleExpectation) {
+  SimTime completed = -1;
+  CompletionJoin join(1, [&](SimTime t) { completed = t; });
+  join.Arrive(7);
+  EXPECT_EQ(completed, 7);
+}
+
+}  // namespace
+}  // namespace s4d::sim

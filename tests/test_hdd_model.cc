@@ -1,0 +1,211 @@
+#include "device/hdd_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace s4d::device {
+namespace {
+
+TEST(HddProfile, SeagateRotation) {
+  const HddProfile p = SeagateST32502NS();
+  // 7200 rpm -> 8.33 ms per revolution, R ~ 4.17 ms.
+  EXPECT_NEAR(ToMillis(p.full_rotation()), 8.333, 0.01);
+  EXPECT_NEAR(ToMillis(p.average_rotation_delay()), 4.167, 0.01);
+}
+
+TEST(HddSeek, ZeroDistanceIsFree) {
+  const HddProfile p = SeagateST32502NS();
+  EXPECT_EQ(SeekTimeForProfile(p, 0), 0);
+  EXPECT_EQ(SeekTimeForProfile(p, -5), 0);
+}
+
+TEST(HddSeek, MonotonicInDistance) {
+  const HddProfile p = SeagateST32502NS();
+  SimTime last = 0;
+  for (byte_count d = 1; d <= p.capacity; d *= 4) {
+    const SimTime t = SeekTimeForProfile(p, d);
+    EXPECT_GE(t, last) << "distance " << d;
+    last = t;
+  }
+}
+
+TEST(HddSeek, BoundedByProfile) {
+  const HddProfile p = SeagateST32502NS();
+  EXPECT_GE(SeekTimeForProfile(p, 1), p.track_to_track_seek);
+  EXPECT_LE(SeekTimeForProfile(p, p.capacity), p.max_seek);
+  // Past-capacity distances clamp to the full stroke.
+  EXPECT_EQ(SeekTimeForProfile(p, 10 * p.capacity), p.max_seek);
+  // One-third stroke is the "average seek" anchor point.
+  EXPECT_NEAR(static_cast<double>(SeekTimeForProfile(p, p.capacity / 3)),
+              static_cast<double>(p.average_seek),
+              static_cast<double>(p.average_seek) * 0.01);
+}
+
+TEST(HddModel, SequentialAccessSkipsPositioning) {
+  HddModel hdd(SeagateST32502NS(), 1);
+  const auto first = hdd.Access(IoKind::kWrite, 0, 64 * KiB);
+  // First access from LBA 0 at offset 0: head is already there.
+  EXPECT_EQ(first.positioning, 0);
+  const auto second = hdd.Access(IoKind::kWrite, 64 * KiB, 64 * KiB);
+  EXPECT_EQ(second.positioning, 0) << "streaming continuation must be free";
+  const auto random = hdd.Access(IoKind::kWrite, 10 * GiB, 64 * KiB);
+  EXPECT_GT(random.positioning, FromMillis(1));
+}
+
+TEST(HddModel, TransferTimeProportionalToSize) {
+  HddModel hdd(SeagateST32502NS(), 1);
+  const auto small = hdd.Access(IoKind::kRead, 0, 1 * MiB);
+  hdd.Reset();
+  const auto large = hdd.Access(IoKind::kRead, 0, 4 * MiB);
+  EXPECT_NEAR(static_cast<double>(large.transfer),
+              4.0 * static_cast<double>(small.transfer),
+              static_cast<double>(small.transfer) * 0.01);
+  // 78 MB/s -> 1 MiB in ~13.4 ms.
+  EXPECT_NEAR(ToMillis(small.transfer), 13.44, 0.2);
+}
+
+TEST(HddModel, RandomAccessPositioningWithinBounds) {
+  HddModel hdd(SeagateST32502NS(), 7);
+  const HddProfile& p = hdd.profile();
+  byte_count offset = 0;
+  for (int i = 0; i < 200; ++i) {
+    offset = (offset + 37 * MiB) % (p.capacity / 2);
+    const auto costs = hdd.Access(IoKind::kRead, offset, 4 * KiB);
+    if (costs.positioning == 0) continue;  // exact head hit
+    EXPECT_GE(costs.positioning, p.command_overhead);
+    EXPECT_LE(costs.positioning,
+              p.command_overhead + p.max_seek + p.full_rotation());
+  }
+}
+
+TEST(HddModel, DeterministicForSeed) {
+  HddModel a(SeagateST32502NS(), 42);
+  HddModel b(SeagateST32502NS(), 42);
+  for (int i = 0; i < 100; ++i) {
+    const byte_count off = (i * 131) % 1000 * MiB;
+    const auto ca = a.Access(IoKind::kWrite, off, 16 * KiB);
+    const auto cb = b.Access(IoKind::kWrite, off, 16 * KiB);
+    EXPECT_EQ(ca.positioning, cb.positioning);
+    EXPECT_EQ(ca.transfer, cb.transfer);
+  }
+}
+
+TEST(HddModel, HeadPositionTracksAccesses) {
+  HddModel hdd(SeagateST32502NS(), 1);
+  hdd.Access(IoKind::kWrite, 100 * MiB, 1 * MiB);
+  EXPECT_EQ(hdd.head_position(), 101 * MiB);
+  hdd.Reset();
+  EXPECT_EQ(hdd.head_position(), 0);
+}
+
+TEST(HddModel, InterleavedStreamsServedByReadahead) {
+  HddModel hdd(SeagateST32502NS(), 1);
+  // Two far-apart sequential streams, interleaved request by request: after
+  // each stream's first access, continuations must be positioning-free.
+  byte_count a = 0, b = 100 * GiB;
+  hdd.Access(IoKind::kRead, a, 16 * KiB);
+  hdd.Access(IoKind::kRead, b, 16 * KiB);
+  for (int i = 1; i < 20; ++i) {
+    a += 16 * KiB;
+    b += 16 * KiB;
+    EXPECT_EQ(hdd.Access(IoKind::kRead, a, 16 * KiB).positioning, 0)
+        << "stream A iteration " << i;
+    EXPECT_EQ(hdd.Access(IoKind::kRead, b, 16 * KiB).positioning, 0)
+        << "stream B iteration " << i;
+  }
+  EXPECT_EQ(hdd.active_streams(), 2);
+}
+
+TEST(HddModel, SmallForwardGapCostsGapTransferOnly) {
+  HddProfile p = SeagateST32502NS();
+  HddModel hdd(p, 1);
+  hdd.Access(IoKind::kRead, 0, 16 * KiB);
+  // Skip 16 KiB forward (within the readahead window): no seek, but the
+  // skipped bytes were read too.
+  const auto costs = hdd.Access(IoKind::kRead, 48 * KiB, 16 * KiB);
+  EXPECT_EQ(costs.positioning, 0);
+  const auto direct = static_cast<SimTime>(16 * KiB / p.transfer_bps * 1e9);
+  EXPECT_NEAR(static_cast<double>(costs.transfer),
+              3.0 * static_cast<double>(direct), 10.0);
+}
+
+TEST(HddModel, BeyondWindowGapPaysSeek) {
+  HddProfile p = SeagateST32502NS();
+  HddModel hdd(p, 1);
+  hdd.Access(IoKind::kRead, 0, 16 * KiB);
+  const auto costs =
+      hdd.Access(IoKind::kRead, 16 * KiB + p.readahead_window, 16 * KiB);
+  EXPECT_GT(costs.positioning, 0);
+}
+
+TEST(HddModel, SmallBackwardGapServedFromPageCache) {
+  HddProfile p = SeagateST32502NS();
+  HddModel hdd(p, 1);
+  hdd.Access(IoKind::kRead, 10 * MiB, 64 * KiB);
+  // Re-reading data the stream just passed: still in the page cache.
+  const auto costs = hdd.Access(IoKind::kRead, 10 * MiB - 64 * KiB, 64 * KiB);
+  EXPECT_EQ(costs.positioning, 0);
+  // The stream tail does not move backward.
+  const auto forward = hdd.Access(IoKind::kRead, 10 * MiB + 64 * KiB, 64 * KiB);
+  EXPECT_EQ(forward.positioning, 0) << "tail preserved across backward hit";
+}
+
+TEST(HddModel, FarBackwardAccessIsNotAStreamHit) {
+  HddProfile p = SeagateST32502NS();
+  HddModel hdd(p, 1);
+  hdd.Access(IoKind::kRead, 100 * MiB, 64 * KiB);
+  const auto costs = hdd.Access(
+      IoKind::kRead, 100 * MiB - p.readahead_window - 1 * MiB, 64 * KiB);
+  EXPECT_GT(costs.positioning, 0);
+}
+
+TEST(HddModel, StreamTableIsBounded) {
+  HddProfile p = SeagateST32502NS();
+  p.max_streams = 4;
+  HddModel hdd(p, 1);
+  // Open 8 streams; only the 4 most recent survive.
+  for (int s = 0; s < 8; ++s) {
+    hdd.Access(IoKind::kWrite, static_cast<byte_count>(s) * 10 * GiB, 4 * KiB);
+  }
+  EXPECT_EQ(hdd.active_streams(), 4);
+  // Stream 0 was evicted: continuing it pays positioning again.
+  EXPECT_GT(hdd.Access(IoKind::kWrite, 4 * KiB, 4 * KiB).positioning, 0);
+  // Stream 7 survived.
+  EXPECT_GT(hdd.active_streams(), 0);
+}
+
+// The motivating property behind Fig. 1: small random accesses are an order
+// of magnitude slower than small sequential ones; large accesses converge.
+TEST(HddModel, RandomVsSequentialGapShrinksWithSize) {
+  const HddProfile p = SeagateST32502NS();
+  auto total_time = [&](byte_count request, bool random) {
+    HddModel hdd(p, 3);
+    SimTime total = 0;
+    byte_count offset = 0;
+    Rng rng(11);
+    for (int i = 0; i < 50; ++i) {
+      if (random) {
+        offset = static_cast<byte_count>(
+                     rng.NextBelow(static_cast<std::uint64_t>(p.capacity / request))) *
+                 request;
+      }
+      const auto c = hdd.Access(IoKind::kRead, offset, request);
+      total += c.total();
+      offset += request;
+    }
+    return total;
+  };
+
+  const double small_ratio =
+      static_cast<double>(total_time(16 * KiB, true)) /
+      static_cast<double>(total_time(16 * KiB, false));
+  const double large_ratio =
+      static_cast<double>(total_time(16 * MiB, true)) /
+      static_cast<double>(total_time(16 * MiB, false));
+  EXPECT_GT(small_ratio, 10.0);
+  EXPECT_LT(large_ratio, 1.3);
+}
+
+}  // namespace
+}  // namespace s4d::device

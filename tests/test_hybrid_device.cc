@@ -1,0 +1,74 @@
+#include "device/hybrid_device.h"
+
+#include <gtest/gtest.h>
+
+namespace s4d::device {
+namespace {
+
+HybridProfile SmallHybrid(byte_count capacity = 1 * MiB) {
+  HybridProfile p;
+  p.ssd_capacity = capacity;
+  p.block_size = 64 * KiB;
+  return p;
+}
+
+TEST(HybridDevice, WritesAbsorbedBySsd) {
+  HybridHddSsd dev(SmallHybrid(), 1);
+  const auto cost = dev.Access(IoKind::kWrite, 100 * MiB, 64 * KiB);
+  // Write-back: SSD latency + transfer, no HDD seek/rotation (> 1 ms).
+  EXPECT_LT(cost.total(), FromMillis(3));
+  EXPECT_EQ(dev.stats().block_misses, 1);
+  EXPECT_EQ(dev.cached_blocks(), 1u);
+}
+
+TEST(HybridDevice, ReadMissGoesToHddThenHits) {
+  HybridHddSsd dev(SmallHybrid(), 1);
+  const auto miss = dev.Access(IoKind::kRead, 100 * MiB, 64 * KiB);
+  EXPECT_GT(miss.positioning, FromMillis(1)) << "cold read seeks the HDD";
+  const auto hit = dev.Access(IoKind::kRead, 100 * MiB, 64 * KiB);
+  EXPECT_LT(hit.total(), FromMillis(2)) << "second read is SSD-served";
+  EXPECT_EQ(dev.stats().block_hits, 1);
+}
+
+TEST(HybridDevice, LruBoundedAndEvicts) {
+  HybridHddSsd dev(SmallHybrid(1 * MiB), 1);  // 16 blocks
+  for (int i = 0; i < 32; ++i) {
+    dev.Access(IoKind::kRead, static_cast<byte_count>(i) * 64 * KiB, 64 * KiB);
+  }
+  EXPECT_EQ(dev.cached_blocks(), 16u);
+}
+
+TEST(HybridDevice, DirtyEvictionChargesHddWriteback) {
+  HybridHddSsd dev(SmallHybrid(1 * MiB), 1);  // 16 blocks
+  // Fill with dirty blocks at scattered offsets.
+  for (int i = 0; i < 16; ++i) {
+    dev.Access(IoKind::kWrite, static_cast<byte_count>(i) * 50 * MiB, 64 * KiB);
+  }
+  EXPECT_EQ(dev.stats().dirty_evictions, 0);
+  // One more dirty write evicts the LRU dirty block -> HDD write cost.
+  const auto cost = dev.Access(IoKind::kWrite, 900 * MiB, 64 * KiB);
+  EXPECT_EQ(dev.stats().dirty_evictions, 1);
+  EXPECT_GT(cost.total(), FromMillis(1)) << "eviction pays the HDD seek";
+}
+
+TEST(HybridDevice, PartialHitSplitsWork) {
+  HybridHddSsd dev(SmallHybrid(), 1);
+  dev.Access(IoKind::kRead, 0, 64 * KiB);  // cache block 0
+  const auto cost = dev.Access(IoKind::kRead, 0, 128 * KiB);  // block 1 misses
+  EXPECT_EQ(dev.stats().block_hits, 1);
+  EXPECT_EQ(dev.stats().block_misses, 2);
+  EXPECT_GT(cost.total(), 0);
+}
+
+TEST(HybridDevice, ResetClearsPositionNotCache) {
+  HybridHddSsd dev(SmallHybrid(), 1);
+  dev.Access(IoKind::kRead, 0, 64 * KiB);
+  dev.Reset();
+  // Cached block still hits after reset (cache contents persist; only the
+  // mechanical state resets).
+  const auto hit = dev.Access(IoKind::kRead, 0, 64 * KiB);
+  EXPECT_LT(hit.total(), FromMillis(2));
+}
+
+}  // namespace
+}  // namespace s4d::device

@@ -1,0 +1,156 @@
+#include "common/interval_map.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace s4d {
+namespace {
+
+using Map = IntervalMap<int>;
+
+TEST(IntervalMap, EmptyByDefault) {
+  Map m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.At(0), std::nullopt);
+  EXPECT_TRUE(m.Overlapping(0, 100).empty());
+  EXPECT_EQ(m.CoveredBytes(), 0);
+}
+
+TEST(IntervalMap, SimpleAssignAndAt) {
+  Map m;
+  m.Assign(10, 20, 7);
+  EXPECT_EQ(m.At(10), 7);
+  EXPECT_EQ(m.At(19), 7);
+  EXPECT_EQ(m.At(20), std::nullopt);
+  EXPECT_EQ(m.At(9), std::nullopt);
+  EXPECT_EQ(m.CoveredBytes(), 10);
+}
+
+TEST(IntervalMap, ZeroOrNegativeRangesIgnored) {
+  Map m;
+  m.Assign(10, 10, 1);
+  m.Assign(20, 15, 2);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(IntervalMap, OverwriteSplitsExisting) {
+  Map m;
+  m.Assign(0, 100, 1);
+  m.Assign(40, 60, 2);
+  EXPECT_EQ(m.At(39), 1);
+  EXPECT_EQ(m.At(40), 2);
+  EXPECT_EQ(m.At(59), 2);
+  EXPECT_EQ(m.At(60), 1);
+  EXPECT_EQ(m.segment_count(), 3u);
+  EXPECT_EQ(m.CoveredBytes(), 100);
+}
+
+TEST(IntervalMap, CoalescesEqualNeighbours) {
+  Map m;
+  m.Assign(0, 10, 5);
+  m.Assign(10, 20, 5);
+  EXPECT_EQ(m.segment_count(), 1u);
+  m.Assign(20, 30, 6);
+  EXPECT_EQ(m.segment_count(), 2u);
+  m.Assign(20, 30, 5);  // now all equal
+  EXPECT_EQ(m.segment_count(), 1u);
+  EXPECT_EQ(m.CoveredBytes(), 30);
+}
+
+TEST(IntervalMap, EraseCarvesHole) {
+  Map m;
+  m.Assign(0, 100, 3);
+  m.Erase(30, 70);
+  EXPECT_EQ(m.At(29), 3);
+  EXPECT_EQ(m.At(30), std::nullopt);
+  EXPECT_EQ(m.At(69), std::nullopt);
+  EXPECT_EQ(m.At(70), 3);
+  EXPECT_EQ(m.CoveredBytes(), 60);
+}
+
+TEST(IntervalMap, OverlappingClipsToQuery) {
+  Map m;
+  m.Assign(0, 50, 1);
+  m.Assign(50, 100, 2);
+  const auto entries = m.Overlapping(25, 75);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].begin, 25);
+  EXPECT_EQ(entries[0].end, 50);
+  EXPECT_EQ(entries[0].value, 1);
+  EXPECT_EQ(entries[1].begin, 50);
+  EXPECT_EQ(entries[1].end, 75);
+  EXPECT_EQ(entries[1].value, 2);
+}
+
+TEST(IntervalMap, CoversAndGaps) {
+  Map m;
+  m.Assign(0, 10, 1);
+  m.Assign(20, 30, 1);
+  EXPECT_TRUE(m.Covers(0, 10));
+  EXPECT_FALSE(m.Covers(0, 15));
+  EXPECT_FALSE(m.Covers(5, 25));
+  EXPECT_TRUE(m.Covers(22, 28));
+  const auto gaps = m.Gaps(0, 40);
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], (std::pair<std::int64_t, std::int64_t>{10, 20}));
+  EXPECT_EQ(gaps[1], (std::pair<std::int64_t, std::int64_t>{30, 40}));
+}
+
+TEST(IntervalMap, GapsWhenEmpty) {
+  Map m;
+  const auto gaps = m.Gaps(5, 15);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], (std::pair<std::int64_t, std::int64_t>{5, 15}));
+}
+
+// Property test: random assigns/erases against a brute-force byte map.
+TEST(IntervalMap, MatchesBruteForceReference) {
+  constexpr std::int64_t kSpace = 512;
+  Map m;
+  std::map<std::int64_t, int> reference;  // byte -> value
+  Rng rng(2024);
+
+  for (int step = 0; step < 2000; ++step) {
+    const std::int64_t begin = rng.NextInRange(0, kSpace - 1);
+    const std::int64_t end = rng.NextInRange(begin, kSpace);
+    if (rng.NextBool(0.8)) {
+      const int value = static_cast<int>(rng.NextInRange(1, 5));
+      m.Assign(begin, end, value);
+      for (std::int64_t b = begin; b < end; ++b) reference[b] = value;
+    } else {
+      m.Erase(begin, end);
+      for (std::int64_t b = begin; b < end; ++b) reference.erase(b);
+    }
+  }
+
+  for (std::int64_t b = 0; b < kSpace; ++b) {
+    auto it = reference.find(b);
+    const auto got = m.At(b);
+    if (it == reference.end()) {
+      EXPECT_EQ(got, std::nullopt) << "byte " << b;
+    } else {
+      ASSERT_TRUE(got.has_value()) << "byte " << b;
+      EXPECT_EQ(*got, it->second) << "byte " << b;
+    }
+  }
+  EXPECT_EQ(m.CoveredBytes(), static_cast<std::int64_t>(reference.size()));
+
+  // Segments must be disjoint, sorted, non-empty, and maximal (coalesced).
+  const auto entries = m.AllEntries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i].begin, entries[i].end);
+    if (i > 0) {
+      EXPECT_LE(entries[i - 1].end, entries[i].begin);
+      if (entries[i - 1].end == entries[i].begin) {
+        EXPECT_NE(entries[i - 1].value, entries[i].value)
+            << "adjacent equal segments not coalesced";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace s4d

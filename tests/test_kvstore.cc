@@ -1,0 +1,250 @@
+#include "kvstore/kvstore.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <string>
+
+namespace s4d::kv {
+namespace {
+
+class KvStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("s4d_kv_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "store.db").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  Options FastOptions() {
+    Options o;
+    o.sync_writes = false;  // keep tests fast; durability tested explicitly
+    return o;
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(KvStoreTest, PutGetDelete) {
+  auto store = KvStore::Open(path_, FastOptions());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto& kv = **store;
+  EXPECT_TRUE(kv.Put("alpha", "1").ok());
+  EXPECT_TRUE(kv.Put("beta", "2").ok());
+  EXPECT_EQ(kv.Get("alpha"), "1");
+  EXPECT_EQ(kv.Get("beta"), "2");
+  EXPECT_EQ(kv.Get("gamma"), std::nullopt);
+  EXPECT_TRUE(kv.Contains("alpha"));
+  EXPECT_TRUE(kv.Delete("alpha").ok());
+  EXPECT_FALSE(kv.Contains("alpha"));
+  EXPECT_EQ(kv.Delete("alpha").code(), StatusCode::kNotFound);
+  EXPECT_EQ(kv.Size(), 1u);
+}
+
+TEST_F(KvStoreTest, OverwriteKeepsLatestValue) {
+  auto store = KvStore::Open(path_, FastOptions());
+  ASSERT_TRUE(store.ok());
+  auto& kv = **store;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(kv.Put("k", std::to_string(i)).ok());
+  }
+  EXPECT_EQ(kv.Get("k"), "99");
+  EXPECT_EQ(kv.Size(), 1u);
+}
+
+TEST_F(KvStoreTest, PersistsAcrossReopen) {
+  {
+    auto store = KvStore::Open(path_, FastOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("x", "42").ok());
+    ASSERT_TRUE((*store)->Put("y", std::string(1000, 'z')).ok());
+    ASSERT_TRUE((*store)->Delete("x").ok());
+  }
+  auto reopened = KvStore::Open(path_, FastOptions());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Get("x"), std::nullopt);
+  EXPECT_EQ((*reopened)->Get("y"), std::string(1000, 'z'));
+}
+
+TEST_F(KvStoreTest, BinarySafeKeysAndValues) {
+  auto store = KvStore::Open(path_, FastOptions());
+  ASSERT_TRUE(store.ok());
+  const std::string key("\x00\x01\xff key", 8);
+  const std::string value("\x00\n\r\xde\xad", 5);
+  ASSERT_TRUE((*store)->Put(key, value).ok());
+  EXPECT_EQ((*store)->Get(key), value);
+}
+
+TEST_F(KvStoreTest, KeysWithPrefix) {
+  auto store = KvStore::Open(path_, FastOptions());
+  ASSERT_TRUE(store.ok());
+  auto& kv = **store;
+  ASSERT_TRUE(kv.Put("dmt|a|1", "x").ok());
+  ASSERT_TRUE(kv.Put("dmt|a|2", "x").ok());
+  ASSERT_TRUE(kv.Put("cdt|a|1", "x").ok());
+  const auto keys = kv.KeysWithPrefix("dmt|");
+  EXPECT_EQ(keys.size(), 2u);
+  EXPECT_EQ(kv.Keys().size(), 3u);
+}
+
+TEST_F(KvStoreTest, TornTailIsTruncatedOnRecovery) {
+  {
+    auto store = KvStore::Open(path_, FastOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("good1", "v1").ok());
+    ASSERT_TRUE((*store)->Put("good2", "v2").ok());
+  }
+  // Simulate a crash mid-append: chop bytes off the log tail.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 3);
+
+  auto recovered = KvStore::Open(path_, FastOptions());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->Get("good1"), "v1");
+  EXPECT_EQ((*recovered)->Get("good2"), std::nullopt);  // torn record dropped
+  EXPECT_GT((*recovered)->Stats().truncated_tail_bytes, 0);
+  // The store remains writable after recovery.
+  ASSERT_TRUE((*recovered)->Put("good3", "v3").ok());
+}
+
+TEST_F(KvStoreTest, CorruptMiddleRecordStopsReplayCleanly) {
+  {
+    auto store = KvStore::Open(path_, FastOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("first", "1").ok());
+    ASSERT_TRUE((*store)->Put("second", "2").ok());
+  }
+  // Flip a byte inside the first record's value area.
+  {
+    const int fd = ::open(path_.c_str(), O_RDWR);
+    ASSERT_GE(fd, 0);
+    char byte = 0x5a;
+    ASSERT_EQ(::pwrite(fd, &byte, 1, 16), 1);
+    ::close(fd);
+  }
+  auto recovered = KvStore::Open(path_, FastOptions());
+  ASSERT_TRUE(recovered.ok());
+  // Everything from the corrupt record onward is discarded.
+  EXPECT_EQ((*recovered)->Get("first"), std::nullopt);
+  EXPECT_EQ((*recovered)->Get("second"), std::nullopt);
+}
+
+TEST_F(KvStoreTest, CompactionShrinksLogAndPreservesData) {
+  Options options = FastOptions();
+  options.min_compaction_bytes = 1;  // compact eagerly
+  options.compaction_ratio = 2.0;
+  auto store = KvStore::Open(path_, options);
+  ASSERT_TRUE(store.ok());
+  auto& kv = **store;
+  const std::string value(128, 'v');
+  for (int round = 0; round < 50; ++round) {
+    for (int k = 0; k < 10; ++k) {
+      ASSERT_TRUE(kv.Put("key" + std::to_string(k), value).ok());
+    }
+  }
+  const auto stats = kv.Stats();
+  EXPECT_GT(stats.compactions, 0);
+  EXPECT_EQ(stats.live_records, 10);
+  // Log should be near live size, far below the ~500 records appended.
+  EXPECT_LT(stats.log_bytes, 10 * 200 * 3);
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_EQ(kv.Get("key" + std::to_string(k)), value);
+  }
+  // Data survives reopen after compaction (rename path is crash-safe).
+  store = Result<std::unique_ptr<KvStore>>(Status::NotFound());  // close
+  auto reopened = KvStore::Open(path_, options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Size(), 10u);
+}
+
+TEST_F(KvStoreTest, ExplicitCompactKeepsEverything) {
+  auto store = KvStore::Open(path_, FastOptions());
+  ASSERT_TRUE(store.ok());
+  auto& kv = **store;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(kv.Put("k" + std::to_string(i), std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(kv.Delete("k" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(kv.Compact().ok());
+  EXPECT_EQ(kv.Size(), 50u);
+  for (int i = 50; i < 100; ++i) {
+    EXPECT_EQ(kv.Get("k" + std::to_string(i)), std::to_string(i));
+  }
+}
+
+TEST_F(KvStoreTest, SyncWritesSurviveWithoutClose) {
+  Options options;
+  options.sync_writes = true;
+  {
+    auto store = KvStore::Open(path_, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("durable", "yes").ok());
+    // No clean shutdown: store destroyed without explicit Sync.
+  }
+  auto reopened = KvStore::Open(path_, options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Get("durable"), "yes");
+}
+
+TEST_F(KvStoreTest, OpenMissingWithoutCreateFails) {
+  Options options;
+  options.create_if_missing = false;
+  auto store = KvStore::Open((dir_ / "absent.db").string(), options);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(KvStoreTest, ConcurrentMixedOperations) {
+  // The paper leans on BDB's lock subsystem for multi-process metadata
+  // access; our stand-in must be safe under concurrent mutation.
+  auto store = KvStore::Open(path_, FastOptions());
+  ASSERT_TRUE(store.ok());
+  auto& kv = **store;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&kv, &failures, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key =
+            "t" + std::to_string(t) + "_" + std::to_string(i % 50);
+        if (!kv.Put(key, std::to_string(i)).ok()) ++failures;
+        const auto got = kv.Get(key);
+        if (!got) ++failures;
+        if (i % 7 == 0) (void)kv.Delete(key);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Store remains consistent and reopenable.
+  ASSERT_TRUE(kv.Compact().ok());
+  store = Result<std::unique_ptr<KvStore>>(Status::NotFound());
+  auto reopened = KvStore::Open(path_, FastOptions());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_GT((*reopened)->Size(), 0u);
+}
+
+TEST_F(KvStoreTest, EmptyValueRoundTrips) {
+  auto store = KvStore::Open(path_, FastOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("empty", "").ok());
+  const auto got = (*store)->Get("empty");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+}  // namespace
+}  // namespace s4d::kv

@@ -1,0 +1,33 @@
+#include "net/link_model.h"
+
+#include <gtest/gtest.h>
+
+namespace s4d::net {
+namespace {
+
+TEST(LinkModel, GigabitTransferTimes) {
+  LinkModel link(GigabitEthernet());
+  // 125 MB at 125 MB/s = 1 s.
+  EXPECT_NEAR(ToSeconds(link.TransferTime(125 * MB)), 1.0, 1e-9);
+  // 64 KiB in ~524 us.
+  EXPECT_NEAR(ToMicros(link.TransferTime(64 * KiB)), 524.3, 0.5);
+  EXPECT_EQ(link.TransferTime(0), 0);
+}
+
+TEST(LinkModel, RpcOverheadIsRoundTrip) {
+  LinkModel link(GigabitEthernet());
+  EXPECT_EQ(link.RpcOverhead(), 2 * link.profile().message_latency);
+  EXPECT_EQ(link.RpcOverhead(), FromMicros(100));
+}
+
+TEST(LinkModel, CustomProfile) {
+  LinkProfile p;
+  p.bandwidth_bps = 1.0e9;  // 10 GbE-ish
+  p.message_latency = FromMicros(10);
+  LinkModel link(p);
+  EXPECT_NEAR(ToMillis(link.TransferTime(100 * MB)), 100.0, 1e-6);
+  EXPECT_EQ(link.RpcOverhead(), FromMicros(20));
+}
+
+}  // namespace
+}  // namespace s4d::net

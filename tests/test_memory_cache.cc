@@ -1,0 +1,151 @@
+#include "mpiio/memory_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace s4d::mpiio {
+namespace {
+
+// Backend with a fixed per-request latency, recording what reaches it.
+class SlowDispatch final : public IoDispatch {
+ public:
+  explicit SlowDispatch(sim::Engine& engine, SimTime latency)
+      : engine_(engine), latency_(latency) {}
+
+  void Open(const std::string&) override {}
+  void Close(const std::string&) override {}
+  void Read(const FileRequest& request, IoCompletion done) override {
+    ++reads;
+    (void)request;
+    engine_.ScheduleAfter(latency_, [this, done = std::move(done)]() {
+      if (done) done(engine_.now());
+    });
+  }
+  void Write(const FileRequest& request, IoCompletion done) override {
+    ++writes;
+    (void)request;
+    engine_.ScheduleAfter(latency_, [this, done = std::move(done)]() {
+      if (done) done(engine_.now());
+    });
+  }
+  std::vector<ContentEntry> ReadContent(const std::string&, byte_count,
+                                        byte_count) override {
+    return {};
+  }
+  std::string Name() const override { return "slow"; }
+
+  int reads = 0;
+  int writes = 0;
+
+ private:
+  sim::Engine& engine_;
+  SimTime latency_;
+};
+
+class MemoryCacheTest : public ::testing::Test {
+ protected:
+  MemoryCacheTest() : backend_(engine_, FromMillis(10)) {
+    MemoryCacheConfig cfg;
+    cfg.capacity = 1 * MiB;
+    cfg.page_size = 64 * KiB;
+    cfg.hit_latency = FromMicros(10);
+    cache_ = std::make_unique<MemoryCacheDispatch>(engine_, backend_, cfg);
+  }
+
+  SimTime DoRead(byte_count offset, byte_count size) {
+    SimTime completed = -1;
+    const SimTime start = engine_.now();
+    cache_->Read(FileRequest{"f", 0, offset, size, 0},
+                 [&](SimTime t) { completed = t; });
+    engine_.Run();
+    EXPECT_GE(completed, 0);
+    return completed - start;
+  }
+
+  SimTime DoWrite(byte_count offset, byte_count size) {
+    SimTime completed = -1;
+    const SimTime start = engine_.now();
+    cache_->Write(FileRequest{"f", 0, offset, size, 0},
+                  [&](SimTime t) { completed = t; });
+    engine_.Run();
+    EXPECT_GE(completed, 0);
+    return completed - start;
+  }
+
+  sim::Engine engine_;
+  SlowDispatch backend_;
+  std::unique_ptr<MemoryCacheDispatch> cache_;
+};
+
+TEST_F(MemoryCacheTest, ColdReadMissesThenHits) {
+  const SimTime cold = DoRead(0, 64 * KiB);
+  EXPECT_EQ(cold, FromMillis(10));
+  EXPECT_EQ(backend_.reads, 1);
+  const SimTime warm = DoRead(0, 64 * KiB);
+  EXPECT_EQ(warm, FromMicros(10));
+  EXPECT_EQ(backend_.reads, 1) << "hit must not reach the backend";
+  EXPECT_EQ(cache_->stats().read_hits, 1);
+  EXPECT_EQ(cache_->stats().read_misses, 1);
+}
+
+TEST_F(MemoryCacheTest, SubRangeOfCachedPagesHits) {
+  DoRead(0, 256 * KiB);  // caches 4 pages
+  EXPECT_EQ(DoRead(70 * KiB, 100 * KiB), FromMicros(10));
+}
+
+TEST_F(MemoryCacheTest, PartialOverlapMisses) {
+  DoRead(0, 64 * KiB);
+  // Second page not cached -> whole request forwarded.
+  EXPECT_EQ(DoRead(32 * KiB, 64 * KiB), FromMillis(10));
+  EXPECT_EQ(backend_.reads, 2);
+  // Now both pages are cached.
+  EXPECT_EQ(DoRead(0, 128 * KiB), FromMicros(10));
+}
+
+TEST_F(MemoryCacheTest, WritesAreWrittenThrough) {
+  DoWrite(0, 64 * KiB);
+  EXPECT_EQ(backend_.writes, 1);
+  // The fully-covered page is now cached for reads.
+  EXPECT_EQ(DoRead(0, 64 * KiB), FromMicros(10));
+}
+
+TEST_F(MemoryCacheTest, PartialPageWriteDoesNotFakeAHit) {
+  DoWrite(1 * KiB, 10 * KiB);  // covers no full page
+  EXPECT_EQ(DoRead(0, 64 * KiB), FromMillis(10)) << "must miss";
+}
+
+TEST_F(MemoryCacheTest, LruEvictionBounded) {
+  // Capacity 1 MiB = 16 pages; touch 32 distinct pages.
+  for (int i = 0; i < 32; ++i) {
+    DoRead(static_cast<byte_count>(i) * 64 * KiB, 64 * KiB);
+  }
+  EXPECT_EQ(cache_->cached_pages(), 16u);
+  EXPECT_EQ(cache_->stats().evictions, 16);
+  // Oldest page (index 0) evicted; newest still resident.
+  EXPECT_EQ(DoRead(31 * 64 * KiB, 64 * KiB), FromMicros(10));
+  EXPECT_EQ(DoRead(0, 64 * KiB), FromMillis(10));
+}
+
+TEST_F(MemoryCacheTest, LruRefreshOnHit) {
+  for (int i = 0; i < 16; ++i) {
+    DoRead(static_cast<byte_count>(i) * 64 * KiB, 64 * KiB);
+  }
+  DoRead(0, 64 * KiB);  // refresh page 0
+  DoRead(16 * 64 * KiB, 64 * KiB);  // evicts page 1, not page 0
+  EXPECT_EQ(DoRead(0, 64 * KiB), FromMicros(10));
+  EXPECT_EQ(DoRead(64 * KiB, 64 * KiB), FromMillis(10));
+}
+
+TEST_F(MemoryCacheTest, DistinctFilesDistinctPages) {
+  DoRead(0, 64 * KiB);
+  SimTime completed = -1;
+  cache_->Read(FileRequest{"other", 0, 0, 64 * KiB, 0},
+               [&](SimTime t) { completed = t; });
+  const SimTime start = engine_.now();
+  engine_.Run();
+  EXPECT_EQ(completed - start, FromMillis(10));
+}
+
+}  // namespace
+}  // namespace s4d::mpiio

@@ -1,0 +1,269 @@
+#include "core/rebuilder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/s4d_cache.h"
+#include "harness/testbed.h"
+
+namespace s4d::core {
+namespace {
+
+harness::TestbedConfig SmallTestbed() {
+  harness::TestbedConfig cfg;
+  cfg.track_content = true;
+  cfg.file_reservation = 1 * GiB;
+  return cfg;
+}
+
+S4DConfig ManualRebuilder() {
+  S4DConfig cfg;
+  cfg.cache_capacity = 64 * MiB;
+  cfg.enable_rebuilder = false;  // ticks driven manually by the tests
+  return cfg;
+}
+
+SimTime DoIo(harness::Testbed& bed, mpiio::IoDispatch& dispatch,
+             device::IoKind kind, const std::string& file, int rank,
+             byte_count offset, byte_count size, std::uint64_t token = 0) {
+  SimTime completed = -1;
+  mpiio::FileRequest req{file, rank, offset, size, token};
+  if (kind == device::IoKind::kWrite) {
+    dispatch.Write(req, [&](SimTime t) { completed = t; });
+  } else {
+    dispatch.Read(req, [&](SimTime t) { completed = t; });
+  }
+  // Step (not Run): a periodically-rescheduling Rebuilder never drains the
+  // event queue, so run only until this request completes.
+  while (completed < 0 && bed.engine().Step()) {
+  }
+  EXPECT_GE(completed, 0);
+  return completed;
+}
+
+TEST(Rebuilder, FlushWritesDirtyDataBackAndCleans) {
+  harness::Testbed bed(SmallTestbed());
+  auto s4d = bed.MakeS4D(ManualRebuilder());
+  s4d->Open("f");
+  DoIo(bed, *s4d, device::IoKind::kWrite, "f", 0, 200 * MiB, 16 * KiB, 9);
+  ASSERT_EQ(s4d->dmt().dirty_bytes(), 16 * KiB);
+
+  s4d->rebuilder().Tick();
+  bed.engine().Run();
+
+  EXPECT_EQ(s4d->dmt().dirty_bytes(), 0);
+  EXPECT_EQ(s4d->dmt().mapped_bytes(), 16 * KiB) << "mapping stays (clean)";
+  EXPECT_EQ(s4d->rebuilder_stats().flushes_cleaned, 1);
+  // The flush wrote through to DServers with background priority.
+  EXPECT_GT(bed.dservers().TotalServerStats().background_requests, 0);
+  // The original file now holds the data.
+  const pfs::FileId orig = bed.dservers().Lookup("f");
+  const auto content = bed.dservers().ReadContent(orig, 200 * MiB, 16 * KiB);
+  ASSERT_EQ(content.size(), 1u);
+  EXPECT_EQ(content[0].value, 9u);
+}
+
+TEST(Rebuilder, FlushedCleanDataBecomesEvictable) {
+  harness::Testbed bed(SmallTestbed());
+  S4DConfig cfg = ManualRebuilder();
+  cfg.cache_capacity = 32 * KiB;
+  auto s4d = bed.MakeS4D(cfg);
+  s4d->Open("f");
+  DoIo(bed, *s4d, device::IoKind::kWrite, "f", 0, 100 * MiB, 16 * KiB);
+  DoIo(bed, *s4d, device::IoKind::kWrite, "f", 0, 200 * MiB, 16 * KiB);
+  // Cache full of dirty data: next admission fails.
+  DoIo(bed, *s4d, device::IoKind::kWrite, "f", 0, 300 * MiB, 16 * KiB);
+  ASSERT_GT(s4d->redirector_stats().admission_failures, 0);
+
+  s4d->rebuilder().Tick();
+  bed.engine().Run();
+  ASSERT_EQ(s4d->dmt().dirty_bytes(), 0);
+
+  // Now the same write is admitted by evicting clean LRU space.
+  DoIo(bed, *s4d, device::IoKind::kWrite, "f", 0, 400 * MiB, 16 * KiB);
+  EXPECT_GT(s4d->redirector_stats().evictions, 0);
+  EXPECT_TRUE(s4d->dmt().Lookup("f", 400 * MiB, 16 * KiB).fully_mapped());
+}
+
+TEST(Rebuilder, LazyFetchCachesCriticalReadData) {
+  harness::Testbed bed(SmallTestbed());
+  auto s4d = bed.MakeS4D(ManualRebuilder());
+  s4d->Open("f");
+  // Seed the original file's content via a large sequential (non-critical)
+  // write that lands on DServers. 12 MiB so that a read near the start is
+  // far outside the servers' cache reach (readahead window x M = 4 MiB
+  // behind the write's stream tail).
+  DoIo(bed, *s4d, device::IoKind::kWrite, "f", 0, 0, 12 * MiB, 5);
+
+  // A random small read: miss, served by DServers, marked for lazy fetch.
+  DoIo(bed, *s4d, device::IoKind::kRead, "f", 1, 2 * MiB, 16 * KiB);
+  EXPECT_EQ(s4d->redirector_stats().lazy_fetch_marks, 1);
+  EXPECT_TRUE(s4d->cdt().AnyPendingFetch());
+  EXPECT_EQ(s4d->dmt().entry_count(), 0u);
+
+  s4d->rebuilder().Tick();
+  bed.engine().Run();
+
+  EXPECT_FALSE(s4d->cdt().AnyPendingFetch());
+  EXPECT_EQ(s4d->rebuilder_stats().fetches_completed, 1);
+  EXPECT_TRUE(s4d->dmt().Lookup("f", 2 * MiB, 16 * KiB).fully_mapped());
+  EXPECT_EQ(s4d->dmt().dirty_bytes(), 0) << "fetched data is clean";
+
+  // An immediate re-read lands right behind its own fresh stream tail, so
+  // the identifier scores it non-critical and the clean-hit bypass serves
+  // it from DServers (both copies are identical). The mapping survives for
+  // genuinely random future accesses, and the content is correct.
+  DoIo(bed, *s4d, device::IoKind::kRead, "f", 1, 2 * MiB, 16 * KiB);
+  EXPECT_EQ(s4d->redirector_stats().read_clean_bypasses, 1);
+  EXPECT_TRUE(s4d->dmt().Lookup("f", 2 * MiB, 16 * KiB).fully_mapped());
+  const auto content = s4d->ReadContent("f", 2 * MiB, 16 * KiB);
+  ASSERT_EQ(content.size(), 1u);
+  EXPECT_EQ(content[0].value, 5u);
+
+  // Once the nearby stream tail has been evicted from the identifier's
+  // bounded table (512 newer streams), an access to the fetched range is
+  // critical again and hits the CServer copy. (The warm-read benefit at
+  // scale is exercised by Integration.SecondRunReadsBenefitFromWarmCache.)
+  for (int i = 0; i < 520; ++i) {
+    // Scattered reads on the same file, 16 MiB apart (beyond the 4 MiB
+    // stream reach), open 520 distinct streams in the per-file tail table
+    // and evict the tail near 2 MiB.
+    DoIo(bed, *s4d, device::IoKind::kRead, "f", 5,
+         16 * MiB + static_cast<byte_count>(i) * 16 * MiB, 4 * KiB);
+  }
+  const auto d_before = bed.dservers().stats().requests;
+  DoIo(bed, *s4d, device::IoKind::kRead, "f", 4, 2 * MiB, 16 * KiB);
+  EXPECT_EQ(s4d->redirector_stats().read_cache_hits, 1);
+  EXPECT_EQ(bed.dservers().stats().requests, d_before);
+}
+
+TEST(Rebuilder, DefaultFetchNeverEvictsEstablishedMappings) {
+  harness::Testbed bed(SmallTestbed());
+  S4DConfig cfg = ManualRebuilder();
+  cfg.cache_capacity = 16 * KiB;
+  auto s4d = bed.MakeS4D(cfg);
+  s4d->Open("f");
+  // Fill the cache, flush it clean, then mark a fetch: the default policy
+  // must leave the clean mapping alone and keep the fetch pending.
+  DoIo(bed, *s4d, device::IoKind::kWrite, "f", 0, 100 * MiB, 16 * KiB);
+  s4d->rebuilder().Tick();
+  bed.engine().Run();
+  ASSERT_EQ(s4d->dmt().dirty_bytes(), 0);
+  DoIo(bed, *s4d, device::IoKind::kRead, "f", 1, 500 * MiB, 16 * KiB);
+  ASSERT_TRUE(s4d->cdt().AnyPendingFetch());
+  s4d->rebuilder().Tick();
+  bed.engine().Run();
+  EXPECT_TRUE(s4d->cdt().AnyPendingFetch()) << "fetch must stay pending";
+  EXPECT_EQ(s4d->rebuilder_stats().fetches_completed, 0);
+  EXPECT_TRUE(s4d->dmt().Lookup("f", 100 * MiB, 16 * KiB).fully_mapped())
+      << "established mapping must survive";
+}
+
+TEST(Rebuilder, FetchSkippedWhenNoSpace) {
+  harness::Testbed bed(SmallTestbed());
+  S4DConfig cfg = ManualRebuilder();
+  cfg.cache_capacity = 16 * KiB;
+  cfg.rebuilder.fetch_may_evict = true;  // exercise the evicting variant
+  auto s4d = bed.MakeS4D(cfg);
+  s4d->Open("f");
+  // Fill the cache with dirty (unevictable) data.
+  DoIo(bed, *s4d, device::IoKind::kWrite, "f", 0, 100 * MiB, 16 * KiB);
+  // Mark a critical read for fetching.
+  DoIo(bed, *s4d, device::IoKind::kRead, "f", 1, 500 * MiB, 16 * KiB);
+  ASSERT_TRUE(s4d->cdt().AnyPendingFetch());
+
+  // Suppress the flush so the dirty data stays pinned, isolating the
+  // fetch-space path: use a fetch-only tick by flushing zero ranges.
+  // (Tick flushes too, so instead check stats after a full tick: the flush
+  // is asynchronous and completes later than the fetch attempt.)
+  s4d->rebuilder().Tick();
+  EXPECT_GT(s4d->rebuilder_stats().fetch_space_failures, 0);
+  EXPECT_TRUE(s4d->cdt().AnyPendingFetch()) << "flag kept for retry";
+  bed.engine().Run();
+
+  // After the flush completed, a later tick can fetch.
+  s4d->rebuilder().Tick();
+  bed.engine().Run();
+  EXPECT_FALSE(s4d->cdt().AnyPendingFetch());
+  EXPECT_EQ(s4d->rebuilder_stats().fetches_completed, 1);
+}
+
+TEST(Rebuilder, RacingWriteKeepsExtentDirty) {
+  harness::Testbed bed(SmallTestbed());
+  auto s4d = bed.MakeS4D(ManualRebuilder());
+  s4d->Open("f");
+  DoIo(bed, *s4d, device::IoKind::kWrite, "f", 0, 200 * MiB, 16 * KiB, 1);
+
+  // Start the flush but do not let it complete...
+  s4d->rebuilder().Tick();
+  // ...instead, immediately re-dirty the extent with a mapped write-hit.
+  mpiio::FileRequest req{"f", 0, 200 * MiB, 16 * KiB, 2};
+  bool done = false;
+  s4d->Write(req, [&](SimTime) { done = true; });
+  bed.engine().Run();
+  ASSERT_TRUE(done);
+
+  EXPECT_EQ(s4d->rebuilder_stats().flush_races, 1);
+  EXPECT_EQ(s4d->dmt().dirty_bytes(), 16 * KiB)
+      << "extent must remain dirty so the new data is flushed later";
+
+  // The next tick flushes the new data; the original file ends with token 2.
+  s4d->rebuilder().Tick();
+  bed.engine().Run();
+  EXPECT_EQ(s4d->dmt().dirty_bytes(), 0);
+  const pfs::FileId orig = bed.dservers().Lookup("f");
+  const auto content = bed.dservers().ReadContent(orig, 200 * MiB, 16 * KiB);
+  ASSERT_EQ(content.size(), 1u);
+  EXPECT_EQ(content[0].value, 2u);
+}
+
+TEST(Rebuilder, PeriodicTicksRunWhenEnabled) {
+  harness::Testbed bed(SmallTestbed());
+  S4DConfig cfg;
+  cfg.cache_capacity = 64 * MiB;
+  cfg.enable_rebuilder = true;
+  cfg.rebuilder.interval = FromMillis(10);
+  auto s4d = bed.MakeS4D(cfg);
+  s4d->Open("f");
+  DoIo(bed, *s4d, device::IoKind::kWrite, "f", 0, 200 * MiB, 16 * KiB);
+  ASSERT_GT(s4d->dmt().dirty_bytes(), 0);
+  // Let simulated time pass; the periodic rebuilder flushes on its own.
+  bed.engine().RunUntil(bed.engine().now() + FromMillis(100));
+  EXPECT_EQ(s4d->dmt().dirty_bytes(), 0);
+  EXPECT_GT(s4d->rebuilder_stats().ticks, 1);
+  EXPECT_TRUE(s4d->BackgroundQuiescent());
+}
+
+TEST(Rebuilder, StopCancelsFutureTicks) {
+  harness::Testbed bed(SmallTestbed());
+  S4DConfig cfg;
+  cfg.cache_capacity = 64 * MiB;
+  cfg.enable_rebuilder = true;
+  cfg.rebuilder.interval = FromMillis(10);
+  auto s4d = bed.MakeS4D(cfg);
+  s4d->Open("f");
+  s4d->rebuilder().Stop();
+  DoIo(bed, *s4d, device::IoKind::kWrite, "f", 0, 200 * MiB, 16 * KiB);
+  bed.engine().RunUntil(bed.engine().now() + FromMillis(100));
+  EXPECT_GT(s4d->dmt().dirty_bytes(), 0) << "no ticks after Stop";
+}
+
+TEST(Rebuilder, FlushUsesBackgroundPriorityOnly) {
+  harness::Testbed bed(SmallTestbed());
+  auto s4d = bed.MakeS4D(ManualRebuilder());
+  s4d->Open("f");
+  for (int i = 0; i < 8; ++i) {
+    DoIo(bed, *s4d, device::IoKind::kWrite, "f", 0,
+         100 * MiB + static_cast<byte_count>(i) * 30 * MiB, 16 * KiB);
+  }
+  const auto d_normal_before = bed.dservers().TotalServerStats().requests;
+  const auto c_normal_before = bed.cservers().TotalServerStats().requests;
+  s4d->rebuilder().Tick();
+  bed.engine().Run();
+  EXPECT_EQ(bed.dservers().TotalServerStats().requests, d_normal_before);
+  EXPECT_EQ(bed.cservers().TotalServerStats().requests, c_normal_before);
+  EXPECT_GT(bed.dservers().TotalServerStats().background_requests, 0);
+  EXPECT_GT(bed.cservers().TotalServerStats().background_requests, 0);
+}
+
+}  // namespace
+}  // namespace s4d::core

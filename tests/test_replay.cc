@@ -1,0 +1,115 @@
+#include "workloads/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/driver.h"
+#include "harness/testbed.h"
+#include "trace/trace.h"
+#include "workloads/ior.h"
+
+namespace s4d::workloads {
+namespace {
+
+std::vector<ReplayEntry> SampleEntries() {
+  std::vector<ReplayEntry> entries;
+  entries.push_back({0, {device::IoKind::kWrite, 0, 16 * KiB}});
+  entries.push_back({1, {device::IoKind::kWrite, 1 * MiB, 4 * KiB}});
+  entries.push_back({0, {device::IoKind::kRead, 0, 16 * KiB}});
+  return entries;
+}
+
+TEST(Replay, PreservesPerRankOrder) {
+  ReplayWorkload wl("f", SampleEntries());
+  EXPECT_EQ(wl.ranks(), 2);
+  EXPECT_EQ(wl.total_bytes(), 16 * KiB + 4 * KiB + 16 * KiB);
+
+  auto r0a = wl.Next(0);
+  ASSERT_TRUE(r0a.has_value());
+  EXPECT_EQ(r0a->kind, device::IoKind::kWrite);
+  auto r0b = wl.Next(0);
+  ASSERT_TRUE(r0b.has_value());
+  EXPECT_EQ(r0b->kind, device::IoKind::kRead);
+  EXPECT_FALSE(wl.Next(0).has_value());
+
+  auto r1 = wl.Next(1);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->offset, 1 * MiB);
+  EXPECT_FALSE(wl.Next(1).has_value());
+}
+
+TEST(Replay, ResetRestarts) {
+  ReplayWorkload wl("f", SampleEntries());
+  while (wl.Next(0)) {
+  }
+  wl.Reset();
+  EXPECT_TRUE(wl.Next(0).has_value());
+}
+
+TEST(Replay, CsvRoundTrip) {
+  const auto entries = SampleEntries();
+  const std::string csv = ReplayWorkload::ToCsv(entries);
+  const auto parsed = ReplayWorkload::ParseCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].rank, entries[i].rank);
+    EXPECT_EQ((*parsed)[i].request.kind, entries[i].request.kind);
+    EXPECT_EQ((*parsed)[i].request.offset, entries[i].request.offset);
+    EXPECT_EQ((*parsed)[i].request.size, entries[i].request.size);
+  }
+}
+
+TEST(Replay, CsvRejectsMalformedRows) {
+  EXPECT_FALSE(ReplayWorkload::ParseCsv("0,write,100\n").ok());
+  EXPECT_FALSE(ReplayWorkload::ParseCsv("0,chew,100,10\n").ok());
+  EXPECT_FALSE(ReplayWorkload::ParseCsv("x,write,100,10\n").ok());
+  EXPECT_FALSE(ReplayWorkload::ParseCsv("0,write,100,0\n").ok());
+  EXPECT_FALSE(ReplayWorkload::ParseCsv("0,write,-5,10\n").ok());
+  // Header and empty lines are fine.
+  const auto ok = ReplayWorkload::ParseCsv("rank,kind,offset,size\n\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->empty());
+}
+
+// Capture a live run via the driver hook, replay it, and verify the replay
+// reproduces the original run's request stream exactly (deterministic sim:
+// same throughput too).
+TEST(Replay, CapturedRunReplaysIdentically) {
+  harness::Testbed bed{harness::TestbedConfig{}};
+  mpiio::MpiIoLayer layer(bed.engine(), bed.stock());
+
+  IorConfig ior;
+  ior.ranks = 4;
+  ior.file_size = 8 * MiB;
+  ior.request_size = 64 * KiB;
+  ior.random = true;
+  IorWorkload original(ior);
+
+  std::vector<ReplayEntry> captured;
+  harness::DriverOptions options;
+  options.on_issue = [&](int rank, const Request& request) {
+    captured.push_back({rank, request});
+  };
+  const auto original_result =
+      harness::RunClosedLoop(layer, original, options);
+  ASSERT_EQ(static_cast<std::int64_t>(captured.size()),
+            original_result.requests);
+
+  // Round-trip through CSV, then replay on a fresh identical testbed.
+  const auto parsed =
+      ReplayWorkload::ParseCsv(ReplayWorkload::ToCsv(captured));
+  ASSERT_TRUE(parsed.ok());
+  harness::Testbed bed2{harness::TestbedConfig{}};
+  mpiio::MpiIoLayer layer2(bed2.engine(), bed2.stock());
+  ReplayWorkload replay(ior.file, *parsed);
+  const auto replay_result = harness::RunClosedLoop(layer2, replay);
+
+  EXPECT_EQ(replay_result.requests, original_result.requests);
+  EXPECT_EQ(replay_result.bytes, original_result.bytes);
+  EXPECT_DOUBLE_EQ(replay_result.throughput_mbps,
+                   original_result.throughput_mbps)
+      << "deterministic simulator must reproduce the captured run exactly";
+}
+
+}  // namespace
+}  // namespace s4d::workloads

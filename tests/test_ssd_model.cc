@@ -1,0 +1,68 @@
+#include "device/ssd_model.h"
+
+#include <gtest/gtest.h>
+
+#include "device/hdd_model.h"
+
+namespace s4d::device {
+namespace {
+
+TEST(SsdModel, PositionInsensitive) {
+  SsdModel ssd(OczRevoDriveX2());
+  const auto near = ssd.Access(IoKind::kRead, 0, 16 * KiB);
+  const auto far = ssd.Access(IoKind::kRead, 90 * GiB, 16 * KiB);
+  EXPECT_EQ(near.positioning, far.positioning);
+  EXPECT_EQ(near.transfer, far.transfer);
+}
+
+TEST(SsdModel, ReadsFasterThanWrites) {
+  SsdModel ssd(OczRevoDriveX2());
+  const auto read = ssd.Access(IoKind::kRead, 0, 256 * KiB);
+  const auto write = ssd.Access(IoKind::kWrite, 0, 256 * KiB);
+  EXPECT_LT(read.positioning, write.positioning);
+  EXPECT_LT(read.transfer, write.transfer);
+}
+
+TEST(SsdModel, TransferProportionalToSize) {
+  SsdModel ssd(OczRevoDriveX2());
+  const auto one = ssd.Access(IoKind::kRead, 0, 1 * MiB);
+  const auto four = ssd.Access(IoKind::kRead, 0, 4 * MiB);
+  EXPECT_NEAR(static_cast<double>(four.transfer),
+              4.0 * static_cast<double>(one.transfer),
+              static_cast<double>(one.transfer) * 0.01);
+}
+
+TEST(SsdModel, SmallRandomReadLatencyDominatedByCommandLatency) {
+  const SsdProfile p = OczRevoDriveX2();
+  SsdModel ssd(p);
+  const auto costs = ssd.Access(IoKind::kRead, 12345 * KiB, 4 * KiB);
+  // 4 KiB at 500 MB/s is ~8 us; latency is 60 us.
+  EXPECT_EQ(costs.positioning, p.read_latency);
+  EXPECT_LT(costs.transfer, costs.positioning);
+}
+
+// The property S4D-Cache exploits: an SSD serves a small random request
+// orders of magnitude faster than an HDD.
+TEST(SsdModel, BeatsHddOnSmallRandom) {
+  SsdModel ssd(OczRevoDriveX2());
+  device::HddModel hdd(SeagateST32502NS(), 5);
+  SimTime ssd_total = 0, hdd_total = 0;
+  for (int i = 0; i < 20; ++i) {
+    const byte_count offset = (static_cast<byte_count>(i) * 977 + 13) * MiB;
+    ssd_total += ssd.Access(IoKind::kRead, offset, 16 * KiB).total();
+    hdd_total += hdd.Access(IoKind::kRead, offset, 16 * KiB).total();
+  }
+  EXPECT_GT(hdd_total, 50 * ssd_total);
+}
+
+TEST(SsdModel, ResetIsNoOp) {
+  SsdModel ssd(OczRevoDriveX2());
+  const auto before = ssd.Access(IoKind::kWrite, 5 * GiB, 64 * KiB);
+  ssd.Reset();
+  const auto after = ssd.Access(IoKind::kWrite, 5 * GiB, 64 * KiB);
+  EXPECT_EQ(before.positioning, after.positioning);
+  EXPECT_EQ(before.transfer, after.transfer);
+}
+
+}  // namespace
+}  // namespace s4d::device

@@ -1,0 +1,76 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace s4d {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.Add(42.0);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_NEAR(s.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(99), 99.01, 0.01);
+  EXPECT_EQ(s.Max(), 100.0);
+  EXPECT_NEAR(s.Mean(), 50.5, 1e-9);
+}
+
+TEST(Samples, EmptySafe) {
+  Samples s;
+  EXPECT_EQ(s.Percentile(50), 0.0);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Max(), 0.0);
+}
+
+TEST(Samples, InterleavedAddAndQuery) {
+  Samples s;
+  s.Add(10);
+  EXPECT_EQ(s.Percentile(50), 10.0);
+  s.Add(20);
+  s.Add(0);
+  EXPECT_EQ(s.Percentile(50), 10.0);
+  EXPECT_EQ(s.Max(), 20.0);
+}
+
+TEST(Log2Histogram, BucketsPowersOfTwo) {
+  Log2Histogram h;
+  h.Add(1);     // bucket 0
+  h.Add(2);     // bucket 1
+  h.Add(3);     // bucket 1
+  h.Add(1024);  // bucket 10
+  EXPECT_EQ(h.BucketCount(0), 1);
+  EXPECT_EQ(h.BucketCount(1), 2);
+  EXPECT_EQ(h.BucketCount(10), 1);
+  EXPECT_EQ(h.total(), 4);
+}
+
+}  // namespace
+}  // namespace s4d

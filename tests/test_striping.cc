@@ -1,0 +1,210 @@
+#include "pfs/striping.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace s4d::pfs {
+namespace {
+
+// Brute-force reference: walk the request byte by stripe fragments.
+std::map<int, byte_count> ReferencePerServerSizes(const StripeConfig& cfg,
+                                                  byte_count offset,
+                                                  byte_count size) {
+  std::map<int, byte_count> sizes;
+  byte_count pos = offset;
+  byte_count remaining = size;
+  while (remaining > 0) {
+    const byte_count stripe = pos / cfg.stripe_size;
+    const int server = static_cast<int>(stripe % cfg.server_count);
+    const byte_count within = pos % cfg.stripe_size;
+    const byte_count frag = std::min(remaining, cfg.stripe_size - within);
+    sizes[server] += frag;
+    pos += frag;
+    remaining -= frag;
+  }
+  return sizes;
+}
+
+TEST(Striping, EmptyRequest) {
+  StripeConfig cfg{4, 64 * KiB};
+  EXPECT_TRUE(SplitRequest(cfg, 0, 0).empty());
+  EXPECT_EQ(InvolvedServerCount(cfg, 0, 0), 0);
+  EXPECT_EQ(MaxSubRequestSize(cfg, 0, 0), 0);
+}
+
+TEST(Striping, SingleStripeRequest) {
+  StripeConfig cfg{4, 64 * KiB};
+  const auto subs = SplitRequest(cfg, 10 * KiB, 16 * KiB);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].server, 0);
+  EXPECT_EQ(subs[0].file_offset, 10 * KiB);
+  EXPECT_EQ(subs[0].server_offset, 10 * KiB);
+  EXPECT_EQ(subs[0].size, 16 * KiB);
+  EXPECT_EQ(InvolvedServerCount(cfg, 10 * KiB, 16 * KiB), 1);
+}
+
+TEST(Striping, SecondStripeLandsOnSecondServer) {
+  StripeConfig cfg{4, 64 * KiB};
+  const auto subs = SplitRequest(cfg, 64 * KiB, 10 * KiB);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].server, 1);
+  EXPECT_EQ(subs[0].server_offset, 0);
+}
+
+TEST(Striping, WrapAroundCoalescesPerServer) {
+  StripeConfig cfg{2, 64 * KiB};
+  // 4 full stripes from 0: stripes 0,2 -> server 0; stripes 1,3 -> server 1.
+  const auto subs = SplitRequest(cfg, 0, 256 * KiB);
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0].server, 0);
+  EXPECT_EQ(subs[0].size, 128 * KiB);
+  EXPECT_EQ(subs[0].server_offset, 0);
+  EXPECT_EQ(subs[1].server, 1);
+  EXPECT_EQ(subs[1].size, 128 * KiB);
+  EXPECT_EQ(subs[1].server_offset, 0);
+}
+
+TEST(Striping, InvolvedServersCapsAtM) {
+  StripeConfig cfg{4, 64 * KiB};
+  EXPECT_EQ(InvolvedServerCount(cfg, 0, 64 * KiB), 1);
+  EXPECT_EQ(InvolvedServerCount(cfg, 0, 65 * KiB), 2);
+  EXPECT_EQ(InvolvedServerCount(cfg, 0, 4 * 64 * KiB), 4);
+  EXPECT_EQ(InvolvedServerCount(cfg, 0, 100 * 64 * KiB), 4);
+}
+
+TEST(Striping, AlignedEndDoesNotSpillToPhantomStripe) {
+  StripeConfig cfg{4, 64 * KiB};
+  // Exactly one stripe, aligned: must involve exactly 1 server.
+  EXPECT_EQ(InvolvedServerCount(cfg, 0, 64 * KiB), 1);
+  EXPECT_EQ(MaxSubRequestSize(cfg, 0, 64 * KiB), 64 * KiB);
+  EXPECT_EQ(MaxSubRequestSizeClosedForm(cfg, 0, 64 * KiB), 64 * KiB);
+}
+
+// Table II case checks (M = 4, str = 64 KiB).
+TEST(Striping, TableIICase1SingleStripe) {
+  StripeConfig cfg{4, 64 * KiB};
+  EXPECT_EQ(MaxSubRequestSizeClosedForm(cfg, 3 * KiB, 5 * KiB), 5 * KiB);
+}
+
+TEST(Striping, TableIICase2DeltaMultipleOfM) {
+  StripeConfig cfg{4, 64 * KiB};
+  // offset in stripe 0, end in stripe 4 => delta = 4, same server holds both
+  // fragments: b + e + 0 full stripes vs 1 full stripe.
+  const byte_count offset = 32 * KiB;                // b = 32 KiB
+  const byte_count size = 4 * 64 * KiB + 16 * KiB;   // e = 48 KiB
+  const byte_count expect = std::max<byte_count>(32 * KiB + 48 * KiB, 64 * KiB);
+  EXPECT_EQ(MaxSubRequestSizeClosedForm(cfg, offset, size), expect);
+  EXPECT_EQ(MaxSubRequestSize(cfg, offset, size), expect);
+}
+
+TEST(Striping, TableIICase3DeltaModM1) {
+  StripeConfig cfg{4, 64 * KiB};
+  // delta = 5: B-server gets b + 1 full stripe (80 KiB), E-server gets
+  // e + 1 full stripe. e = (48K + 328K - 1) % 64K + 1 = 56 KiB -> 120 KiB.
+  const byte_count offset = 48 * KiB;               // b = 16 KiB
+  const byte_count size = 5 * 64 * KiB + 8 * KiB;   // e = 56 KiB (stripe 5)
+  const byte_count expect = 56 * KiB + 64 * KiB;
+  EXPECT_EQ(MaxSubRequestSizeClosedForm(cfg, offset, size), expect);
+  EXPECT_EQ(MaxSubRequestSize(cfg, offset, size), expect);
+}
+
+TEST(Striping, TableIICase4Interior) {
+  StripeConfig cfg{4, 64 * KiB};
+  // delta = 2 (mod 4): an interior server holds ceil(2/4)=1 full stripe.
+  const byte_count offset = 60 * KiB;  // b = 4 KiB
+  const byte_count size = 4 * KiB + 64 * KiB + 4 * KiB;
+  EXPECT_EQ(MaxSubRequestSizeClosedForm(cfg, offset, size), 64 * KiB);
+  EXPECT_EQ(MaxSubRequestSize(cfg, offset, size), 64 * KiB);
+}
+
+// --- property sweeps -------------------------------------------------------
+
+struct StripingParam {
+  int servers;
+  byte_count stripe;
+};
+
+class StripingProperty : public ::testing::TestWithParam<StripingParam> {};
+
+TEST_P(StripingProperty, SplitIsExactPartition) {
+  const auto [servers, stripe] = GetParam();
+  const StripeConfig cfg{servers, stripe};
+  Rng rng(static_cast<std::uint64_t>(servers) * 7919 +
+          static_cast<std::uint64_t>(stripe));
+  for (int i = 0; i < 300; ++i) {
+    const byte_count offset = rng.NextInRange(0, 20 * stripe);
+    const byte_count size = rng.NextInRange(1, 12 * stripe);
+    const auto subs = SplitRequest(cfg, offset, size);
+    const auto reference = ReferencePerServerSizes(cfg, offset, size);
+
+    // Sum of sub-request sizes equals the request size.
+    byte_count total = 0;
+    for (const auto& sub : subs) total += sub.size;
+    ASSERT_EQ(total, size);
+
+    // Per-server sizes match the brute-force reference.
+    ASSERT_EQ(subs.size(), reference.size());
+    for (const auto& sub : subs) {
+      auto it = reference.find(sub.server);
+      ASSERT_NE(it, reference.end());
+      EXPECT_EQ(sub.size, it->second);
+    }
+
+    // Involved-server count (Eq. 6) matches the constructive split.
+    EXPECT_EQ(InvolvedServerCount(cfg, offset, size),
+              static_cast<int>(subs.size()));
+  }
+}
+
+TEST_P(StripingProperty, ClosedFormMatchesConstructiveMax) {
+  const auto [servers, stripe] = GetParam();
+  const StripeConfig cfg{servers, stripe};
+  Rng rng(static_cast<std::uint64_t>(servers) * 104729 +
+          static_cast<std::uint64_t>(stripe));
+  for (int i = 0; i < 500; ++i) {
+    const byte_count offset = rng.NextInRange(0, 30 * stripe);
+    const byte_count size = rng.NextInRange(1, 16 * stripe);
+    EXPECT_EQ(MaxSubRequestSizeClosedForm(cfg, offset, size),
+              MaxSubRequestSize(cfg, offset, size))
+        << "offset=" << offset << " size=" << size << " M=" << servers
+        << " str=" << stripe;
+  }
+}
+
+TEST_P(StripingProperty, SubRequestsWithinServerLocalBounds) {
+  const auto [servers, stripe] = GetParam();
+  const StripeConfig cfg{servers, stripe};
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const byte_count offset = rng.NextInRange(0, 10 * stripe);
+    const byte_count size = rng.NextInRange(1, 10 * stripe);
+    for (const auto& sub : SplitRequest(cfg, offset, size)) {
+      EXPECT_GE(sub.server, 0);
+      EXPECT_LT(sub.server, servers);
+      EXPECT_GE(sub.server_offset, 0);
+      EXPECT_GT(sub.size, 0);
+      // A server's local share cannot exceed its stripes' span of the file.
+      EXPECT_LE(sub.server_offset + sub.size,
+                (offset + size + stripe * servers) / servers + stripe);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StripingProperty,
+    ::testing::Values(StripingParam{1, 64 * KiB}, StripingParam{2, 64 * KiB},
+                      StripingParam{4, 64 * KiB}, StripingParam{8, 64 * KiB},
+                      StripingParam{3, 17},        // pathological: odd sizes
+                      StripingParam{5, 4 * KiB},
+                      StripingParam{8, 1 * MiB},
+                      StripingParam{16, 64 * KiB}),
+    [](const auto& info) {
+      return "M" + std::to_string(info.param.servers) + "_str" +
+             std::to_string(info.param.stripe);
+    });
+
+}  // namespace
+}  // namespace s4d::pfs

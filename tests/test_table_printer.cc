@@ -1,0 +1,48 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace s4d {
+namespace {
+
+TEST(TablePrinter, RendersHeaderRuleAndRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Three content lines + rule.
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"x"});
+  EXPECT_NO_THROW(table.ToString());
+}
+
+TEST(TablePrinter, Formatters) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(10.0, 0), "10");
+  EXPECT_EQ(TablePrinter::Percent(49.12, 1), "49.1%");
+  EXPECT_EQ(TablePrinter::Int(123456), "123456");
+}
+
+TEST(TablePrinter, PrintToStream) {
+  TablePrinter table({"h"});
+  table.AddRow({"v"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(os.str(), table.ToString());
+}
+
+}  // namespace
+}  // namespace s4d

@@ -1,0 +1,60 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include "common/sim_time.h"
+
+namespace s4d {
+namespace {
+
+TEST(Units, Constants) {
+  EXPECT_EQ(KiB, 1024);
+  EXPECT_EQ(MiB, 1024 * 1024);
+  EXPECT_EQ(GiB, 1024LL * 1024 * 1024);
+  EXPECT_EQ(MB, 1000000);
+}
+
+TEST(Units, FormatBytesPicksLargestExactUnit) {
+  EXPECT_EQ(FormatBytes(0), "0B");
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(KiB), "1KiB");
+  EXPECT_EQ(FormatBytes(16 * KiB), "16KiB");
+  EXPECT_EQ(FormatBytes(4096 * KiB), "4MiB");
+  EXPECT_EQ(FormatBytes(2 * GiB), "2GiB");
+  EXPECT_EQ(FormatBytes(KiB + 1), "1025B");
+  EXPECT_EQ(FormatBytes(-16 * KiB), "-16KiB");
+}
+
+TEST(Units, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0);
+  EXPECT_EQ(CeilDiv(1, 4), 1);
+  EXPECT_EQ(CeilDiv(4, 4), 1);
+  EXPECT_EQ(CeilDiv(5, 4), 2);
+  EXPECT_EQ(CeilDiv(8, 4), 2);
+}
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(FromMillis(1.5), 1500000);
+  EXPECT_EQ(FromMicros(2.0), 2000);
+  EXPECT_EQ(FromSeconds(1.0), kSecond);
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToMillis(FromMillis(8.5)), 8.5);
+}
+
+TEST(SimTime, ThroughputMBps) {
+  // 100 MB in 1 second = 100 MB/s.
+  EXPECT_DOUBLE_EQ(ThroughputMBps(100 * MB, kSecond), 100.0);
+  EXPECT_DOUBLE_EQ(ThroughputMBps(50 * MB, kSecond / 2), 100.0);
+  EXPECT_EQ(ThroughputMBps(100, 0), 0.0);
+  EXPECT_EQ(ThroughputMBps(100, -5), 0.0);
+}
+
+TEST(SimTime, FormatTime) {
+  EXPECT_EQ(FormatTime(500), "500ns");
+  EXPECT_EQ(FormatTime(FromMicros(3)), "3us");
+  EXPECT_EQ(FormatTime(FromMillis(8.5)), "8.5ms");
+  EXPECT_EQ(FormatTime(FromSeconds(2.0)), "2s");
+}
+
+}  // namespace
+}  // namespace s4d

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/hpio.h"
+#include "workloads/ior.h"
+#include "workloads/tile_io.h"
+
+namespace s4d::workloads {
+namespace {
+
+// ---------------------------- IOR ------------------------------------------
+
+TEST(Ior, SequentialCoversPartitionInOrder) {
+  IorConfig cfg;
+  cfg.ranks = 4;
+  cfg.file_size = 4 * MiB;
+  cfg.request_size = 256 * KiB;
+  cfg.random = false;
+  IorWorkload wl(cfg);
+  EXPECT_EQ(wl.requests_per_rank(), 4);  // 1 MiB partition / 256 KiB
+  EXPECT_EQ(wl.total_bytes(), 4 * MiB);
+  for (int r = 0; r < 4; ++r) {
+    byte_count expected = static_cast<byte_count>(r) * 1 * MiB;
+    while (auto req = wl.Next(r)) {
+      EXPECT_EQ(req->offset, expected);
+      EXPECT_EQ(req->size, 256 * KiB);
+      expected += 256 * KiB;
+    }
+    EXPECT_EQ(expected, static_cast<byte_count>(r + 1) * 1 * MiB);
+  }
+}
+
+TEST(Ior, RandomIsPermutationOfSequentialBlocks) {
+  IorConfig cfg;
+  cfg.ranks = 2;
+  cfg.file_size = 2 * MiB;
+  cfg.request_size = 64 * KiB;
+  cfg.random = true;
+  cfg.seed = 7;
+  IorWorkload wl(cfg);
+  for (int r = 0; r < 2; ++r) {
+    std::set<byte_count> offsets;
+    int count = 0;
+    bool sorted = true;
+    byte_count last = -1;
+    while (auto req = wl.Next(r)) {
+      EXPECT_EQ(req->offset % (64 * KiB), 0);
+      EXPECT_GE(req->offset, static_cast<byte_count>(r) * 1 * MiB);
+      EXPECT_LT(req->offset, static_cast<byte_count>(r + 1) * 1 * MiB);
+      offsets.insert(req->offset);
+      if (req->offset < last) sorted = false;
+      last = req->offset;
+      ++count;
+    }
+    EXPECT_EQ(count, 16);
+    EXPECT_EQ(offsets.size(), 16u) << "every block visited exactly once";
+    EXPECT_FALSE(sorted) << "random order should not be sorted";
+  }
+}
+
+TEST(Ior, ResetReplaysIdenticalStream) {
+  IorConfig cfg;
+  cfg.ranks = 1;
+  cfg.file_size = 1 * MiB;
+  cfg.request_size = 64 * KiB;
+  cfg.random = true;
+  IorWorkload wl(cfg);
+  std::vector<byte_count> first;
+  while (auto req = wl.Next(0)) first.push_back(req->offset);
+  wl.Reset();
+  std::vector<byte_count> second;
+  while (auto req = wl.Next(0)) second.push_back(req->offset);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Ior, DifferentSeedsDifferentOrders) {
+  IorConfig a;
+  a.ranks = 1;
+  a.file_size = 1 * MiB;
+  a.request_size = 16 * KiB;
+  a.random = true;
+  a.seed = 1;
+  IorConfig b = a;
+  b.seed = 2;
+  IorWorkload wa(a), wb(b);
+  std::vector<byte_count> oa, ob;
+  while (auto req = wa.Next(0)) oa.push_back(req->offset);
+  while (auto req = wb.Next(0)) ob.push_back(req->offset);
+  EXPECT_NE(oa, ob);
+}
+
+TEST(Ior, ExhaustedRankReturnsNullopt) {
+  IorConfig cfg;
+  cfg.ranks = 1;
+  cfg.file_size = 64 * KiB;
+  cfg.request_size = 64 * KiB;
+  IorWorkload wl(cfg);
+  EXPECT_TRUE(wl.Next(0).has_value());
+  EXPECT_FALSE(wl.Next(0).has_value());
+  EXPECT_FALSE(wl.Next(0).has_value());
+}
+
+// ---------------------------- HPIO -----------------------------------------
+
+TEST(Hpio, ZeroSpacingInterleavesContiguously) {
+  HpioConfig cfg;
+  cfg.ranks = 4;
+  cfg.region_count = 3;
+  cfg.region_size = 8 * KiB;
+  cfg.region_spacing = 0;
+  HpioWorkload wl(cfg);
+  // Process 1's regions: slots 1, 5, 9.
+  EXPECT_EQ(wl.OffsetFor(1, 0), 1 * 8 * KiB);
+  EXPECT_EQ(wl.OffsetFor(1, 1), 5 * 8 * KiB);
+  EXPECT_EQ(wl.OffsetFor(1, 2), 9 * 8 * KiB);
+  // With spacing 0, the union over processes covers the file contiguously.
+  std::set<byte_count> offsets;
+  for (int r = 0; r < 4; ++r) {
+    while (auto req = wl.Next(r)) offsets.insert(req->offset);
+  }
+  byte_count expected = 0;
+  for (byte_count off : offsets) {
+    EXPECT_EQ(off, expected);
+    expected += 8 * KiB;
+  }
+}
+
+TEST(Hpio, SpacingCreatesHoles) {
+  HpioConfig cfg;
+  cfg.ranks = 2;
+  cfg.region_count = 2;
+  cfg.region_size = 8 * KiB;
+  cfg.region_spacing = 4 * KiB;
+  HpioWorkload wl(cfg);
+  EXPECT_EQ(wl.OffsetFor(0, 1), 2 * (8 + 4) * KiB);
+  EXPECT_EQ(wl.OffsetFor(1, 0), 12 * KiB);
+  EXPECT_EQ(wl.total_bytes(), 2 * 2 * 8 * KiB);
+}
+
+TEST(Hpio, PerRankStrideIsConstant) {
+  HpioConfig cfg;
+  cfg.ranks = 16;
+  cfg.region_count = 100;
+  cfg.region_size = 8 * KiB;
+  cfg.region_spacing = 2 * KiB;
+  HpioWorkload wl(cfg);
+  byte_count last = -1;
+  byte_count stride = -1;
+  while (auto req = wl.Next(5)) {
+    if (last >= 0) {
+      const byte_count s = req->offset - last;
+      if (stride >= 0) EXPECT_EQ(s, stride);
+      stride = s;
+    }
+    last = req->offset;
+  }
+  EXPECT_EQ(stride, 16 * (8 + 2) * KiB);
+}
+
+// ---------------------------- MPI-Tile-IO ----------------------------------
+
+TEST(TileIo, SquareGridFactorization) {
+  TileIoConfig cfg;
+  cfg.ranks = 100;
+  TileIoWorkload wl(cfg);
+  EXPECT_EQ(wl.grid_cols(), 10);
+  EXPECT_EQ(wl.grid_rows(), 10);
+}
+
+TEST(TileIo, NonSquareCountsFactorCleanly) {
+  TileIoConfig cfg;
+  cfg.ranks = 200;
+  TileIoWorkload wl(cfg);
+  EXPECT_EQ(wl.grid_cols() * wl.grid_rows(), 200);
+  EXPECT_GE(wl.grid_rows(), wl.grid_cols());
+}
+
+TEST(TileIo, RowRequestsAreNestedStrided) {
+  TileIoConfig cfg;
+  cfg.ranks = 4;  // 2x2 grid
+  cfg.elements_x = 10;
+  cfg.elements_y = 10;
+  cfg.element_size = 32 * KiB;
+  TileIoWorkload wl(cfg);
+  const byte_count row_chunk = 10 * 32 * KiB;       // nx contiguous elements
+  const byte_count dataset_row = 2 * row_chunk;     // 2 tiles per grid row
+
+  // Rank 0 (tile 0,0): rows at 0, dataset_row, 2*dataset_row, ...
+  byte_count expected = 0;
+  int rows = 0;
+  while (auto req = wl.Next(0)) {
+    EXPECT_EQ(req->offset, expected);
+    EXPECT_EQ(req->size, row_chunk);
+    expected += dataset_row;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 10);
+
+  // Rank 1 (tile 0,1) starts one row-chunk in.
+  EXPECT_EQ(wl.RowOffset(1, 0), row_chunk);
+  // Rank 2 (tile 1,0) starts after rank 0's ten dataset rows.
+  EXPECT_EQ(wl.RowOffset(2, 0), 10 * dataset_row);
+}
+
+TEST(TileIo, TilesPartitionTheDataset) {
+  TileIoConfig cfg;
+  cfg.ranks = 4;
+  cfg.elements_x = 2;
+  cfg.elements_y = 2;
+  cfg.element_size = 1 * KiB;
+  TileIoWorkload wl(cfg);
+  std::set<byte_count> offsets;
+  byte_count bytes = 0;
+  for (int r = 0; r < 4; ++r) {
+    while (auto req = wl.Next(r)) {
+      EXPECT_TRUE(offsets.insert(req->offset).second)
+          << "tiles must not overlap";
+      bytes += req->size;
+    }
+  }
+  EXPECT_EQ(bytes, wl.total_bytes());
+  EXPECT_EQ(bytes, 4 * 2 * 2 * 1 * KiB);
+}
+
+}  // namespace
+}  // namespace s4d::workloads

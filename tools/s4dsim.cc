@@ -1,0 +1,265 @@
+// s4dsim — config-driven experiment driver.
+//
+// Runs a workload (IOR / HPIO / MPI-Tile-IO) through the simulated cluster
+// under a chosen middleware (stock / s4d) and prints a full report:
+// throughput, latency, request routing, cache state, and rebuilder work.
+//
+//   $ ./tools/s4dsim experiment.ini
+//   $ ./tools/s4dsim --print-default-config > experiment.ini
+//
+// Config format (all keys optional — defaults reproduce the paper's
+// deployment, 8 DServers + 4 CServers, GigE, 64 KiB stripes):
+//
+//   [cluster]
+//   dservers = 8
+//   cservers = 4
+//   stripe = 64k
+//
+//   [middleware]            ; "stock" or "s4d"
+//   type = s4d
+//   cache_capacity = 128m
+//   policy = cost-model      ; cost-model | always | never
+//   rebuild_interval = 100ms
+//
+//   [workload]               ; type = ior | hpio | tile
+//   type = ior
+//   ranks = 32
+//   file_size = 64m
+//   request_size = 16k
+//   random = true
+//   kind = write             ; write | read (read = second-run measurement)
+//   repeat = 1               ; number of measured passes
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include "common/config_parser.h"
+#include "common/table_printer.h"
+#include "core/s4d_cache.h"
+#include "harness/driver.h"
+#include "harness/testbed.h"
+#include "trace/trace.h"
+#include <fstream>
+#include <sstream>
+
+#include "workloads/hpio.h"
+#include "workloads/ior.h"
+#include "workloads/replay.h"
+#include "workloads/tile_io.h"
+
+using namespace s4d;
+
+namespace {
+
+constexpr const char* kDefaultConfig = R"([cluster]
+dservers = 8
+cservers = 4
+stripe = 64k
+
+[middleware]
+type = s4d
+cache_capacity = 128m
+policy = cost-model
+rebuild_interval = 100ms
+
+[workload]
+type = ior
+ranks = 32
+file_size = 64m
+request_size = 16k
+random = true
+kind = write
+repeat = 1
+)";
+
+std::unique_ptr<workloads::Workload> MakeWorkload(const ConfigParser& config) {
+  const std::string type = config.StringOr("workload", "type", "ior");
+  const auto kind = config.StringOr("workload", "kind", "write") == "read"
+                        ? device::IoKind::kRead
+                        : device::IoKind::kWrite;
+  if (type == "hpio") {
+    workloads::HpioConfig cfg;
+    cfg.ranks = static_cast<int>(config.IntOr("workload", "ranks", 16));
+    cfg.region_count = config.IntOr("workload", "region_count", 1024);
+    cfg.region_size = config.SizeOr("workload", "region_size", 8 * KiB);
+    cfg.region_spacing = config.SizeOr("workload", "region_spacing", 0);
+    cfg.kind = kind;
+    return std::make_unique<workloads::HpioWorkload>(cfg);
+  }
+  if (type == "replay") {
+    // workload.trace = path to a CSV captured by a previous run.
+    const std::string path = config.StringOr("workload", "trace", "");
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open trace: %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto entries = workloads::ReplayWorkload::ParseCsv(buffer.str());
+    if (!entries.ok()) {
+      std::fprintf(stderr, "trace parse error: %s\n",
+                   entries.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::make_unique<workloads::ReplayWorkload>(
+        config.StringOr("workload", "file", "replay.dat"),
+        std::move(*entries));
+  }
+  if (type == "tile") {
+    workloads::TileIoConfig cfg;
+    cfg.ranks = static_cast<int>(config.IntOr("workload", "ranks", 100));
+    cfg.elements_x = static_cast<int>(config.IntOr("workload", "elements_x", 10));
+    cfg.elements_y = static_cast<int>(config.IntOr("workload", "elements_y", 10));
+    cfg.element_size = config.SizeOr("workload", "element_size", 32 * KiB);
+    cfg.kind = kind;
+    return std::make_unique<workloads::TileIoWorkload>(cfg);
+  }
+  workloads::IorConfig cfg;
+  cfg.ranks = static_cast<int>(config.IntOr("workload", "ranks", 32));
+  cfg.file_size = config.SizeOr("workload", "file_size", 64 * MiB);
+  cfg.request_size = config.SizeOr("workload", "request_size", 16 * KiB);
+  cfg.random = config.BoolOr("workload", "random", true);
+  cfg.kind = kind;
+  cfg.seed = static_cast<std::uint64_t>(config.IntOr("workload", "seed", 42));
+  return std::make_unique<workloads::IorWorkload>(cfg);
+}
+
+int Run(const ConfigParser& config) {
+  harness::TestbedConfig bed_cfg;
+  bed_cfg.dservers = static_cast<int>(config.IntOr("cluster", "dservers", 8));
+  bed_cfg.cservers = static_cast<int>(config.IntOr("cluster", "cservers", 4));
+  bed_cfg.stripe_size = config.SizeOr("cluster", "stripe", 64 * KiB);
+  harness::Testbed bed(bed_cfg);
+
+  trace::TraceCollector collector;
+  collector.Attach(bed.dservers(), "DServers");
+  collector.Attach(bed.cservers(), "CServers");
+
+  const std::string mw_type = config.StringOr("middleware", "type", "s4d");
+  std::unique_ptr<core::S4DCache> s4d;
+  mpiio::IoDispatch* dispatch = &bed.stock();
+  if (mw_type == "s4d") {
+    core::S4DConfig cfg;
+    cfg.cache_capacity = config.SizeOr("middleware", "cache_capacity", 128 * MiB);
+    const std::string policy =
+        config.StringOr("middleware", "policy", "cost-model");
+    cfg.policy = policy == "always" ? core::AdmissionPolicy::kAlways
+                 : policy == "never" ? core::AdmissionPolicy::kNever
+                                     : core::AdmissionPolicy::kCostModel;
+    cfg.rebuilder.interval =
+        config.DurationOr("middleware", "rebuild_interval", FromMillis(100));
+    cfg.metadata_overhead_per_op = config.DurationOr(
+        "middleware", "metadata_overhead", cfg.metadata_overhead_per_op);
+    cfg.dmt_update_latency = config.DurationOr(
+        "middleware", "dmt_update_latency", cfg.dmt_update_latency);
+    s4d = bed.MakeS4D(cfg);
+    dispatch = s4d.get();
+  } else if (mw_type != "stock") {
+    std::fprintf(stderr, "unknown middleware type: %s\n", mw_type.c_str());
+    return 1;
+  }
+
+  auto workload = MakeWorkload(config);
+  mpiio::MpiIoLayer layer(bed.engine(), *dispatch);
+
+  // For read measurements, lay the data down and warm the cache first (the
+  // paper's "second run" methodology): write pass, settle, cold read pass
+  // (identifies + fetches critical data), settle again.
+  if (config.StringOr("workload", "kind", "write") == "read") {
+    std::printf("warming: write pass + settle + cold read pass + settle\n");
+    ConfigParser write_config = config;
+    write_config.Set("workload", "kind", "write");
+    auto writer = MakeWorkload(write_config);
+    harness::RunClosedLoop(layer, *writer);
+    auto settle = [&] {
+      if (!s4d) return;
+      harness::DrainUntil(bed.engine(),
+                          [&] { return s4d->BackgroundQuiescent(); },
+                          FromSeconds(3600));
+    };
+    settle();
+    auto cold_reader = MakeWorkload(config);
+    harness::RunClosedLoop(layer, *cold_reader);
+    settle();
+  }
+
+  const SimTime begin = bed.engine().now();
+  harness::RunResult last{};
+  const int repeat =
+      static_cast<int>(config.IntOr("workload", "repeat", 1));
+  for (int pass = 0; pass < repeat; ++pass) {
+    workload->Reset();
+    last = harness::RunClosedLoop(layer, *workload);
+    std::printf("pass %d: %.1f MB/s (%lld requests, %s, mean latency %.0f us)\n",
+                pass + 1, last.throughput_mbps,
+                static_cast<long long>(last.requests),
+                FormatBytes(last.bytes).c_str(), last.mean_latency_us);
+  }
+  const SimTime end = bed.engine().now();
+
+  std::printf("\n-- routing --\n");
+  const auto dist = collector.RequestDistribution(begin, end);
+  TablePrinter routing({"servers", "requests", "%", "bytes"});
+  for (const std::string group : {"DServers", "CServers"}) {
+    const auto rit = dist.requests.find(group);
+    const auto bit = dist.bytes.find(group);
+    routing.AddRow({group,
+                    TablePrinter::Int(rit == dist.requests.end() ? 0 : rit->second),
+                    TablePrinter::Percent(dist.RequestPercent(group)),
+                    FormatBytes(bit == dist.bytes.end() ? 0 : bit->second)});
+  }
+  routing.Print(std::cout);
+
+  if (s4d) {
+    const auto& rs = s4d->redirector_stats();
+    const auto& bs = s4d->rebuilder_stats();
+    std::printf("\n-- middleware --\n");
+    std::printf("identifier: %lld requests, %lld critical\n",
+                static_cast<long long>(s4d->identifier_stats().requests),
+                static_cast<long long>(s4d->identifier_stats().critical));
+    std::printf(
+        "redirector: %lld admissions, %lld write hits, %lld read hits, "
+        "%lld clean bypasses, %lld evictions, %lld admission failures\n",
+        static_cast<long long>(rs.write_admissions),
+        static_cast<long long>(rs.write_cache_hits),
+        static_cast<long long>(rs.read_cache_hits),
+        static_cast<long long>(rs.read_clean_bypasses),
+        static_cast<long long>(rs.evictions),
+        static_cast<long long>(rs.admission_failures));
+    std::printf("rebuilder: %lld flush runs (%s), %lld fetches (%s)\n",
+                static_cast<long long>(bs.flush_runs_started),
+                FormatBytes(bs.flushed_bytes).c_str(),
+                static_cast<long long>(bs.fetches_started),
+                FormatBytes(bs.fetched_bytes).c_str());
+    std::printf("cache: %s / %s used, %zu mappings, %s dirty\n",
+                FormatBytes(s4d->cache_space().used_bytes()).c_str(),
+                FormatBytes(s4d->cache_space().capacity()).c_str(),
+                s4d->dmt().entry_count(),
+                FormatBytes(s4d->dmt().dirty_bytes()).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--print-default-config") == 0) {
+    std::fputs(kDefaultConfig, stdout);
+    return 0;
+  }
+  ConfigParser config;
+  if (argc >= 2) {
+    const Status status = config.ParseFile(argv[1]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "config error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  } else {
+    (void)config.Parse(kDefaultConfig);
+    std::printf("(no config given; using built-in defaults — "
+                "see --print-default-config)\n\n");
+  }
+  return Run(config);
+}
