@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_provisioning.dir/cache_provisioning.cpp.o"
+  "CMakeFiles/cache_provisioning.dir/cache_provisioning.cpp.o.d"
+  "cache_provisioning"
+  "cache_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tile_analysis.dir/tile_analysis.cpp.o"
+  "CMakeFiles/tile_analysis.dir/tile_analysis.cpp.o.d"
+  "tile_analysis"
+  "tile_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tile_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

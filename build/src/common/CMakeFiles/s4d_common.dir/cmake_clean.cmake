@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4d_common.dir/config_parser.cc.o"
+  "CMakeFiles/s4d_common.dir/config_parser.cc.o.d"
+  "CMakeFiles/s4d_common.dir/logging.cc.o"
+  "CMakeFiles/s4d_common.dir/logging.cc.o.d"
+  "CMakeFiles/s4d_common.dir/sim_time.cc.o"
+  "CMakeFiles/s4d_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/s4d_common.dir/table_printer.cc.o"
+  "CMakeFiles/s4d_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/s4d_common.dir/units.cc.o"
+  "CMakeFiles/s4d_common.dir/units.cc.o.d"
+  "libs4d_common.a"
+  "libs4d_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4d_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

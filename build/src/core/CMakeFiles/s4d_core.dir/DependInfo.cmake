@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_space.cc" "src/core/CMakeFiles/s4d_core.dir/cache_space.cc.o" "gcc" "src/core/CMakeFiles/s4d_core.dir/cache_space.cc.o.d"
+  "/root/repo/src/core/cdt.cc" "src/core/CMakeFiles/s4d_core.dir/cdt.cc.o" "gcc" "src/core/CMakeFiles/s4d_core.dir/cdt.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/s4d_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/s4d_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/data_identifier.cc" "src/core/CMakeFiles/s4d_core.dir/data_identifier.cc.o" "gcc" "src/core/CMakeFiles/s4d_core.dir/data_identifier.cc.o.d"
+  "/root/repo/src/core/dmt.cc" "src/core/CMakeFiles/s4d_core.dir/dmt.cc.o" "gcc" "src/core/CMakeFiles/s4d_core.dir/dmt.cc.o.d"
+  "/root/repo/src/core/rebuilder.cc" "src/core/CMakeFiles/s4d_core.dir/rebuilder.cc.o" "gcc" "src/core/CMakeFiles/s4d_core.dir/rebuilder.cc.o.d"
+  "/root/repo/src/core/redirector.cc" "src/core/CMakeFiles/s4d_core.dir/redirector.cc.o" "gcc" "src/core/CMakeFiles/s4d_core.dir/redirector.cc.o.d"
+  "/root/repo/src/core/s4d_cache.cc" "src/core/CMakeFiles/s4d_core.dir/s4d_cache.cc.o" "gcc" "src/core/CMakeFiles/s4d_core.dir/s4d_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s4d_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/s4d_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/s4d_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/s4d_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/s4d_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/s4d_kvstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

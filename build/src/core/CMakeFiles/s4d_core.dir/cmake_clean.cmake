@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4d_core.dir/cache_space.cc.o"
+  "CMakeFiles/s4d_core.dir/cache_space.cc.o.d"
+  "CMakeFiles/s4d_core.dir/cdt.cc.o"
+  "CMakeFiles/s4d_core.dir/cdt.cc.o.d"
+  "CMakeFiles/s4d_core.dir/cost_model.cc.o"
+  "CMakeFiles/s4d_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/s4d_core.dir/data_identifier.cc.o"
+  "CMakeFiles/s4d_core.dir/data_identifier.cc.o.d"
+  "CMakeFiles/s4d_core.dir/dmt.cc.o"
+  "CMakeFiles/s4d_core.dir/dmt.cc.o.d"
+  "CMakeFiles/s4d_core.dir/rebuilder.cc.o"
+  "CMakeFiles/s4d_core.dir/rebuilder.cc.o.d"
+  "CMakeFiles/s4d_core.dir/redirector.cc.o"
+  "CMakeFiles/s4d_core.dir/redirector.cc.o.d"
+  "CMakeFiles/s4d_core.dir/s4d_cache.cc.o"
+  "CMakeFiles/s4d_core.dir/s4d_cache.cc.o.d"
+  "libs4d_core.a"
+  "libs4d_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4d_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

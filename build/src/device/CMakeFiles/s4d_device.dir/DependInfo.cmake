@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/hdd_model.cc" "src/device/CMakeFiles/s4d_device.dir/hdd_model.cc.o" "gcc" "src/device/CMakeFiles/s4d_device.dir/hdd_model.cc.o.d"
+  "/root/repo/src/device/hybrid_device.cc" "src/device/CMakeFiles/s4d_device.dir/hybrid_device.cc.o" "gcc" "src/device/CMakeFiles/s4d_device.dir/hybrid_device.cc.o.d"
+  "/root/repo/src/device/ssd_model.cc" "src/device/CMakeFiles/s4d_device.dir/ssd_model.cc.o" "gcc" "src/device/CMakeFiles/s4d_device.dir/ssd_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s4d_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

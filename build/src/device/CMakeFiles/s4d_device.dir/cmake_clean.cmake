@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4d_device.dir/hdd_model.cc.o"
+  "CMakeFiles/s4d_device.dir/hdd_model.cc.o.d"
+  "CMakeFiles/s4d_device.dir/hybrid_device.cc.o"
+  "CMakeFiles/s4d_device.dir/hybrid_device.cc.o.d"
+  "CMakeFiles/s4d_device.dir/ssd_model.cc.o"
+  "CMakeFiles/s4d_device.dir/ssd_model.cc.o.d"
+  "libs4d_device.a"
+  "libs4d_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4d_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4d_harness.dir/content_checker.cc.o"
+  "CMakeFiles/s4d_harness.dir/content_checker.cc.o.d"
+  "CMakeFiles/s4d_harness.dir/driver.cc.o"
+  "CMakeFiles/s4d_harness.dir/driver.cc.o.d"
+  "CMakeFiles/s4d_harness.dir/testbed.cc.o"
+  "CMakeFiles/s4d_harness.dir/testbed.cc.o.d"
+  "libs4d_harness.a"
+  "libs4d_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4d_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4d_kvstore.dir/crc32.cc.o"
+  "CMakeFiles/s4d_kvstore.dir/crc32.cc.o.d"
+  "CMakeFiles/s4d_kvstore.dir/kvstore.cc.o"
+  "CMakeFiles/s4d_kvstore.dir/kvstore.cc.o.d"
+  "libs4d_kvstore.a"
+  "libs4d_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4d_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpiio/collective.cc" "src/mpiio/CMakeFiles/s4d_mpiio.dir/collective.cc.o" "gcc" "src/mpiio/CMakeFiles/s4d_mpiio.dir/collective.cc.o.d"
+  "/root/repo/src/mpiio/memory_cache.cc" "src/mpiio/CMakeFiles/s4d_mpiio.dir/memory_cache.cc.o" "gcc" "src/mpiio/CMakeFiles/s4d_mpiio.dir/memory_cache.cc.o.d"
+  "/root/repo/src/mpiio/mpi_io.cc" "src/mpiio/CMakeFiles/s4d_mpiio.dir/mpi_io.cc.o" "gcc" "src/mpiio/CMakeFiles/s4d_mpiio.dir/mpi_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s4d_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/s4d_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/s4d_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/s4d_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4d_mpiio.dir/collective.cc.o"
+  "CMakeFiles/s4d_mpiio.dir/collective.cc.o.d"
+  "CMakeFiles/s4d_mpiio.dir/memory_cache.cc.o"
+  "CMakeFiles/s4d_mpiio.dir/memory_cache.cc.o.d"
+  "CMakeFiles/s4d_mpiio.dir/mpi_io.cc.o"
+  "CMakeFiles/s4d_mpiio.dir/mpi_io.cc.o.d"
+  "libs4d_mpiio.a"
+  "libs4d_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4d_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

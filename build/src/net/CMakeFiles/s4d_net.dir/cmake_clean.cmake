@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4d_net.dir/link_model.cc.o"
+  "CMakeFiles/s4d_net.dir/link_model.cc.o.d"
+  "libs4d_net.a"
+  "libs4d_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4d_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

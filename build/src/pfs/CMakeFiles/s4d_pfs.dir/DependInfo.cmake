@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/file_server.cc" "src/pfs/CMakeFiles/s4d_pfs.dir/file_server.cc.o" "gcc" "src/pfs/CMakeFiles/s4d_pfs.dir/file_server.cc.o.d"
+  "/root/repo/src/pfs/file_system.cc" "src/pfs/CMakeFiles/s4d_pfs.dir/file_system.cc.o" "gcc" "src/pfs/CMakeFiles/s4d_pfs.dir/file_system.cc.o.d"
+  "/root/repo/src/pfs/striping.cc" "src/pfs/CMakeFiles/s4d_pfs.dir/striping.cc.o" "gcc" "src/pfs/CMakeFiles/s4d_pfs.dir/striping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s4d_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/s4d_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/s4d_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4d_pfs.dir/file_server.cc.o"
+  "CMakeFiles/s4d_pfs.dir/file_server.cc.o.d"
+  "CMakeFiles/s4d_pfs.dir/file_system.cc.o"
+  "CMakeFiles/s4d_pfs.dir/file_system.cc.o.d"
+  "CMakeFiles/s4d_pfs.dir/striping.cc.o"
+  "CMakeFiles/s4d_pfs.dir/striping.cc.o.d"
+  "libs4d_pfs.a"
+  "libs4d_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4d_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4d_trace.dir/trace.cc.o"
+  "CMakeFiles/s4d_trace.dir/trace.cc.o.d"
+  "libs4d_trace.a"
+  "libs4d_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4d_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/hpio.cc" "src/workloads/CMakeFiles/s4d_workloads.dir/hpio.cc.o" "gcc" "src/workloads/CMakeFiles/s4d_workloads.dir/hpio.cc.o.d"
+  "/root/repo/src/workloads/ior.cc" "src/workloads/CMakeFiles/s4d_workloads.dir/ior.cc.o" "gcc" "src/workloads/CMakeFiles/s4d_workloads.dir/ior.cc.o.d"
+  "/root/repo/src/workloads/replay.cc" "src/workloads/CMakeFiles/s4d_workloads.dir/replay.cc.o" "gcc" "src/workloads/CMakeFiles/s4d_workloads.dir/replay.cc.o.d"
+  "/root/repo/src/workloads/tile_io.cc" "src/workloads/CMakeFiles/s4d_workloads.dir/tile_io.cc.o" "gcc" "src/workloads/CMakeFiles/s4d_workloads.dir/tile_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s4d_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/s4d_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

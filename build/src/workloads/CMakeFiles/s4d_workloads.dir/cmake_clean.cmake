@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4d_workloads.dir/hpio.cc.o"
+  "CMakeFiles/s4d_workloads.dir/hpio.cc.o.d"
+  "CMakeFiles/s4d_workloads.dir/ior.cc.o"
+  "CMakeFiles/s4d_workloads.dir/ior.cc.o.d"
+  "CMakeFiles/s4d_workloads.dir/replay.cc.o"
+  "CMakeFiles/s4d_workloads.dir/replay.cc.o.d"
+  "CMakeFiles/s4d_workloads.dir/tile_io.cc.o"
+  "CMakeFiles/s4d_workloads.dir/tile_io.cc.o.d"
+  "libs4d_workloads.a"
+  "libs4d_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4d_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

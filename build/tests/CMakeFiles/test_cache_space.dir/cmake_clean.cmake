@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_space.dir/test_cache_space.cc.o"
+  "CMakeFiles/test_cache_space.dir/test_cache_space.cc.o.d"
+  "test_cache_space"
+  "test_cache_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

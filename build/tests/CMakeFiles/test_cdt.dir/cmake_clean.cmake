@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdt.dir/test_cdt.cc.o"
+  "CMakeFiles/test_cdt.dir/test_cdt.cc.o.d"
+  "test_cdt"
+  "test_cdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consistency_fuzz.dir/test_consistency_fuzz.cc.o"
+  "CMakeFiles/test_consistency_fuzz.dir/test_consistency_fuzz.cc.o.d"
+  "test_consistency_fuzz"
+  "test_consistency_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consistency_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

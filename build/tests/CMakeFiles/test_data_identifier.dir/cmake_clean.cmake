@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_identifier.dir/test_data_identifier.cc.o"
+  "CMakeFiles/test_data_identifier.dir/test_data_identifier.cc.o.d"
+  "test_data_identifier"
+  "test_data_identifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_identifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

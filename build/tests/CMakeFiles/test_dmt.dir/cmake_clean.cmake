@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmt.dir/test_dmt.cc.o"
+  "CMakeFiles/test_dmt.dir/test_dmt.cc.o.d"
+  "test_dmt"
+  "test_dmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_file_server.dir/test_file_server.cc.o"
+  "CMakeFiles/test_file_server.dir/test_file_server.cc.o.d"
+  "test_file_server"
+  "test_file_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_file_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_file_system.dir/test_file_system.cc.o"
+  "CMakeFiles/test_file_system.dir/test_file_system.cc.o.d"
+  "test_file_system"
+  "test_file_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_file_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

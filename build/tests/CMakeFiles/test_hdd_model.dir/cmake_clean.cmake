@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdd_model.dir/test_hdd_model.cc.o"
+  "CMakeFiles/test_hdd_model.dir/test_hdd_model.cc.o.d"
+  "test_hdd_model"
+  "test_hdd_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdd_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

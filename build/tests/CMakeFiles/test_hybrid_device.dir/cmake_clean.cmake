@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_device.dir/test_hybrid_device.cc.o"
+  "CMakeFiles/test_hybrid_device.dir/test_hybrid_device.cc.o.d"
+  "test_hybrid_device"
+  "test_hybrid_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

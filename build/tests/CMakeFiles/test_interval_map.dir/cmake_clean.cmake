@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_map.dir/test_interval_map.cc.o"
+  "CMakeFiles/test_interval_map.dir/test_interval_map.cc.o.d"
+  "test_interval_map"
+  "test_interval_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_model.dir/test_link_model.cc.o"
+  "CMakeFiles/test_link_model.dir/test_link_model.cc.o.d"
+  "test_link_model"
+  "test_link_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_cache.dir/test_memory_cache.cc.o"
+  "CMakeFiles/test_memory_cache.dir/test_memory_cache.cc.o.d"
+  "test_memory_cache"
+  "test_memory_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_io.dir/test_mpi_io.cc.o"
+  "CMakeFiles/test_mpi_io.dir/test_mpi_io.cc.o.d"
+  "test_mpi_io"
+  "test_mpi_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rebuilder.dir/test_rebuilder.cc.o"
+  "CMakeFiles/test_rebuilder.dir/test_rebuilder.cc.o.d"
+  "test_rebuilder"
+  "test_rebuilder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rebuilder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redirector.dir/test_redirector.cc.o"
+  "CMakeFiles/test_redirector.dir/test_redirector.cc.o.d"
+  "test_redirector"
+  "test_redirector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redirector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

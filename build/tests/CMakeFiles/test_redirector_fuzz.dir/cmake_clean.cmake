@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redirector_fuzz.dir/test_redirector_fuzz.cc.o"
+  "CMakeFiles/test_redirector_fuzz.dir/test_redirector_fuzz.cc.o.d"
+  "test_redirector_fuzz"
+  "test_redirector_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redirector_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_s4d_cache.dir/test_s4d_cache.cc.o"
+  "CMakeFiles/test_s4d_cache.dir/test_s4d_cache.cc.o.d"
+  "test_s4d_cache"
+  "test_s4d_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_s4d_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

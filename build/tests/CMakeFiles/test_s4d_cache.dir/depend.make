@@ -1,0 +1,2 @@
+# Empty dependencies file for test_s4d_cache.
+# This may be replaced when dependencies are built.

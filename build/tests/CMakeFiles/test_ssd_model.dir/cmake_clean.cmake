@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssd_model.dir/test_ssd_model.cc.o"
+  "CMakeFiles/test_ssd_model.dir/test_ssd_model.cc.o.d"
+  "test_ssd_model"
+  "test_ssd_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssd_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

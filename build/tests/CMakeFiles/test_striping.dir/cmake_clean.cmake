@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_striping.dir/test_striping.cc.o"
+  "CMakeFiles/test_striping.dir/test_striping.cc.o.d"
+  "test_striping"
+  "test_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

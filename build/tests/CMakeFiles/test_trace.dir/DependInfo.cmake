@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/test_trace.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/test_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/s4d_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/s4d_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/s4d_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/s4d_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/s4d_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/s4d_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/s4d_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/s4d_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/s4d_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s4d_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4dsim.dir/s4dsim.cc.o"
+  "CMakeFiles/s4dsim.dir/s4dsim.cc.o.d"
+  "s4dsim"
+  "s4dsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4dsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

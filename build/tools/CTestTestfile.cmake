@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(s4dsim_default_config "/root/repo/build/tools/s4dsim" "--print-default-config")
+set_tests_properties(s4dsim_default_config PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(s4dsim_smoke_run "/root/repo/build/tools/s4dsim" "/root/repo/tools/smoke.ini")
+set_tests_properties(s4dsim_smoke_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
