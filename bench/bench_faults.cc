@@ -1,0 +1,77 @@
+// Fault-mode throughput: the same IOR write run under three conditions —
+// healthy, degraded SSDs (every CServer device 8x slower), and cache tier
+// down (all CServers crashed before the run; writes take the degraded
+// DServer path). Not a paper figure: it quantifies what the S4D cache tier
+// is worth and what its failure costs, using the fault subsystem.
+//
+// Expected shape: "down" costs part of the healthy speedup but keeps
+// running (every write takes the DServer path). Degraded SSDs can land
+// *below* tier-down: the analytic cost model is calibrated against the
+// healthy device profiles and keeps admitting writes to the now-slow
+// SSDs — the quantitative case for health-aware admission (ROADMAP).
+#include "bench_common.h"
+
+#include "common/table_printer.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_schedule.h"
+
+namespace s4d::bench {
+namespace {
+
+struct Scenario {
+  const char* name;
+  const char* fault;  // applied before the run; nullptr = healthy
+};
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  std::printf("=== fault modes: IOR write throughput ===\n");
+  const byte_count file_size = args.full ? 1 * GiB : 32 * MiB;
+  const byte_count request = 16 * KiB;
+  const int ranks = 16;
+  PrintScale(args, std::to_string(ranks) + " procs, random 16 KiB writes, file " +
+                       FormatBytes(file_size) + " each");
+
+  const Scenario scenarios[] = {
+      {"healthy", nullptr},
+      {"degraded SSD (8x)", "0ms degrade-device cservers all 8"},
+      {"cache tier down", "0ms crash cservers all"},
+  };
+
+  TablePrinter table({"scenario", "MB/s", "degraded writes", "failed reqs"});
+  for (const Scenario& s : scenarios) {
+    harness::TestbedConfig bed_cfg;
+    bed_cfg.seed = args.seed;
+    harness::Testbed bed(bed_cfg);
+    core::S4DConfig cfg;
+    cfg.cache_capacity = file_size / 2;
+    auto s4d = bed.MakeS4D(cfg);
+    fault::FaultInjector injector(bed.engine(), bed.dservers(),
+                                  bed.cservers(), s4d.get());
+    if (s.fault != nullptr) {
+      injector.Apply(*fault::FaultSchedule::ParseEvent(s.fault));
+    }
+
+    mpiio::MpiIoLayer layer(bed.engine(), *s4d);
+    workloads::IorConfig ior;
+    ior.ranks = ranks;
+    ior.file_size = file_size;
+    ior.request_size = request;
+    ior.random = true;
+    ior.kind = device::IoKind::kWrite;
+    ior.seed = args.seed;
+    workloads::IorWorkload wl(ior);
+    const auto result = harness::RunClosedLoop(layer, wl);
+
+    table.AddRow({s.name, TablePrinter::Num(result.throughput_mbps, 1),
+                  TablePrinter::Int(s4d->redirector_stats().degraded_writes),
+                  TablePrinter::Int(s4d->counters().failed_requests)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace s4d::bench
+
+int main(int argc, char** argv) { return s4d::bench::Main(argc, argv); }

@@ -4,6 +4,20 @@
 
 namespace s4d::core {
 
+// In-flight state of one coalesced write-back run. `resolved` flips exactly
+// once — on success, on the first failed sub-I/O, or on watchdog timeout —
+// and every later callback for the run becomes a no-op, so a stalled read
+// completing long after the timeout cannot mark extents clean spuriously.
+struct Rebuilder::FlushRun {
+  DirtyRun run;
+  pfs::FileId cache_id = pfs::kInvalidFile;
+  pfs::FileId orig_id = pfs::kInvalidFile;
+  int reads_left = 0;
+  bool read_failed = false;
+  bool resolved = false;
+  sim::EventId timeout_event = sim::kInvalidEvent;
+};
+
 Rebuilder::Rebuilder(
     sim::Engine& engine, pfs::FileSystem& dservers, pfs::FileSystem& cservers,
     DataMappingTable& dmt, CriticalDataTable& cdt, Redirector& redirector,
@@ -43,8 +57,44 @@ void Rebuilder::ScheduleNext() {
 
 void Rebuilder::Tick() {
   ++stats_.ticks;
+  if (health_ && !health_()) {
+    // Cache tier down or partitioned: any flush read / fetch write issued
+    // now would fail or stall. The periodic tick doubles as the retry loop.
+    ++stats_.degraded_skips;
+    return;
+  }
+  if (engine_.now() < retry_at_) return;  // failure backoff window
   FlushDirty();
   FetchCritical();
+}
+
+void Rebuilder::RecoverAfterRestart() {
+  ++stats_.recovery_passes;
+  retry_at_ = 0;
+  // Replay the persisted DMT image: every mutation is written through to
+  // the store, so the in-memory table *is* the persisted state. Dirty
+  // extents found here survived the crash on the CServers' non-volatile
+  // SSDs and only lost their flush progress.
+  for (const RemovedExtent& ext : dmt_.AllExtents()) {
+    if (!ext.dirty) continue;
+    ++stats_.recovered_dirty_extents;
+    stats_.recovered_dirty_bytes += ext.length();
+  }
+  if (running_) Tick();  // start flushing the backlog immediately
+}
+
+void Rebuilder::AbortFlushRun(const std::shared_ptr<FlushRun>& state) {
+  if (state->resolved) return;
+  state->resolved = true;
+  if (state->timeout_event != sim::kInvalidEvent) {
+    engine_.Cancel(state->timeout_event);
+    state->timeout_event = sim::kInvalidEvent;
+  }
+  for (const DirtyRange& seg : state->run.segments) {
+    inflight_flush_.erase(
+        std::make_tuple(seg.file, seg.orig_begin, seg.version));
+  }
+  Backoff();
 }
 
 void Rebuilder::FlushDirty() {
@@ -66,9 +116,11 @@ void Rebuilder::FlushDirty() {
     stats_.flushes_started += static_cast<std::int64_t>(run.segments.size());
     stats_.flushed_bytes += run.length();
 
-    const std::string cache_file = cache_file_namer_(run.file);
-    const pfs::FileId cache_id = cservers_.OpenOrCreate(cache_file);
-    const pfs::FileId orig_id = dservers_.OpenOrCreate(run.file);
+    auto state = std::make_shared<FlushRun>();
+    state->run = run;
+    state->cache_id = cservers_.OpenOrCreate(cache_file_namer_(run.file));
+    state->orig_id = dservers_.OpenOrCreate(run.file);
+    state->reads_left = static_cast<int>(run.segments.size());
 
     for (const DirtyRange& seg : run.segments) {
       inflight_flush_.insert(
@@ -76,42 +128,83 @@ void Rebuilder::FlushDirty() {
       // Copy the cached tokens to the original file at issue time — the
       // simulator's linearization point for content effects.
       for (const auto& entry : cservers_.ReadContent(
-               cache_id, seg.cache_offset, seg.orig_end - seg.orig_begin)) {
+               state->cache_id, seg.cache_offset, seg.orig_end - seg.orig_begin)) {
         const byte_count orig_pos =
             seg.orig_begin + (entry.begin - seg.cache_offset);
-        dservers_.StampContent(orig_id, orig_pos, entry.length(), entry.value);
+        dservers_.StampContent(state->orig_id, orig_pos, entry.length(),
+                               entry.value);
       }
+    }
+
+    if (config_.io_timeout > 0) {
+      state->timeout_event =
+          engine_.ScheduleAfter(config_.io_timeout, [this, state]() {
+            state->timeout_event = sim::kInvalidEvent;
+            if (state->resolved) return;
+            ++stats_.flush_timeouts;
+            AbortFlushRun(state);
+          });
     }
 
     // Gather the scattered cache extents (cheap SSD reads), then write the
     // whole run back as one sequential DServer write.
-    auto run_copy = std::make_shared<DirtyRun>(run);
-    auto read_join = std::make_shared<sim::CompletionJoin>(
-        static_cast<int>(run.segments.size()),
-        [this, run_copy, orig_id](SimTime) {
-          dservers_.Submit(
-              orig_id, device::IoKind::kWrite, run_copy->orig_begin,
-              run_copy->length(), pfs::Priority::kBackground,
-              [this, run_copy](SimTime) {
-                for (const DirtyRange& seg : run_copy->segments) {
-                  inflight_flush_.erase(
-                      std::make_tuple(seg.file, seg.orig_begin, seg.version));
-                  if (dmt_.MarkCleanIfVersion(seg.file, seg.orig_begin,
-                                              seg.orig_end, seg.version)) {
-                    ++stats_.flushes_cleaned;
-                  } else {
-                    ++stats_.flush_races;
-                  }
-                }
-              });
-        });
+    auto read_arrived = [this, state](bool ok) {
+      if (!ok) state->read_failed = true;
+      if (--state->reads_left > 0 || state->resolved) return;
+      if (state->read_failed) {
+        ++stats_.flush_failures;
+        AbortFlushRun(state);
+        return;
+      }
+      dservers_.Submit(
+          state->orig_id, device::IoKind::kWrite, state->run.orig_begin,
+          state->run.length(), pfs::Priority::kBackground,
+          [this, state](SimTime) {
+            if (state->resolved) return;
+            state->resolved = true;
+            if (state->timeout_event != sim::kInvalidEvent) {
+              engine_.Cancel(state->timeout_event);
+              state->timeout_event = sim::kInvalidEvent;
+            }
+            for (const DirtyRange& seg : state->run.segments) {
+              inflight_flush_.erase(
+                  std::make_tuple(seg.file, seg.orig_begin, seg.version));
+              if (dmt_.MarkCleanIfVersion(seg.file, seg.orig_begin,
+                                          seg.orig_end, seg.version)) {
+                ++stats_.flushes_cleaned;
+              } else {
+                ++stats_.flush_races;
+              }
+            }
+          },
+          [this, state](SimTime) {
+            // Write-back failed (DServer crash / injected error). The
+            // DServer content tokens were stamped at issue time, but the
+            // extents stay dirty and will be re-flushed — re-stamping the
+            // same tokens is idempotent.
+            ++stats_.flush_failures;
+            AbortFlushRun(state);
+          });
+    };
     for (const DirtyRange& seg : run.segments) {
-      cservers_.Submit(cache_id, device::IoKind::kRead, seg.cache_offset,
-                       seg.orig_end - seg.orig_begin,
-                       pfs::Priority::kBackground,
-                       [read_join](SimTime t) { read_join->Arrive(t); });
+      cservers_.Submit(
+          state->cache_id, device::IoKind::kRead, seg.cache_offset,
+          seg.orig_end - seg.orig_begin, pfs::Priority::kBackground,
+          [read_arrived](SimTime) { read_arrived(true); },
+          [read_arrived](SimTime) { read_arrived(false); });
     }
   }
+}
+
+void Rebuilder::FailFetch(const CdtKey& key, byte_count cache_offset) {
+  (void)cache_offset;
+  ++stats_.fetch_failures;
+  ++stats_.fetches_completed;  // resolves idle() accounting
+  // Drop the placeholder mapping inserted at fetch-issue time — but only
+  // its still-clean parts: a foreground write that raced the fetch has
+  // dirtied (and now owns) its portion, and that data is real.
+  redirector_.InvalidateCleanAndRelease(key.file, key.offset, key.length);
+  Backoff();
 }
 
 void Rebuilder::FetchCritical() {
@@ -165,10 +258,15 @@ void Rebuilder::FetchCritical() {
         orig_id, device::IoKind::kRead, key.offset, key.length,
         pfs::Priority::kBackground,
         [this, key, cache_id, cache_offset](SimTime) {
-          cservers_.Submit(cache_id, device::IoKind::kWrite, *cache_offset,
-                           key.length, pfs::Priority::kBackground,
-                           [this](SimTime) { ++stats_.fetches_completed; });
-        });
+          cservers_.Submit(
+              cache_id, device::IoKind::kWrite, *cache_offset, key.length,
+              pfs::Priority::kBackground,
+              [this](SimTime) { ++stats_.fetches_completed; },
+              [this, key, cache_offset](SimTime) {
+                FailFetch(key, *cache_offset);
+              });
+        },
+        [this, key, cache_offset](SimTime) { FailFetch(key, *cache_offset); });
   }
 }
 

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -45,6 +46,16 @@ struct RebuilderConfig {
   // turns a repeating scan larger than the cache into pure thrash (every
   // fetch evicts data the next pass was about to reuse).
   bool fetch_may_evict = false;
+  // Fault handling. After a failed flush or fetch, no new reorganization
+  // I/O is issued until `retry_backoff` has elapsed (the periodic tick is
+  // the retry loop; the backoff keeps it from hammering a down tier).
+  SimTime retry_backoff = FromMillis(200);
+  // Watchdog for in-flight flush runs: a run that has not resolved within
+  // this window (e.g. its reads are stalled behind a network partition) is
+  // abandoned — the extents stay dirty and are re-collected later. 0
+  // disables the watchdog (the default: fault-free runs need no events
+  // spent on it).
+  SimTime io_timeout = 0;
 };
 
 struct RebuilderStats {
@@ -58,6 +69,14 @@ struct RebuilderStats {
   std::int64_t fetches_completed = 0;
   byte_count fetched_bytes = 0;
   std::int64_t fetch_space_failures = 0;
+  // Fault handling.
+  std::int64_t flush_failures = 0;   // runs aborted by a failed sub-I/O
+  std::int64_t flush_timeouts = 0;   // runs abandoned by the watchdog
+  std::int64_t fetch_failures = 0;   // fetches aborted by a failed sub-I/O
+  std::int64_t degraded_skips = 0;   // ticks skipped: cache tier down
+  std::int64_t recovery_passes = 0;
+  std::int64_t recovered_dirty_extents = 0;  // re-discovered after restart
+  byte_count recovered_dirty_bytes = 0;
 };
 
 class Rebuilder {
@@ -78,6 +97,20 @@ class Rebuilder {
   // One reorganization pass; exposed for deterministic tests.
   void Tick();
 
+  // Installs the cache-tier health probe: while it reports false, ticks do
+  // no work (reorganization I/O against a down tier would only fail).
+  // Null (the default) means always healthy.
+  void SetHealthProbe(std::function<bool()> probe) {
+    health_ = std::move(probe);
+  }
+
+  // Crash-recovery pass, invoked after the cache tier comes back: replays
+  // the (persisted) DMT image to re-discover dirty extents that were
+  // awaiting flush when the CServer went down, clears the retry backoff,
+  // and starts flushing them immediately. The write-back durability window
+  // closes as soon as this pass's flushes complete.
+  void RecoverAfterRestart();
+
   const RebuilderStats& stats() const { return stats_; }
   bool running() const { return running_; }
 
@@ -88,9 +121,14 @@ class Rebuilder {
   }
 
  private:
+  struct FlushRun;
+
   void ScheduleNext();
   void FlushDirty();
   void FetchCritical();
+  void AbortFlushRun(const std::shared_ptr<FlushRun>& run);
+  void FailFetch(const CdtKey& key, byte_count cache_offset);
+  void Backoff() { retry_at_ = engine_.now() + config_.retry_backoff; }
 
   sim::Engine& engine_;
   pfs::FileSystem& dservers_;
@@ -106,6 +144,9 @@ class Rebuilder {
   // Flushes in flight, keyed by (file, begin, version) so a re-dirtied
   // extent can be flushed again once the first flush resolves.
   std::set<std::tuple<std::string, byte_count, std::uint64_t>> inflight_flush_;
+  std::function<bool()> health_;
+  // No reorganization I/O is issued before this time (failure backoff).
+  SimTime retry_at_ = 0;
   RebuilderStats stats_;
 };
 

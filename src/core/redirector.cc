@@ -47,9 +47,66 @@ std::optional<byte_count> Redirector::AllocateCacheSpace(byte_count size) {
   }
 }
 
+std::vector<RemovedExtent> Redirector::InvalidateAndRelease(
+    const std::string& file, byte_count offset, byte_count size) {
+  auto removed = dmt_.Invalidate(file, offset, size);
+  for (const RemovedExtent& ext : removed) {
+    Release(ext);
+    ++stats_.invalidated_extents;
+  }
+  return removed;
+}
+
+void Redirector::InvalidateCleanAndRelease(const std::string& file,
+                                           byte_count offset,
+                                           byte_count size) {
+  const DmtLookup lookup = dmt_.Lookup(file, offset, size);
+  for (const MappedSegment& seg : lookup.mapped) {
+    if (seg.dirty) continue;
+    (void)InvalidateAndRelease(file, seg.orig_begin,
+                               seg.orig_end - seg.orig_begin);
+  }
+}
+
+RoutingPlan Redirector::PlanDegradedWrite(const std::string& file,
+                                          byte_count offset, byte_count size) {
+  // Cache tier unreachable: the whole write goes to DServers. Overlapping
+  // mappings — clean or dirty — are superseded by the new data over the
+  // clipped overlap, so invalidating them loses nothing; dirty extents
+  // *outside* the write keep their mapping and will flush after recovery.
+  ++stats_.degraded_writes;
+  RoutingPlan plan;
+  const auto removed = InvalidateAndRelease(file, offset, size);
+  plan.dmt_mutated = !removed.empty();
+  plan.segments.push_back(DServerSegment(offset, size));
+  ++stats_.write_to_dservers;
+  return plan;
+}
+
+RoutingPlan Redirector::PlanDegradedRead(const std::string& file,
+                                         byte_count offset, byte_count size) {
+  // Clean mapped data has an identical DServer copy, so a full-range
+  // DServer read serves it correctly. Dirty overlap means the only
+  // up-to-date bytes are unreachable: flag the plan and let the caller
+  // queue or knowingly serve stale.
+  ++stats_.degraded_reads;
+  RoutingPlan plan;
+  const DmtLookup lookup = dmt_.Lookup(file, offset, size);
+  for (const MappedSegment& seg : lookup.mapped) {
+    if (seg.dirty) {
+      plan.blocked_on_cache = true;
+      ++stats_.degraded_dirty_reads;
+      break;
+    }
+  }
+  plan.segments.push_back(DServerSegment(offset, size));
+  return plan;
+}
+
 RoutingPlan Redirector::PlanWrite(const std::string& file, byte_count offset,
                                   byte_count size, bool critical) {
   ++stats_.write_requests;
+  if (!CacheTierHealthy()) return PlanDegradedWrite(file, offset, size);
   RoutingPlan plan;
   const DmtLookup lookup = dmt_.Lookup(file, offset, size);
 
@@ -133,6 +190,7 @@ RoutingPlan Redirector::PlanWrite(const std::string& file, byte_count offset,
 RoutingPlan Redirector::PlanRead(const std::string& file, byte_count offset,
                                  byte_count size, bool critical) {
   ++stats_.read_requests;
+  if (!CacheTierHealthy()) return PlanDegradedRead(file, offset, size);
   RoutingPlan plan;
   const DmtLookup lookup = dmt_.Lookup(file, offset, size);
 

@@ -13,6 +13,16 @@
 //     and invalidate every overlapping mapping (a stale dirty extent must
 //     not be flushed over newer data);
 //   * partial read  -> read mapped parts from CServers, gaps from DServers.
+//
+// Degraded mode (fault subsystem): when the optional health probe reports
+// the cache tier unreachable (a CServer crashed or is partitioned), the
+// Redirector routes around it — writes go to DServers with overlapping
+// mappings invalidated (the new data supersedes the clipped overlap, so no
+// acknowledged write is lost), and reads are planned against DServers.
+// A read overlapping a *dirty* mapping has its only up-to-date copy on the
+// unreachable tier; the plan is flagged `blocked_on_cache` and the caller
+// decides whether to queue it until recovery or serve the stale DServer
+// copy (reporting the dirty-data-loss window).
 #pragma once
 
 #include <cstdint>
@@ -53,6 +63,11 @@ struct RoutingPlan {
   // eviction) — such changes are persisted synchronously (§III-D) and pay
   // the serialized metadata-update latency.
   bool dmt_mutated = false;
+  // Degraded mode only: the range overlaps dirty mappings whose sole copy
+  // is on the unreachable cache tier. The plan's segments are the stale
+  // DServer fallback; the caller chooses queue-until-recovery or
+  // serve-stale.
+  bool blocked_on_cache = false;
 
   byte_count cache_bytes() const {
     byte_count n = 0;
@@ -85,6 +100,10 @@ struct RedirectorStats {
   std::int64_t evictions = 0;
   std::int64_t admission_failures = 0;  // wanted to admit, no space
   std::int64_t invalidated_extents = 0;
+  // Degraded-mode routing (cache tier unreachable).
+  std::int64_t degraded_writes = 0;
+  std::int64_t degraded_reads = 0;
+  std::int64_t degraded_dirty_reads = 0;  // plans flagged blocked_on_cache
 };
 
 class Redirector {
@@ -123,6 +142,29 @@ class Redirector {
     return space_.Allocate(size);
   }
 
+  // Drops every mapping overlapping [offset, offset+size) (clipped at the
+  // boundaries) and returns its cache space to the allocator. Returns the
+  // removed extents so the caller can account for dirty data among them.
+  std::vector<RemovedExtent> InvalidateAndRelease(const std::string& file,
+                                                  byte_count offset,
+                                                  byte_count size);
+
+  // Like InvalidateAndRelease but leaves dirty segments mapped — used when
+  // aborting a failed background fetch whose clean placeholder mapping may
+  // have been dirtied by a racing foreground write (that dirty data is
+  // real and must survive).
+  void InvalidateCleanAndRelease(const std::string& file, byte_count offset,
+                                 byte_count size);
+
+  // Installs the cache-tier health probe consulted on every plan. Null
+  // (the default) means always healthy — the pre-fault behaviour.
+  void SetHealthProbe(std::function<bool()> probe) {
+    cache_healthy_ = std::move(probe);
+  }
+  bool CacheTierHealthy() const {
+    return !cache_healthy_ || cache_healthy_();
+  }
+
   const RedirectorStats& stats() const { return stats_; }
   AdmissionPolicy policy() const { return policy_; }
 
@@ -137,12 +179,17 @@ class Redirector {
   }
 
   void Release(const RemovedExtent& extent);
+  RoutingPlan PlanDegradedWrite(const std::string& file, byte_count offset,
+                                byte_count size);
+  RoutingPlan PlanDegradedRead(const std::string& file, byte_count offset,
+                               byte_count size);
 
   CriticalDataTable& cdt_;
   DataMappingTable& dmt_;
   CacheSpaceAllocator& space_;
   AdmissionPolicy policy_;
   ReleaseHook on_release_;
+  std::function<bool()> cache_healthy_;
   RedirectorStats stats_;
 };
 

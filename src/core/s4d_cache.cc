@@ -50,6 +50,8 @@ S4DCache::S4DCache(sim::Engine& engine, pfs::FileSystem& dservers,
   }
   metadata_shard_free_at_.assign(
       static_cast<std::size_t>(std::max(1, config_.dmt_shards)), 0);
+  redirector_.SetHealthProbe([this]() { return CacheTierAvailable(); });
+  rebuilder_.SetHealthProbe([this]() { return CacheTierAvailable(); });
   if (config_.enable_rebuilder) rebuilder_.Start();
 }
 
@@ -98,11 +100,26 @@ void S4DCache::Execute(device::IoKind kind, const mpiio::FileRequest& request,
       c_bytes > 0 ? cservers_.OpenOrCreate(CacheFileName(request.file))
                   : pfs::kInvalidFile;
 
-  auto join = std::make_shared<sim::CompletionJoin>(
-      static_cast<int>(plan.segments.size()),
-      [done = std::move(done)](SimTime last) {
-        if (done) done(last);
-      });
+  // Failure-aware join: the operation resolves (once) when its last
+  // segment does. A failed segment — a server crashed mid-request — still
+  // resolves the operation (the application would see an I/O error and the
+  // closed-loop driver moves on), but it is counted.
+  struct ExecJoin {
+    int remaining;
+    SimTime last = 0;
+    bool failed = false;
+    mpiio::IoCompletion done;
+  };
+  auto join = std::make_shared<ExecJoin>();
+  join->remaining = static_cast<int>(plan.segments.size());
+  join->done = std::move(done);
+  auto arrive = [this, join](SimTime t, bool ok) {
+    join->last = std::max(join->last, t);
+    if (!ok) join->failed = true;
+    if (--join->remaining > 0) return;
+    if (join->failed) ++counters_.failed_requests;
+    if (join->done) join->done(join->last);
+  };
 
   // The in-memory bookkeeping (cost model, CDT/DMT lookups) delays the
   // physical I/O by a small constant (§V-E.2); a plan that changed the
@@ -121,15 +138,18 @@ void S4DCache::Execute(device::IoKind kind, const mpiio::FileRequest& request,
   }
   engine_.ScheduleAfter(
       delay,
-      [this, kind, plan, orig_id, cache_id, join]() {
+      [this, kind, plan, orig_id, cache_id, arrive]() {
         for (const IoSegment& seg : plan.segments) {
-          auto on_complete = [join](SimTime t) { join->Arrive(t); };
+          auto on_complete = [arrive](SimTime t) { arrive(t, true); };
+          auto on_failure = [arrive](SimTime t) { arrive(t, false); };
           if (seg.target == IoSegment::Target::kCServers) {
             cservers_.Submit(cache_id, kind, seg.offset, seg.size,
-                             pfs::Priority::kNormal, std::move(on_complete));
+                             pfs::Priority::kNormal, std::move(on_complete),
+                             std::move(on_failure));
           } else {
             dservers_.Submit(orig_id, kind, seg.offset, seg.size,
-                             pfs::Priority::kNormal, std::move(on_complete));
+                             pfs::Priority::kNormal, std::move(on_complete),
+                             std::move(on_failure));
           }
         }
       });
@@ -155,7 +175,72 @@ void S4DCache::Read(const mpiio::FileRequest& request,
                            request.offset, request.size);
   const RoutingPlan plan =
       redirector_.PlanRead(request.file, request.offset, request.size, critical);
+  if (plan.blocked_on_cache) {
+    // Degraded mode, dirty overlap: the only up-to-date copy is on the
+    // unreachable cache tier.
+    if (config_.degraded_read_mode == DegradedReadMode::kQueue) {
+      ++counters_.queued_degraded_reads;
+      queued_reads_.push_back(PendingRead{request, std::move(done)});
+      return;
+    }
+    // kServeStale: deliver the DServer copy now; the dirty ranges we are
+    // bypassing are part of the reported loss window.
+    ++counters_.stale_dirty_reads;
+    if (dirty_loss_hook_) {
+      const DmtLookup lookup =
+          dmt_.Lookup(request.file, request.offset, request.size);
+      for (const MappedSegment& seg : lookup.mapped) {
+        if (seg.dirty) {
+          dirty_loss_hook_(request.file, seg.orig_begin,
+                           seg.orig_end - seg.orig_begin);
+        }
+      }
+    }
+  }
   Execute(device::IoKind::kRead, request, plan, std::move(done));
+}
+
+void S4DCache::OnCacheTierRestored() {
+  if (!CacheTierAvailable()) return;  // another CServer is still down
+  rebuilder_.RecoverAfterRestart();
+  // Re-issue held reads in arrival order. Each goes through Read() again:
+  // the mapping survived the crash (non-volatile SSDs + persistent DMT),
+  // so they now plan against the recovered cache tier.
+  std::vector<PendingRead> pending;
+  pending.swap(queued_reads_);
+  for (PendingRead& p : pending) Read(p.request, std::move(p.done));
+}
+
+void S4DCache::HandleCacheServerWiped(int server) {
+  // Media loss on one CServer: every cache extent with bytes striped onto
+  // it lost those bytes. The extent granularity is what the DMT tracks, so
+  // any touched extent is dropped whole; for dirty extents that is real
+  // data loss — the write-back durability window the paper trades for
+  // performance — and is reported, not asserted.
+  const pfs::StripeConfig& stripe = cservers_.config().stripe;
+  for (const RemovedExtent& ext : dmt_.AllExtents()) {
+    bool touches = false;
+    for (const pfs::SubRequest& sub :
+         pfs::SplitRequest(stripe, ext.cache_offset, ext.length())) {
+      if (sub.server == server) {
+        touches = true;
+        break;
+      }
+    }
+    if (!touches) continue;
+    ++counters_.wiped_extents;
+    if (ext.dirty) {
+      counters_.lost_dirty_bytes += ext.length();
+      if (dirty_loss_hook_) {
+        dirty_loss_hook_(ext.file, ext.orig_begin, ext.length());
+      }
+      S4D_WARN("wiped dirty extent " + ext.file + " [" +
+               std::to_string(ext.orig_begin) + ", " +
+               std::to_string(ext.orig_end) + ")");
+    }
+    (void)redirector_.InvalidateAndRelease(ext.file, ext.orig_begin,
+                                           ext.length());
+  }
 }
 
 void S4DCache::StampContent(const std::string& file, byte_count offset,

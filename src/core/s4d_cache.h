@@ -30,6 +30,15 @@
 
 namespace s4d::core {
 
+// What Read() does, while the cache tier is unreachable, with a request
+// that overlaps dirty mappings (whose only up-to-date copy is on the down
+// tier):
+//   kQueue      — hold the request and re-issue it when the tier recovers
+//                 (no stale data is ever delivered; the rank stalls).
+//   kServeStale — serve the DServer copy immediately and report the range
+//                 through the dirty-loss hook (availability over freshness).
+enum class DegradedReadMode { kQueue, kServeStale };
+
 struct S4DConfig {
   byte_count cache_capacity = 2 * GiB;
   AdmissionPolicy policy = AdmissionPolicy::kCostModel;
@@ -54,6 +63,7 @@ struct S4DConfig {
   int dmt_shards = 4;
   std::size_t cdt_max_entries = 1 << 20;
   std::string cache_file_suffix = ".s4d";
+  DegradedReadMode degraded_read_mode = DegradedReadMode::kQueue;
 };
 
 struct S4DCounters {
@@ -63,6 +73,12 @@ struct S4DCounters {
   std::int64_t split_requests = 0;  // partial hits served by both sides
   byte_count dserver_bytes = 0;
   byte_count cserver_bytes = 0;
+  // Fault handling.
+  std::int64_t failed_requests = 0;        // a sub-I/O failed under the op
+  std::int64_t queued_degraded_reads = 0;  // held until tier recovery
+  std::int64_t stale_dirty_reads = 0;      // served stale (kServeStale)
+  std::int64_t wiped_extents = 0;          // mappings lost to a media wipe
+  byte_count lost_dirty_bytes = 0;         // the dirty-data-loss window
 };
 
 class S4DCache final : public mpiio::IoDispatch {
@@ -105,6 +121,31 @@ class S4DCache final : public mpiio::IoDispatch {
     return file + config_.cache_file_suffix;
   }
 
+  // --- fault handling ----------------------------------------------------
+  // Reports every original-file range whose only up-to-date copy was lost
+  // or knowingly bypassed (media wipe, stale degraded reads). The harness
+  // wires this to ContentChecker::MarkMaybeLost so verification *reports*
+  // the dirty-data-loss window instead of failing on it.
+  using DirtyLossHook = std::function<void(
+      const std::string& file, byte_count offset, byte_count length)>;
+  void SetDirtyLossHook(DirtyLossHook hook) {
+    dirty_loss_hook_ = std::move(hook);
+  }
+
+  // True while every CServer is up and reachable; foreground routing and
+  // the Rebuilder poll this on every decision.
+  bool CacheTierAvailable() const { return cservers_.AllServersReachable(); }
+
+  // Called (by the FaultInjector) once the last down CServer restarted:
+  // re-issues reads queued in kQueue mode and runs the Rebuilder's
+  // crash-recovery pass over the persisted DMT.
+  void OnCacheTierRestored();
+
+  // Called when CServer `server` lost its media contents (crash-wipe).
+  // Every cache extent striped onto that server is dropped; dirty ones are
+  // reported as lost through the dirty-loss hook.
+  void HandleCacheServerWiped(int server);
+
   // True when the background machinery has nothing left to do: no dirty
   // data awaiting flush, no lazy fetches marked, nothing in flight.
   bool BackgroundQuiescent() const {
@@ -135,6 +176,14 @@ class S4DCache final : public mpiio::IoDispatch {
   S4DCounters counters_;
   // Busy-until times of the sharded metadata-persistence path.
   std::vector<SimTime> metadata_shard_free_at_;
+  // Reads held while the cache tier is down (kQueue mode), re-issued in
+  // arrival order on recovery.
+  struct PendingRead {
+    mpiio::FileRequest request;
+    mpiio::IoCompletion done;
+  };
+  std::vector<PendingRead> queued_reads_;
+  DirtyLossHook dirty_loss_hook_;
 };
 
 }  // namespace s4d::core

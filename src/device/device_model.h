@@ -43,6 +43,16 @@ class DeviceModel {
   virtual void Reset() = 0;
 
   virtual std::string Describe() const = 0;
+
+  // Fault injection: a degradation multiplier >= 1 applied to both cost
+  // phases by the file server (an SSD near end-of-life or throttling
+  // thermally serves every command slower). 1.0 (the default) means the
+  // healthy profile; callers must not pass values below 1.
+  void SetDegrade(double factor) { degrade_ = factor < 1.0 ? 1.0 : factor; }
+  double degrade() const { return degrade_; }
+
+ private:
+  double degrade_ = 1.0;
 };
 
 }  // namespace s4d::device

@@ -1,0 +1,101 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "core/s4d_cache.h"
+
+namespace s4d::fault {
+
+FaultInjector::FaultInjector(sim::Engine& engine, pfs::FileSystem& dservers,
+                             pfs::FileSystem& cservers,
+                             core::S4DCache* cache)
+    : engine_(engine),
+      dservers_(dservers),
+      cservers_(cservers),
+      cache_(cache) {}
+
+void FaultInjector::Arm(const FaultSchedule& schedule) {
+  for (const FaultEvent& event : schedule.events()) {
+    const SimTime at = std::max(event.time, engine_.now());
+    armed_.push_back(
+        engine_.ScheduleAt(at, [this, event]() { Apply(event); }));
+  }
+}
+
+int FaultInjector::Disarm() {
+  int cancelled = 0;
+  for (sim::EventId id : armed_) {
+    if (engine_.Cancel(id)) ++cancelled;
+  }
+  armed_.clear();
+  return cancelled;
+}
+
+void FaultInjector::ApplyToServer(const FaultEvent& event, pfs::FileSystem& fs,
+                                  int server) {
+  switch (event.kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kCrashWipe:
+      if (fs.ServerUp(server)) {
+        fs.CrashServer(server);
+        ++stats_.crashes;
+      }
+      if (event.kind == FaultKind::kCrashWipe) {
+        ++stats_.wipes;
+        if (cache_ && event.tier == FaultTier::kCServers) {
+          cache_->HandleCacheServerWiped(server);
+        }
+      }
+      break;
+    case FaultKind::kRestart:
+      if (!fs.ServerUp(server)) {
+        fs.RestartServer(server);
+        ++stats_.restarts;
+      }
+      break;
+    case FaultKind::kDeviceDegrade:
+      fs.server(server).device().SetDegrade(event.value);
+      ++stats_.degrades;
+      break;
+    case FaultKind::kLinkDegrade:
+      fs.server(server).mutable_link().SetDegrade(event.value);
+      ++stats_.degrades;
+      break;
+    case FaultKind::kPartition:
+      fs.server(server).SetPartitioned(true);
+      ++stats_.partitions;
+      break;
+    case FaultKind::kHeal:
+      fs.server(server).SetPartitioned(false);
+      ++stats_.partitions;
+      break;
+    case FaultKind::kBgErrorRate:
+      // Seed derived from the server index so every server draws an
+      // independent — but reproducible — error sequence.
+      fs.server(server).SetBackgroundErrorRate(
+          event.value, 0x5eedULL * 2654435761ULL +
+                           static_cast<std::uint64_t>(server + 1));
+      ++stats_.bg_error_sets;
+      break;
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  pfs::FileSystem& fs = tier(event.tier);
+  ++stats_.events_applied;
+  if (event.server == kAllServers) {
+    for (int i = 0; i < fs.server_count(); ++i) ApplyToServer(event, fs, i);
+  } else if (event.server < fs.server_count()) {
+    ApplyToServer(event, fs, event.server);
+  }
+  // Recovery notification: once the cache tier is fully reachable again
+  // (last restart or heal just landed), let the middleware re-issue queued
+  // reads and replay the persisted DMT.
+  if (cache_ && event.tier == FaultTier::kCServers &&
+      (event.kind == FaultKind::kRestart || event.kind == FaultKind::kHeal) &&
+      cservers_.AllServersReachable()) {
+    cache_->OnCacheTierRestored();
+  }
+}
+
+}  // namespace s4d::fault

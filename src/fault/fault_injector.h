@@ -1,0 +1,74 @@
+// Fault injector: arms a FaultSchedule on the simulation engine and applies
+// each event to the live system when its simulated time arrives.
+//
+// The injector owns no fault *policy* — what a crash means is implemented
+// where the state lives (pfs::FileServer fails jobs, core::S4DCache drops
+// wiped mappings and re-issues queued reads). The injector is the thin
+// deterministic bridge: schedule → engine events → Apply().
+//
+// Determinism: with an empty schedule, Arm() schedules nothing and the run
+// is bit-identical to one without an injector. Disarm() cancels every
+// not-yet-fired event (exercising sim::Engine::Cancel).
+#pragma once
+
+#include <vector>
+
+#include "fault/fault_schedule.h"
+#include "pfs/file_system.h"
+#include "sim/engine.h"
+
+namespace s4d::core {
+class S4DCache;
+}  // namespace s4d::core
+
+namespace s4d::fault {
+
+struct InjectorStats {
+  std::int64_t events_applied = 0;
+  std::int64_t crashes = 0;
+  std::int64_t wipes = 0;
+  std::int64_t restarts = 0;
+  std::int64_t degrades = 0;   // device + link
+  std::int64_t partitions = 0; // partition + heal
+  std::int64_t bg_error_sets = 0;
+};
+
+class FaultInjector {
+ public:
+  // `cache` may be null (pure-PFS experiments): wipe/restore notifications
+  // that would go to the middleware are then skipped.
+  FaultInjector(sim::Engine& engine, pfs::FileSystem& dservers,
+                pfs::FileSystem& cservers, core::S4DCache* cache = nullptr);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules every event of `schedule` at its absolute simulated time.
+  // May be called before or during the run; events in the past (relative
+  // to engine.now()) fire on the next engine step.
+  void Arm(const FaultSchedule& schedule);
+
+  // Cancels all armed-but-unfired events. Returns how many were cancelled.
+  int Disarm();
+
+  // Applies one event immediately (also the per-event entry point used by
+  // the armed engine callbacks).
+  void Apply(const FaultEvent& event);
+
+  const InjectorStats& stats() const { return stats_; }
+
+ private:
+  pfs::FileSystem& tier(FaultTier t) {
+    return t == FaultTier::kDServers ? dservers_ : cservers_;
+  }
+  void ApplyToServer(const FaultEvent& event, pfs::FileSystem& fs, int server);
+
+  sim::Engine& engine_;
+  pfs::FileSystem& dservers_;
+  pfs::FileSystem& cservers_;
+  core::S4DCache* cache_;
+  std::vector<sim::EventId> armed_;
+  InjectorStats stats_;
+};
+
+}  // namespace s4d::fault

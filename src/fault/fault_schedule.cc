@@ -1,0 +1,169 @@
+#include "fault/fault_schedule.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace s4d::fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kCrashWipe: return "crash-wipe";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kDeviceDegrade: return "degrade-device";
+    case FaultKind::kLinkDegrade: return "degrade-link";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kHeal: return "heal";
+    case FaultKind::kBgErrorRate: return "bg-error";
+  }
+  return "unknown";
+}
+
+const char* FaultTierName(FaultTier tier) {
+  return tier == FaultTier::kDServers ? "dservers" : "cservers";
+}
+
+namespace {
+
+// Same grammar as ConfigParser::GetDuration, for one whitespace-delimited
+// token: "250ms", "2s", "100us", "50ns", bare number = ns.
+std::optional<SimTime> ParseDurationToken(std::string text) {
+  if (text.empty()) return std::nullopt;
+  for (char& c : text) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  SimTime multiplier = 1;
+  auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::string(suffix).size();
+    return text.size() > n && text.compare(text.size() - n, n, suffix) == 0;
+  };
+  if (ends_with("ns")) {
+    text.resize(text.size() - 2);
+  } else if (ends_with("us")) {
+    multiplier = kMicrosecond;
+    text.resize(text.size() - 2);
+  } else if (ends_with("ms")) {
+    multiplier = kMillisecond;
+    text.resize(text.size() - 2);
+  } else if (ends_with("s")) {
+    multiplier = kSecond;
+    text.resize(text.size() - 1);
+  }
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size() || value < 0) return std::nullopt;
+    return static_cast<SimTime>(value * static_cast<double>(multiplier));
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<FaultKind> ParseKind(const std::string& token) {
+  for (FaultKind kind :
+       {FaultKind::kCrash, FaultKind::kCrashWipe, FaultKind::kRestart,
+        FaultKind::kDeviceDegrade, FaultKind::kLinkDegrade,
+        FaultKind::kPartition, FaultKind::kHeal, FaultKind::kBgErrorRate}) {
+    if (token == FaultKindName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultTier> ParseTier(const std::string& token) {
+  if (token == "dservers" || token == "dserver") return FaultTier::kDServers;
+  if (token == "cservers" || token == "cserver") return FaultTier::kCServers;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<FaultEvent> FaultSchedule::ParseEvent(const std::string& text) {
+  std::istringstream in(text);
+  std::string time_token, kind_token, tier_token, server_token;
+  if (!(in >> time_token >> kind_token >> tier_token >> server_token)) {
+    return Status::InvalidArgument(
+        "fault event needs `<time> <kind> <tier> <server|all>`: " + text);
+  }
+
+  FaultEvent event;
+  const auto time = ParseDurationToken(time_token);
+  if (!time) {
+    return Status::InvalidArgument("bad fault time: " + time_token);
+  }
+  event.time = *time;
+
+  const auto kind = ParseKind(kind_token);
+  if (!kind) {
+    return Status::InvalidArgument("unknown fault kind: " + kind_token);
+  }
+  event.kind = *kind;
+
+  const auto tier = ParseTier(tier_token);
+  if (!tier) {
+    return Status::InvalidArgument("unknown fault tier: " + tier_token);
+  }
+  event.tier = *tier;
+
+  if (server_token == "all") {
+    event.server = kAllServers;
+  } else {
+    try {
+      std::size_t consumed = 0;
+      event.server = std::stoi(server_token, &consumed);
+      if (consumed != server_token.size() || event.server < 0) {
+        return Status::InvalidArgument("bad fault server: " + server_token);
+      }
+    } catch (...) {
+      return Status::InvalidArgument("bad fault server: " + server_token);
+    }
+  }
+
+  std::string value_token;
+  if (in >> value_token) {
+    try {
+      std::size_t consumed = 0;
+      event.value = std::stod(value_token, &consumed);
+      if (consumed != value_token.size()) {
+        return Status::InvalidArgument("bad fault value: " + value_token);
+      }
+    } catch (...) {
+      return Status::InvalidArgument("bad fault value: " + value_token);
+    }
+  }
+
+  switch (event.kind) {
+    case FaultKind::kDeviceDegrade:
+    case FaultKind::kLinkDegrade:
+      if (event.value < 1.0) {
+        return Status::InvalidArgument(
+            "degrade factor must be >= 1: " + text);
+      }
+      break;
+    case FaultKind::kBgErrorRate:
+      if (event.value < 0.0 || event.value > 1.0) {
+        return Status::InvalidArgument(
+            "bg-error rate must be in [0, 1]: " + text);
+      }
+      break;
+    default:
+      break;
+  }
+  return event;
+}
+
+Result<FaultSchedule> FaultSchedule::FromConfig(const ConfigParser& config,
+                                                const std::string& section) {
+  FaultSchedule schedule;
+  for (int i = 1;; ++i) {
+    const std::string key = "fault" + std::to_string(i);
+    const auto line = config.GetString(section, key);
+    if (!line) break;  // keys must be contiguous from fault1
+    auto event = ParseEvent(*line);
+    if (!event.ok()) {
+      return Status::InvalidArgument(section + "." + key + ": " +
+                                     event.status().message());
+    }
+    schedule.Add(*event);
+  }
+  return schedule;
+}
+
+}  // namespace s4d::fault

@@ -1,0 +1,89 @@
+// Fault schedule: a deterministic, config-driven timeline of fault events.
+//
+// The paper's write-back design (§III-F) trades durability for performance:
+// dirty data lives only on CServers until the Rebuilder flushes it. The
+// fault subsystem makes that trade-off testable — it can crash and restart
+// servers, wipe SSD media, degrade devices and links, partition the
+// network, and fail background I/O, all at pre-declared simulated times so
+// every faulty run is exactly as reproducible as a healthy one.
+//
+// A schedule is a plain list of FaultEvents, typically parsed from the
+// `[faults]` section of an s4dsim config:
+//
+//   [faults]
+//   fault1 = 100ms crash cservers 0
+//   fault2 = 250ms restart cservers 0
+//   fault3 = 300ms degrade-device cservers all 8.0
+//   fault4 = 1s   degrade-link dservers 2 4.0
+//   fault5 = 2s   partition cservers 1
+//   fault6 = 3s   heal cservers 1
+//   fault7 = 4s   crash-wipe cservers 0
+//   fault8 = 0ms  bg-error cservers all 0.05
+//
+// Grammar per event: `<time> <kind> <tier> <server|all> [<value>]`.
+// Keys must be fault1..faultN, contiguous from 1. `value` is the
+// degradation multiplier (>= 1) for degrade-* and the failure probability
+// in [0, 1] for bg-error; it is ignored elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config_parser.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+
+namespace s4d::fault {
+
+enum class FaultKind {
+  kCrash,          // server process crash: pending + in-flight jobs fail
+  kCrashWipe,      // crash AND media loss: cached extents on it are gone
+  kRestart,        // crashed server comes back (media intact unless wiped)
+  kDeviceDegrade,  // device serves every access `value`x slower
+  kLinkDegrade,    // link bandwidth / latency degraded by `value`x
+  kPartition,      // server unreachable; jobs stall until heal
+  kHeal,           // partition heals
+  kBgErrorRate,    // background jobs fail with probability `value`
+};
+
+enum class FaultTier { kDServers, kCServers };
+
+inline constexpr int kAllServers = -1;
+
+struct FaultEvent {
+  SimTime time = 0;
+  FaultKind kind = FaultKind::kCrash;
+  FaultTier tier = FaultTier::kCServers;
+  int server = kAllServers;  // kAllServers = every server of the tier
+  double value = 1.0;        // multiplier or probability, kind-dependent
+};
+
+const char* FaultKindName(FaultKind kind);
+const char* FaultTierName(FaultTier tier);
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(std::vector<FaultEvent> events)
+      : events_(std::move(events)) {}
+
+  // Parses `fault1..faultN` from the `[faults]` section (or any section
+  // named by `section`). An absent section yields an empty schedule.
+  static Result<FaultSchedule> FromConfig(const ConfigParser& config,
+                                          const std::string& section = "faults");
+
+  // Parses one event line, e.g. "100ms crash cservers 0".
+  static Result<FaultEvent> ParseEvent(const std::string& text);
+
+  void Add(FaultEvent event) { events_.push_back(event); }
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace s4d::fault

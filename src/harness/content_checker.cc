@@ -33,6 +33,25 @@ std::vector<mpiio::ContentEntry> Normalize(
 
 }  // namespace
 
+std::int64_t ContentChecker::CheckAll(mpiio::IoDispatch& dispatch) {
+  const std::int64_t before = failures_;
+  for (const auto& [file, image] : reference_) {
+    const auto entries = image.AllEntries();
+    if (entries.empty()) continue;
+    const byte_count begin = entries.front().begin;
+    const byte_count end = entries.back().end;
+    CheckRead(dispatch, file, begin, end - begin);
+  }
+  return failures_ - before;
+}
+
+void ContentChecker::MarkMaybeLost(const std::string& file, byte_count offset,
+                                   byte_count size) {
+  if (size <= 0) return;
+  lost_bytes_ += size;
+  maybe_lost_[file].Assign(offset, offset + size, 1);
+}
+
 bool ContentChecker::CheckRead(mpiio::IoDispatch& dispatch,
                                const std::string& file, byte_count offset,
                                byte_count size) {
@@ -41,6 +60,13 @@ bool ContentChecker::CheckRead(mpiio::IoDispatch& dispatch,
       Normalize(reference_[file].Overlapping(offset, offset + size));
   const auto actual = Normalize(dispatch.ReadContent(file, offset, size));
   if (expected == actual) return true;
+
+  const auto lost_it = maybe_lost_.find(file);
+  if (lost_it != maybe_lost_.end() &&
+      !lost_it->second.Overlapping(offset, offset + size).empty()) {
+    ++loss_window_reads_;
+    return false;
+  }
 
   ++failures_;
   if (first_failure_.empty()) {

@@ -6,6 +6,16 @@
 // would deliver (IoDispatch::ReadContent, assembled across cache and
 // original files) against the reference. Any divergence is a consistency
 // bug in the caching machinery.
+//
+// Under fault injection, some divergence is *expected*: a media wipe or a
+// stale degraded read loses acknowledged dirty data by design (the paper's
+// write-back durability window). The middleware reports such ranges via
+// MarkMaybeLost; mismatched reads overlapping a reported range are counted
+// as loss_window_reads, not failures. The lost set is conservatively
+// coarse — it is never shrunk, so a later rewrite of a lost range that
+// then mismatches would still be (mis)classified as a loss-window read.
+// That keeps the no-loss guarantee one-sided and sound: failures() == 0
+// still proves no *unreported* acknowledged write was lost.
 #pragma once
 
 #include <cstdint>
@@ -29,15 +39,34 @@ class ContentChecker {
   bool CheckRead(mpiio::IoDispatch& dispatch, const std::string& file,
                  byte_count offset, byte_count size);
 
+  // Re-checks the full written span of every file against the dispatch's
+  // final image — proves every acknowledged write survived the run (up to
+  // reported losses). Returns the number of newly counted failures.
+  std::int64_t CheckAll(mpiio::IoDispatch& dispatch);
+
+  // Declares [offset, offset+size) of `file` possibly lost to a fault
+  // (wired to S4DCache::SetDirtyLossHook). Mismatches overlapping the
+  // range are classified as loss-window reads instead of failures.
+  void MarkMaybeLost(const std::string& file, byte_count offset,
+                     byte_count size);
+
   std::int64_t checks() const { return checks_; }
   std::int64_t failures() const { return failures_; }
+  // Mismatched reads explained by a reported dirty-data loss.
+  std::int64_t loss_window_reads() const { return loss_window_reads_; }
+  // Total bytes ever reported through MarkMaybeLost.
+  byte_count lost_bytes() const { return lost_bytes_; }
   const std::string& first_failure() const { return first_failure_; }
 
  private:
   std::unordered_map<std::string, IntervalMap<std::uint64_t>> reference_;
+  // Ranges reported lost, per file (token value unused — presence only).
+  std::unordered_map<std::string, IntervalMap<std::uint64_t>> maybe_lost_;
   std::uint64_t next_token_ = 1;
   std::int64_t checks_ = 0;
   std::int64_t failures_ = 0;
+  std::int64_t loss_window_reads_ = 0;
+  byte_count lost_bytes_ = 0;
   std::string first_failure_;
 };
 

@@ -35,17 +35,33 @@ class LinkModel {
 
   // Time the link is occupied moving `bytes` of payload.
   SimTime TransferTime(byte_count bytes) const {
-    return static_cast<SimTime>(
+    const SimTime t = static_cast<SimTime>(
         static_cast<double>(bytes) / profile_.bandwidth_bps * 1e9);
+    return degrade_ == 1.0
+               ? t
+               : static_cast<SimTime>(static_cast<double>(t) * degrade_);
   }
 
   // Fixed request/response round-trip overhead for one RPC.
-  SimTime RpcOverhead() const { return 2 * profile_.message_latency; }
+  SimTime RpcOverhead() const {
+    const SimTime t = 2 * profile_.message_latency;
+    return degrade_ == 1.0
+               ? t
+               : static_cast<SimTime>(static_cast<double>(t) * degrade_);
+  }
+
+  // Fault injection: slows the link by `factor` >= 1 (effective bandwidth
+  // divided by, and message latency multiplied by, the factor) — a
+  // congested or renegotiated-down Ethernet link. 1.0 restores the healthy
+  // profile.
+  void SetDegrade(double factor) { degrade_ = factor < 1.0 ? 1.0 : factor; }
+  double degrade() const { return degrade_; }
 
   const LinkProfile& profile() const { return profile_; }
 
  private:
   LinkProfile profile_;
+  double degrade_ = 1.0;
 };
 
 }  // namespace s4d::net

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <utility>
+#include <vector>
 
 namespace s4d::pfs {
 
@@ -15,12 +16,30 @@ FileServer::FileServer(sim::Engine& engine,
       link_(std::move(link)),
       name_(std::move(name)),
       background_idle_grace_(background_idle_grace),
-      jitter_rng_(std::hash<std::string>{}(name_) | 1) {
+      jitter_rng_(std::hash<std::string>{}(name_) | 1),
+      fault_rng_(std::hash<std::string>{}(name_) ^ 0xfa01dULL) {
   assert(device_ != nullptr);
+}
+
+void FileServer::FailJob(ServerJob job) {
+  ++stats_.failed_jobs;
+  // Failures resolve on the next engine step, not inline: Crash/Submit may
+  // themselves run inside an event callback, and re-entering the caller's
+  // completion chain synchronously would reorder its state updates.
+  engine_.ScheduleAfter(0, [this, job = std::move(job)]() mutable {
+    auto& cb = job.on_failure ? job.on_failure : job.on_complete;
+    if (cb) cb(engine_.now());
+  });
 }
 
 void FileServer::Submit(ServerJob job) {
   assert(job.size > 0);
+  if (!up_) {
+    // Connection refused: the client learns of the failure after the RPC
+    // attempt, modelled as an immediate failure.
+    FailJob(std::move(job));
+    return;
+  }
   // Network arrival jitter: near-simultaneous requests reach the server in
   // slightly perturbed order, exactly as on a real switch fabric.
   const SimTime jitter_bound = link_.profile().arrival_jitter;
@@ -28,6 +47,10 @@ void FileServer::Submit(ServerJob job) {
     const SimTime jitter = static_cast<SimTime>(
         jitter_rng_.NextBelow(static_cast<std::uint64_t>(jitter_bound)));
     engine_.ScheduleAfter(jitter, [this, job = std::move(job)]() mutable {
+      if (!up_) {
+        FailJob(std::move(job));
+        return;
+      }
       if (job.priority == Priority::kNormal) {
         last_normal_activity_ = engine_.now();
         normal_queue_.push_back(std::move(job));
@@ -47,8 +70,51 @@ void FileServer::Submit(ServerJob job) {
   MaybeStartNext();
 }
 
+void FileServer::Crash() {
+  if (!up_) return;
+  up_ = false;
+  ++stats_.crashes;
+  // The in-flight job dies with its connection: cancel the scheduled
+  // completion and fail it now.
+  if (busy_) {
+    engine_.Cancel(inflight_event_);
+    inflight_event_ = sim::kInvalidEvent;
+    busy_ = false;
+    if (inflight_job_) {
+      FailJob(std::move(*inflight_job_));
+      inflight_job_.reset();
+    }
+  }
+  // Every queued job fails at crash time.
+  std::deque<ServerJob> doomed;
+  doomed.swap(normal_queue_);
+  for (ServerJob& job : doomed) FailJob(std::move(job));
+  doomed.clear();
+  doomed.swap(background_queue_);
+  for (ServerJob& job : doomed) FailJob(std::move(job));
+}
+
+void FileServer::Restart() {
+  if (up_) return;
+  up_ = true;
+  ++stats_.restarts;
+  device_->Reset();  // spin-up / remount: positional state forgotten
+  MaybeStartNext();
+}
+
+void FileServer::SetPartitioned(bool partitioned) {
+  if (partitioned_ == partitioned) return;
+  partitioned_ = partitioned;
+  if (!partitioned_) MaybeStartNext();
+}
+
+void FileServer::SetBackgroundErrorRate(double rate, std::uint64_t seed) {
+  background_error_rate_ = std::clamp(rate, 0.0, 1.0);
+  fault_rng_.Seed(seed ^ (std::hash<std::string>{}(name_) | 1));
+}
+
 void FileServer::MaybeStartNext() {
-  if (busy_) return;
+  if (busy_ || !up_ || partitioned_) return;
   ServerJob job;
   if (!normal_queue_.empty()) {
     job = std::move(normal_queue_.front());
@@ -78,7 +144,33 @@ void FileServer::MaybeStartNext() {
 }
 
 void FileServer::Serve(ServerJob job) {
-  const device::AccessCosts costs = device_->Access(job.kind, job.lba, job.size);
+  // Injected transient error: the job occupies the request slot for the
+  // RPC round-trip (the client had to talk to the server to get the error)
+  // but moves no data.
+  if (job.priority == Priority::kBackground && background_error_rate_ > 0.0 &&
+      fault_rng_.NextBool(background_error_rate_)) {
+    ++stats_.failed_jobs;
+    const SimTime service = link_.RpcOverhead();
+    inflight_job_ = std::move(job);
+    inflight_event_ = engine_.ScheduleAfter(service, [this]() {
+      inflight_event_ = sim::kInvalidEvent;
+      ServerJob failed = std::move(*inflight_job_);
+      inflight_job_.reset();
+      busy_ = false;
+      auto& cb = failed.on_failure ? failed.on_failure : failed.on_complete;
+      if (cb) cb(engine_.now());
+      MaybeStartNext();
+    });
+    return;
+  }
+
+  device::AccessCosts costs = device_->Access(job.kind, job.lba, job.size);
+  if (device_->degrade() != 1.0) {
+    costs.positioning = static_cast<SimTime>(
+        static_cast<double>(costs.positioning) * device_->degrade());
+    costs.transfer = static_cast<SimTime>(static_cast<double>(costs.transfer) *
+                                          device_->degrade());
+  }
   // The device transfer and the wire transfer of the same bytes are
   // pipelined; the slower of the two gates the request.
   const SimTime data_phase = std::max(costs.transfer, link_.TransferTime(job.size));
@@ -95,14 +187,18 @@ void FileServer::Serve(ServerJob job) {
   stats_.positioning_time += costs.positioning;
   if (costs.positioning == 0) ++stats_.zero_positioning_jobs;
 
-  const bool normal = job.priority == Priority::kNormal;
-  engine_.ScheduleAfter(
-      service, [this, normal, cb = std::move(job.on_complete)]() {
-        if (normal) last_normal_activity_ = engine_.now();
-        if (cb) cb(engine_.now());
-        busy_ = false;
-        MaybeStartNext();
-      });
+  inflight_job_ = std::move(job);
+  inflight_event_ = engine_.ScheduleAfter(service, [this]() {
+    inflight_event_ = sim::kInvalidEvent;
+    ServerJob done = std::move(*inflight_job_);
+    inflight_job_.reset();
+    if (done.priority == Priority::kNormal) {
+      last_normal_activity_ = engine_.now();
+    }
+    if (done.on_complete) done.on_complete(engine_.now());
+    busy_ = false;
+    MaybeStartNext();
+  });
 }
 
 }  // namespace s4d::pfs

@@ -6,12 +6,21 @@
 // the same bytes (PVFS2's flow protocol pipelines them). Background jobs
 // (the Rebuilder's reorganization I/O, §III-F) are only dequeued when no
 // normal job is waiting, reproducing the paper's low-priority I/O.
+//
+// Fault awareness: a server can crash (all pending and in-flight jobs fail,
+// later submissions fail until Restart), be partitioned from the network
+// (jobs queue but none start until the partition heals), serve through a
+// degraded device or link (multipliers on the service-time phases), and
+// probabilistically fail background jobs (deterministic, seeded). Failed
+// jobs invoke `on_failure` when provided, else `on_complete` — legacy
+// callers that predate fault injection keep their exactly-once completion.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/rng.h"
@@ -30,6 +39,10 @@ struct ServerJob {
   Priority priority = Priority::kNormal;
   // Invoked exactly once, at the simulated completion time.
   std::function<void(SimTime)> on_complete;
+  // Invoked instead of on_complete when the job fails (server crash,
+  // injected error). Optional: when null, on_complete fires for failures
+  // too, preserving pre-fault-subsystem semantics for legacy callers.
+  std::function<void(SimTime)> on_failure;
 };
 
 struct ServerStats {
@@ -42,6 +55,10 @@ struct ServerStats {
   // Jobs that required no positioning (head already in place) — a direct
   // measure of how sequential the stream arriving at this server is.
   std::int64_t zero_positioning_jobs = 0;
+  // Fault accounting.
+  std::int64_t failed_jobs = 0;      // crash-dropped / rejected / injected
+  std::int64_t crashes = 0;
+  std::int64_t restarts = 0;
 };
 
 class FileServer {
@@ -60,12 +77,39 @@ class FileServer {
   FileServer& operator=(const FileServer&) = delete;
 
   // Enqueues a job; it will be served in FIFO order within its priority.
+  // On a crashed server the job fails immediately (next engine step).
   void Submit(ServerJob job);
+
+  // --- fault injection ---------------------------------------------------
+  // Crash: every queued job and the in-flight job (if any) fail at the
+  // current simulated time; subsequent Submits fail until Restart. The
+  // device's positional state is NOT touched — a crash does not destroy
+  // media contents (wipes are modelled a layer up, in the middleware's
+  // mapping table).
+  void Crash();
+  // Brings a crashed server back; the device re-initializes its positional
+  // state (spin-up / remount) and queued work resumes.
+  void Restart();
+  bool up() const { return up_; }
+
+  // Network partition: the server is unreachable but alive — jobs queue
+  // and wait (distinct from Crash, which fails them). Healing re-kicks the
+  // queue.
+  void SetPartitioned(bool partitioned);
+  bool partitioned() const { return partitioned_; }
+  // Reachable = up and not partitioned: a request sent now would be served.
+  bool reachable() const { return up_ && !partitioned_; }
+
+  // Probabilistic failure of *background* jobs (flush/fetch I/O), applied
+  // at service time with a deterministic, seeded draw. Models the paper's
+  // write-back window being widened by transient background-I/O errors.
+  void SetBackgroundErrorRate(double rate, std::uint64_t seed);
 
   const ServerStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
   device::DeviceModel& device() { return *device_; }
   const net::LinkModel& link() const { return link_; }
+  net::LinkModel& mutable_link() { return link_; }
   std::size_t queue_depth() const {
     return normal_queue_.size() + background_queue_.size();
   }
@@ -77,6 +121,7 @@ class FileServer {
  private:
   void MaybeStartNext();
   void Serve(ServerJob job);
+  void FailJob(ServerJob job);
 
   sim::Engine& engine_;
   std::unique_ptr<device::DeviceModel> device_;
@@ -91,6 +136,16 @@ class FileServer {
   bool idle_check_scheduled_ = false;
   Rng jitter_rng_;
   ServerStats stats_;
+
+  // Fault state.
+  bool up_ = true;
+  bool partitioned_ = false;
+  // The in-flight job's completion event and callbacks, kept so Crash can
+  // cancel the completion and fail the job at crash time instead.
+  sim::EventId inflight_event_ = sim::kInvalidEvent;
+  std::optional<ServerJob> inflight_job_;
+  double background_error_rate_ = 0.0;
+  Rng fault_rng_{1};
 };
 
 }  // namespace s4d::pfs

@@ -39,7 +39,8 @@ byte_count FileSystem::FileBaseLba(FileId file) const {
 
 void FileSystem::Submit(FileId file, device::IoKind kind, byte_count offset,
                         byte_count size, Priority priority,
-                        std::function<void(SimTime)> on_complete) {
+                        std::function<void(SimTime)> on_complete,
+                        std::function<void(SimTime)> on_failure) {
   assert(file >= 0 && static_cast<std::size_t>(file) < file_names_.size());
   assert(offset >= 0);
 
@@ -64,11 +65,32 @@ void FileSystem::Submit(FileId file, device::IoKind kind, byte_count offset,
   record.server_count = static_cast<int>(subs.size());
   for (const auto& observer : observers_) observer(record);
 
-  auto join = std::make_shared<sim::CompletionJoin>(
-      static_cast<int>(subs.size()),
-      [cb = std::move(on_complete)](SimTime last) {
-        if (cb) cb(last);
-      });
+  // Failure-aware join: the request resolves when the last sub-request
+  // does; it fails as a whole if any sub-request failed.
+  struct Fanout {
+    int remaining;
+    SimTime last = 0;
+    bool failed = false;
+    std::function<void(SimTime)> on_complete;
+    std::function<void(SimTime)> on_failure;
+  };
+  auto state = std::make_shared<Fanout>();
+  state->remaining = static_cast<int>(subs.size());
+  state->on_complete = std::move(on_complete);
+  state->on_failure = std::move(on_failure);
+  auto arrive = [this, state](SimTime t, bool ok) {
+    assert(state->remaining > 0);
+    state->last = std::max(state->last, t);
+    if (!ok) state->failed = true;
+    if (--state->remaining > 0) return;
+    if (state->failed) {
+      ++stats_.failed_requests;
+      auto& cb = state->on_failure ? state->on_failure : state->on_complete;
+      if (cb) cb(state->last);
+    } else if (state->on_complete) {
+      state->on_complete(state->last);
+    }
+  };
 
   const byte_count base = FileBaseLba(file);
   for (const SubRequest& sub : subs) {
@@ -77,9 +99,25 @@ void FileSystem::Submit(FileId file, device::IoKind kind, byte_count offset,
     job.lba = base + sub.server_offset;
     job.size = sub.size;
     job.priority = priority;
-    job.on_complete = [join](SimTime t) { join->Arrive(t); };
+    job.on_complete = [arrive](SimTime t) { arrive(t, true); };
+    job.on_failure = [arrive](SimTime t) { arrive(t, false); };
     servers_[static_cast<std::size_t>(sub.server)]->Submit(std::move(job));
   }
+}
+
+bool FileSystem::AllServersReachable() const {
+  for (const auto& server : servers_) {
+    if (!server->reachable()) return false;
+  }
+  return true;
+}
+
+int FileSystem::DownServerCount() const {
+  int down = 0;
+  for (const auto& server : servers_) {
+    if (!server->up()) ++down;
+  }
+  return down;
 }
 
 void FileSystem::StampContent(FileId file, byte_count offset, byte_count size,

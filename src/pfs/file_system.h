@@ -57,6 +57,9 @@ struct RequestRecord {
 struct FsStats {
   std::int64_t requests = 0;
   byte_count bytes = 0;
+  // Requests in which at least one sub-request failed (crashed server,
+  // injected error).
+  std::int64_t failed_requests = 0;
 };
 
 class FileSystem {
@@ -77,9 +80,16 @@ class FileSystem {
   // Issues a striped request. `on_complete` fires once, at the simulated
   // time the last sub-request finishes. Zero-size requests complete
   // immediately (next engine step).
+  //
+  // `on_failure` (optional): invoked instead of `on_complete` — still
+  // exactly once, when the last sub-request resolves — if any sub-request
+  // failed (its server crashed, or a fault injector failed it). Callers
+  // that pass no `on_failure` keep the legacy semantics: failures resolve
+  // through `on_complete`, and only FsStats records them.
   void Submit(FileId file, device::IoKind kind, byte_count offset,
               byte_count size, Priority priority,
-              std::function<void(SimTime)> on_complete);
+              std::function<void(SimTime)> on_complete,
+              std::function<void(SimTime)> on_failure = nullptr);
 
   // --- content tracking (only when config.track_content) ---------------
   // Records that [offset, offset+size) of `file` now holds `token`.
@@ -111,6 +121,15 @@ class FileSystem {
 
   // Resets device head positions on all servers (between phases).
   void ResetDevices();
+
+  // --- fault injection ---------------------------------------------------
+  void CrashServer(int i) { server(i).Crash(); }
+  void RestartServer(int i) { server(i).Restart(); }
+  bool ServerUp(int i) const { return server(i).up(); }
+  // All servers up and none partitioned — a request issued now would not
+  // fail or stall. The middleware's degraded-mode routing polls this.
+  bool AllServersReachable() const;
+  int DownServerCount() const;
 
  private:
   byte_count FileBaseLba(FileId file) const;

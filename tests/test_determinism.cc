@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "core/s4d_cache.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_schedule.h"
 #include "harness/driver.h"
 #include "harness/testbed.h"
 #include "workloads/ior.h"
@@ -12,7 +14,7 @@ namespace s4d {
 namespace {
 
 harness::RunResult RunOnce(std::uint64_t bed_seed, std::uint64_t wl_seed,
-                           bool use_s4d) {
+                           bool use_s4d, bool with_empty_injector = false) {
   harness::TestbedConfig bed_cfg;
   bed_cfg.seed = bed_seed;
   harness::Testbed bed(bed_cfg);
@@ -23,6 +25,12 @@ harness::RunResult RunOnce(std::uint64_t bed_seed, std::uint64_t wl_seed,
     cfg.cache_capacity = 8 * MiB;
     s4d = bed.MakeS4D(cfg);
     dispatch = s4d.get();
+  }
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (with_empty_injector) {
+    injector = std::make_unique<fault::FaultInjector>(
+        bed.engine(), bed.dservers(), bed.cservers(), s4d.get());
+    injector->Arm(fault::FaultSchedule{});
   }
   mpiio::MpiIoLayer layer(bed.engine(), *dispatch);
   workloads::IorConfig ior;
@@ -64,6 +72,18 @@ TEST(Determinism, DifferentTestbedSeedsDiffer) {
   const auto a = RunOnce(1, 42, false);
   const auto b = RunOnce(2, 42, false);
   EXPECT_NE(a.end, b.end);
+}
+
+TEST(Determinism, EmptyFaultScheduleIsBehaviorFree) {
+  // An armed-but-empty fault schedule must leave the timeline untouched:
+  // the fault machinery spends zero events when no faults are configured.
+  const auto plain = RunOnce(1, 42, true);
+  const auto armed = RunOnce(1, 42, true, /*with_empty_injector=*/true);
+  EXPECT_EQ(plain.end, armed.end);
+  EXPECT_EQ(plain.bytes, armed.bytes);
+  EXPECT_DOUBLE_EQ(plain.throughput_mbps, armed.throughput_mbps);
+  EXPECT_DOUBLE_EQ(plain.mean_latency_us, armed.mean_latency_us);
+  EXPECT_DOUBLE_EQ(plain.max_latency_us, armed.max_latency_us);
 }
 
 }  // namespace

@@ -29,6 +29,16 @@
 //   random = true
 //   kind = write             ; write | read (read = second-run measurement)
 //   repeat = 1               ; number of measured passes
+//
+//   [faults]                  ; optional: deterministic fault timeline
+//   fault1 = 100ms crash cservers 0
+//   fault2 = 250ms restart cservers 0
+//
+// With `cluster.verify_content = true`, every write is tokenized and every
+// read checked against a reference image; the report then includes a
+// verification summary (failures vs. reads inside the reported
+// dirty-data-loss window). `middleware.degraded_reads = queue|stale`
+// selects what a dirty read does while the cache tier is down.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -37,6 +47,9 @@
 #include "common/config_parser.h"
 #include "common/table_printer.h"
 #include "core/s4d_cache.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_schedule.h"
+#include "harness/content_checker.h"
 #include "harness/driver.h"
 #include "harness/testbed.h"
 #include "trace/trace.h"
@@ -127,10 +140,19 @@ std::unique_ptr<workloads::Workload> MakeWorkload(const ConfigParser& config) {
 }
 
 int Run(const ConfigParser& config) {
+  auto schedule = fault::FaultSchedule::FromConfig(config);
+  if (!schedule.ok()) {
+    std::fprintf(stderr, "fault config error: %s\n",
+                 schedule.status().ToString().c_str());
+    return 1;
+  }
+  const bool verify = config.BoolOr("cluster", "verify_content", false);
+
   harness::TestbedConfig bed_cfg;
   bed_cfg.dservers = static_cast<int>(config.IntOr("cluster", "dservers", 8));
   bed_cfg.cservers = static_cast<int>(config.IntOr("cluster", "cservers", 4));
   bed_cfg.stripe_size = config.SizeOr("cluster", "stripe", 64 * KiB);
+  bed_cfg.track_content = verify;
   harness::Testbed bed(bed_cfg);
 
   trace::TraceCollector collector;
@@ -154,11 +176,40 @@ int Run(const ConfigParser& config) {
         "middleware", "metadata_overhead", cfg.metadata_overhead_per_op);
     cfg.dmt_update_latency = config.DurationOr(
         "middleware", "dmt_update_latency", cfg.dmt_update_latency);
+    cfg.degraded_read_mode =
+        config.StringOr("middleware", "degraded_reads", "queue") == "stale"
+            ? core::DegradedReadMode::kServeStale
+            : core::DegradedReadMode::kQueue;
+    // With faults in play, background I/O can be failed mid-flight by a
+    // crash; a watchdog keeps a stalled flush run from wedging the
+    // Rebuilder. Fault-free runs keep the timeout off (no extra events).
+    cfg.rebuilder.io_timeout = config.DurationOr(
+        "middleware", "io_timeout",
+        schedule->empty() ? SimTime{0} : FromSeconds(5));
     s4d = bed.MakeS4D(cfg);
     dispatch = s4d.get();
   } else if (mw_type != "stock") {
     std::fprintf(stderr, "unknown middleware type: %s\n", mw_type.c_str());
     return 1;
+  }
+
+  harness::ContentChecker checker;
+  harness::DriverOptions run_options;
+  if (verify) {
+    run_options.checker = &checker;
+    if (s4d) {
+      s4d->SetDirtyLossHook([&checker](const std::string& file,
+                                       byte_count offset, byte_count length) {
+        checker.MarkMaybeLost(file, offset, length);
+      });
+    }
+  }
+
+  fault::FaultInjector injector(bed.engine(), bed.dservers(), bed.cservers(),
+                                s4d.get());
+  if (!schedule->empty()) {
+    injector.Arm(*schedule);
+    std::printf("faults: %zu scheduled\n", schedule->size());
   }
 
   auto workload = MakeWorkload(config);
@@ -172,7 +223,7 @@ int Run(const ConfigParser& config) {
     ConfigParser write_config = config;
     write_config.Set("workload", "kind", "write");
     auto writer = MakeWorkload(write_config);
-    harness::RunClosedLoop(layer, *writer);
+    harness::RunClosedLoop(layer, *writer, run_options);
     auto settle = [&] {
       if (!s4d) return;
       harness::DrainUntil(bed.engine(),
@@ -181,7 +232,7 @@ int Run(const ConfigParser& config) {
     };
     settle();
     auto cold_reader = MakeWorkload(config);
-    harness::RunClosedLoop(layer, *cold_reader);
+    harness::RunClosedLoop(layer, *cold_reader, run_options);
     settle();
   }
 
@@ -191,7 +242,7 @@ int Run(const ConfigParser& config) {
       static_cast<int>(config.IntOr("workload", "repeat", 1));
   for (int pass = 0; pass < repeat; ++pass) {
     workload->Reset();
-    last = harness::RunClosedLoop(layer, *workload);
+    last = harness::RunClosedLoop(layer, *workload, run_options);
     std::printf("pass %d: %.1f MB/s (%lld requests, %s, mean latency %.0f us)\n",
                 pass + 1, last.throughput_mbps,
                 static_cast<long long>(last.requests),
@@ -238,6 +289,75 @@ int Run(const ConfigParser& config) {
                 FormatBytes(s4d->cache_space().capacity()).c_str(),
                 s4d->dmt().entry_count(),
                 FormatBytes(s4d->dmt().dirty_bytes()).c_str());
+  }
+
+  if (!schedule->empty()) {
+    // Let recovery finish (queued reads re-issued, flush backlog drained)
+    // before judging the final state.
+    if (s4d) {
+      harness::DrainUntil(bed.engine(),
+                          [&] { return s4d->BackgroundQuiescent(); },
+                          FromSeconds(3600));
+    }
+    const auto& is = injector.stats();
+    std::printf("\n-- faults --\n");
+    std::printf(
+        "injected: %lld events (%lld crashes, %lld wipes, %lld restarts, "
+        "%lld degrades, %lld partition changes)\n",
+        static_cast<long long>(is.events_applied),
+        static_cast<long long>(is.crashes), static_cast<long long>(is.wipes),
+        static_cast<long long>(is.restarts),
+        static_cast<long long>(is.degrades),
+        static_cast<long long>(is.partitions));
+    std::printf("pfs: %lld failed requests (dservers %lld, cservers %lld)\n",
+                static_cast<long long>(bed.dservers().stats().failed_requests +
+                                       bed.cservers().stats().failed_requests),
+                static_cast<long long>(bed.dservers().stats().failed_requests),
+                static_cast<long long>(bed.cservers().stats().failed_requests));
+    if (s4d) {
+      const auto& c = s4d->counters();
+      const auto& rs = s4d->redirector_stats();
+      const auto& bs = s4d->rebuilder_stats();
+      std::printf(
+          "degraded routing: %lld writes, %lld reads (%lld dirty: %lld "
+          "queued, %lld served stale)\n",
+          static_cast<long long>(rs.degraded_writes),
+          static_cast<long long>(rs.degraded_reads),
+          static_cast<long long>(rs.degraded_dirty_reads),
+          static_cast<long long>(c.queued_degraded_reads),
+          static_cast<long long>(c.stale_dirty_reads));
+      std::printf(
+          "rebuilder: %lld flush failures, %lld timeouts, %lld fetch "
+          "failures, %lld recovery passes (%lld dirty extents, %s replayed)\n",
+          static_cast<long long>(bs.flush_failures),
+          static_cast<long long>(bs.flush_timeouts),
+          static_cast<long long>(bs.fetch_failures),
+          static_cast<long long>(bs.recovery_passes),
+          static_cast<long long>(bs.recovered_dirty_extents),
+          FormatBytes(bs.recovered_dirty_bytes).c_str());
+      std::printf("loss window: %lld wiped extents, %s dirty bytes lost\n",
+                  static_cast<long long>(c.wiped_extents),
+                  FormatBytes(c.lost_dirty_bytes).c_str());
+    }
+  }
+
+  if (verify) {
+    checker.CheckAll(*dispatch);
+    std::printf("\n-- verification --\n");
+    std::printf(
+        "%lld checks, %lld failures, %lld reads in reported loss window "
+        "(%s reported lost)\n",
+        static_cast<long long>(checker.checks()),
+        static_cast<long long>(checker.failures()),
+        static_cast<long long>(checker.loss_window_reads()),
+        FormatBytes(checker.lost_bytes()).c_str());
+    if (checker.failures() > 0) {
+      std::printf("first failure: %s\n", checker.first_failure().c_str());
+      std::printf("VERIFICATION FAILED\n");
+      return 1;
+    }
+    std::printf("verification OK: no acknowledged write lost outside the "
+                "reported loss window\n");
   }
   return 0;
 }
