@@ -5,15 +5,19 @@
 // is worth and what its failure costs, using the fault subsystem.
 //
 // Expected shape: "down" costs part of the healthy speedup but keeps
-// running (every write takes the DServer path). Degraded SSDs can land
-// *below* tier-down: the analytic cost model is calibrated against the
-// healthy device profiles and keeps admitting writes to the now-slow
-// SSDs — the quantitative case for health-aware admission (ROADMAP).
+// running (every write takes the DServer path). Degraded SSDs used to land
+// *below* tier-down — the analytic cost model was calibrated against the
+// healthy device profiles and kept admitting writes to the now-slow SSDs.
+// Health-aware admission (the Identifier's live degrade probe +
+// cache_unhealthy_degrade veto) closes that gap; this bench asserts it
+// stays closed: degraded-SSD throughput must not fall meaningfully below
+// the tier-down floor (exit code enforces it).
 #include "bench_common.h"
 
 #include "common/table_printer.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_schedule.h"
+#include "obs/observability.h"
 
 namespace s4d::bench {
 namespace {
@@ -38,10 +42,16 @@ int Main(int argc, char** argv) {
       {"cache tier down", "0ms crash cservers all"},
   };
 
-  TablePrinter table({"scenario", "MB/s", "degraded writes", "failed reqs"});
+  TablePrinter table({"scenario", "MB/s", "health rejections", "ewma(us)",
+                      "failed reqs"});
+  double degraded_mbps = 0.0, down_mbps = 0.0;
   for (const Scenario& s : scenarios) {
+    // Metrics attached (no tracing): exercises the per-device EWMA
+    // service-latency gauge the health story is built on.
+    obs::Observability obs;
     harness::TestbedConfig bed_cfg;
     bed_cfg.seed = args.seed;
+    bed_cfg.obs = &obs;
     harness::Testbed bed(bed_cfg);
     core::S4DConfig cfg;
     cfg.cache_capacity = file_size / 2;
@@ -63,11 +73,32 @@ int Main(int argc, char** argv) {
     workloads::IorWorkload wl(ior);
     const auto result = harness::RunClosedLoop(layer, wl);
 
-    table.AddRow({s.name, TablePrinter::Num(result.throughput_mbps, 1),
-                  TablePrinter::Int(s4d->redirector_stats().degraded_writes),
-                  TablePrinter::Int(s4d->counters().failed_requests)});
+    if (std::string(s.name).rfind("degraded", 0) == 0) {
+      degraded_mbps = result.throughput_mbps;
+    } else if (std::string(s.name).rfind("cache tier down", 0) == 0) {
+      down_mbps = result.throughput_mbps;
+    }
+    table.AddRow(
+        {s.name, TablePrinter::Num(result.throughput_mbps, 1),
+         TablePrinter::Int(s4d->identifier_stats().health_rejections),
+         TablePrinter::Num(
+             obs.metrics.GetGauge("pfs.CPFS/server0.ewma_service_us")->value(),
+             1),
+         TablePrinter::Int(s4d->counters().failed_requests)});
   }
   table.Print(std::cout);
+
+  // The health gate must keep the degraded tier from dragging the system
+  // below what simply losing the tier costs (small tolerance for run-to-run
+  // routing noise).
+  if (degraded_mbps < 0.9 * down_mbps) {
+    std::printf("FAIL: degraded-SSD throughput %.1f MB/s fell below "
+                "0.9 x tier-down (%.1f MB/s)\n",
+                degraded_mbps, down_mbps);
+    return 1;
+  }
+  std::printf("health gate OK: degraded %.1f MB/s >= 0.9 x down %.1f MB/s\n",
+              degraded_mbps, down_mbps);
   return 0;
 }
 

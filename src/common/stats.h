@@ -7,6 +7,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/rng.h"
+
 namespace s4d {
 
 // Streaming mean/variance/min/max (Welford's algorithm); O(1) space.
@@ -41,16 +43,36 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-// Exact-percentile reservoir: stores all samples. Fine for per-request
-// latencies at the simulation scales used here.
+// Percentile reservoir. Unbounded by default (exact percentiles); with a
+// capacity it keeps a uniform sample of everything seen (Vitter's
+// Algorithm R, deterministic via the seeded Rng) so memory stays O(cap)
+// over arbitrarily long runs while percentiles stay approximately right.
 class Samples {
  public:
+  Samples() = default;
+  explicit Samples(std::size_t capacity, std::uint64_t seed = 0x5a3e5ULL)
+      : capacity_(capacity), rng_(seed) {}
+
   void Add(double x) {
-    values_.push_back(x);
-    sorted_ = false;
+    ++seen_;
+    if (capacity_ == 0 || values_.size() < capacity_) {
+      values_.push_back(x);
+      sorted_ = false;
+      return;
+    }
+    // Keep the new sample with probability cap/seen: replace a uniformly
+    // chosen slot, else drop it.
+    const std::uint64_t slot = rng_.NextBelow(seen_);
+    if (slot < capacity_) {
+      values_[static_cast<std::size_t>(slot)] = x;
+      sorted_ = false;
+    }
   }
 
-  std::size_t count() const { return values_.size(); }
+  // Total samples observed (not the retained reservoir size).
+  std::size_t count() const { return static_cast<std::size_t>(seen_); }
+  std::size_t retained() const { return values_.size(); }
+  std::size_t capacity() const { return capacity_; }
 
   double Percentile(double p) {
     if (values_.empty()) return 0.0;
@@ -83,6 +105,9 @@ class Samples {
     }
   }
 
+  std::size_t capacity_ = 0;  // 0 = unbounded (exact percentiles)
+  std::uint64_t seen_ = 0;
+  Rng rng_{0x5a3e5ULL};
   std::vector<double> values_;
   bool sorted_ = true;
 };

@@ -93,25 +93,30 @@ SimTime CostModel::DServerCost(byte_count distance, byte_count offset,
 }
 
 SimTime CostModel::CServerCost(device::IoKind kind, byte_count offset,
-                               byte_count size) const {
+                               byte_count size, double scale) const {
   if (size <= 0) return 0;
   // Eq. 7: no seek term — SSDs are insensitive to spatial locality. S_n is
   // the max per-server share when the request spreads over the N CServers.
   const byte_count s_n = pfs::MaxSubRequestSize(c_stripe_, offset, size);
+  SimTime cost;
   if (kind == device::IoKind::kRead) {
-    return params_.ssd_read_latency +
+    cost = params_.ssd_read_latency +
            static_cast<SimTime>(static_cast<double>(s_n) *
                                 params_.beta_c_read_ns_per_byte);
+  } else {
+    cost = params_.ssd_write_latency +
+           static_cast<SimTime>(static_cast<double>(s_n) *
+                                params_.beta_c_write_ns_per_byte);
   }
-  return params_.ssd_write_latency +
-         static_cast<SimTime>(static_cast<double>(s_n) *
-                              params_.beta_c_write_ns_per_byte);
+  return scale <= 1.0 ? cost
+                      : static_cast<SimTime>(static_cast<double>(cost) * scale);
 }
 
 SimTime CostModel::Benefit(device::IoKind kind, byte_count distance,
-                           byte_count offset, byte_count size) const {
+                           byte_count offset, byte_count size,
+                           double cserver_scale) const {
   return DServerCost(distance, offset, size) -
-         CServerCost(kind, offset, size);  // Eq. 8
+         CServerCost(kind, offset, size, cserver_scale);  // Eq. 8
 }
 
 }  // namespace s4d::core

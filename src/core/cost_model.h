@@ -64,16 +64,19 @@ class CostModel {
                       byte_count size) const;
 
   // Expected access time if served by the N CServers (Eq. 7).
-  SimTime CServerCost(device::IoKind kind, byte_count offset,
-                      byte_count size) const;
+  // `scale` >= 1 is the cache tier's current health multiplier (worst
+  // per-device degradation): a degraded SSD serves every phase slower, so
+  // the whole T_C stretches by the factor. 1.0 = the healthy profile.
+  SimTime CServerCost(device::IoKind kind, byte_count offset, byte_count size,
+                      double scale = 1.0) const;
 
   // B = T_D - T_C (Eq. 8). Positive => performance-critical request.
   SimTime Benefit(device::IoKind kind, byte_count distance, byte_count offset,
-                  byte_count size) const;
+                  byte_count size, double cserver_scale = 1.0) const;
 
   bool IsCritical(device::IoKind kind, byte_count distance, byte_count offset,
-                  byte_count size) const {
-    return Benefit(kind, distance, offset, size) > 0;
+                  byte_count size, double cserver_scale = 1.0) const {
+    return Benefit(kind, distance, offset, size, cserver_scale) > 0;
   }
 
   // Eq. 4 in isolation, for tests: expected max of m U[a,b] draws.

@@ -68,7 +68,21 @@ bool DataIdentifier::Identify(const std::string& file, int rank,
     tails.erase(victim);
   }
 
-  const bool critical = model_.IsCritical(kind, distance, offset, size);
+  // Health-aware admission: T_C stretches by the tier's current slowdown,
+  // and a tier degraded past the threshold is vetoed outright — the
+  // latency model is blind to the aggregate-bandwidth loss of a slow tier.
+  const double scale = health_probe_ ? health_probe_() : 1.0;
+  last_health_scale_ = scale;
+  last_benefit_ = model_.Benefit(kind, distance, offset, size, scale);
+  bool critical = last_benefit_ > 0;
+  if (critical && unhealthy_threshold_ > 1.0 && scale >= unhealthy_threshold_) {
+    critical = false;
+    ++stats_.health_rejections;
+  } else if (!critical && scale > 1.0 &&
+             model_.IsCritical(kind, distance, offset, size)) {
+    // Would have been admitted against the healthy profile.
+    ++stats_.health_rejections;
+  }
   if (critical) {
     ++stats_.critical;
     if (cdt_.Add(CdtKey{file, offset, size})) ++stats_.cdt_inserts;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -30,6 +31,9 @@ struct IdentifierStats {
   std::int64_t requests = 0;
   std::int64_t critical = 0;
   std::int64_t cdt_inserts = 0;
+  // Health-aware admission: requests whose verdict changed (or was vetoed)
+  // because the cache tier is currently degraded.
+  std::int64_t health_rejections = 0;
 };
 
 class DataIdentifier {
@@ -47,6 +51,26 @@ class DataIdentifier {
   // (negative = backward jump). Exposed for tests.
   byte_count DistanceFor(const std::string& file, int rank,
                          byte_count offset) const;
+
+  // --- health-aware admission (ROADMAP) ---------------------------------
+  // `probe` returns the cache tier's current slowdown factor (worst
+  // DeviceModel::degrade() across CServers; 1.0 = healthy). The factor
+  // scales T_C in the benefit computation, and beyond
+  // `unhealthy_threshold` the tier is treated as unattractive outright:
+  // the per-request model compares latencies but is blind to queueing, and
+  // a tier running several times slow loses far more aggregate bandwidth
+  // than the latency comparison can see (the LBICA-style load argument).
+  void SetHealthProbe(std::function<double()> probe) {
+    health_probe_ = std::move(probe);
+  }
+  void set_unhealthy_threshold(double factor) {
+    unhealthy_threshold_ = factor;
+  }
+
+  // Benefit B computed for the most recent Identify() call (already scaled
+  // by the health factor) — the per-decision value the tracer records.
+  SimTime last_benefit() const { return last_benefit_; }
+  double last_health_scale() const { return last_health_scale_; }
 
   const IdentifierStats& stats() const { return stats_; }
 
@@ -74,6 +98,10 @@ class DataIdentifier {
       global_tails_;
   std::uint64_t tail_seq_ = 0;
   IdentifierStats stats_;
+  std::function<double()> health_probe_;
+  double unhealthy_threshold_ = 2.0;
+  SimTime last_benefit_ = 0;
+  double last_health_scale_ = 1.0;
 
   static constexpr std::size_t kMaxTailsPerFile = 512;
 };

@@ -16,7 +16,22 @@ struct Rebuilder::FlushRun {
   bool read_failed = false;
   bool resolved = false;
   sim::EventId timeout_event = sim::kInvalidEvent;
+  SimTime started_at = 0;
+  obs::SpanId span = obs::kNoSpan;
 };
+
+void Rebuilder::SetObservability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) return;
+  lane_ = obs_->tracer.Lane("rebuilder");
+  obs_flush_runs_ = obs_->metrics.GetCounter("rebuilder.flush_runs");
+  obs_flushed_bytes_ = obs_->metrics.GetCounter("rebuilder.flushed_bytes");
+  obs_flush_aborts_ = obs_->metrics.GetCounter("rebuilder.flush_aborts");
+  obs_fetches_ = obs_->metrics.GetCounter("rebuilder.fetches");
+  obs_fetched_bytes_ = obs_->metrics.GetCounter("rebuilder.fetched_bytes");
+  obs_fetch_failures_ = obs_->metrics.GetCounter("rebuilder.fetch_failures");
+  obs_flush_run_ns_ = obs_->metrics.GetHistogram("rebuilder.flush_run_ns");
+}
 
 Rebuilder::Rebuilder(
     sim::Engine& engine, pfs::FileSystem& dservers, pfs::FileSystem& cservers,
@@ -71,6 +86,9 @@ void Rebuilder::Tick() {
 void Rebuilder::RecoverAfterRestart() {
   ++stats_.recovery_passes;
   retry_at_ = 0;
+  if (obs_ != nullptr && obs_->tracing()) {
+    obs_->tracer.Instant(lane_, "recovery_pass", "rebuilder", engine_.now());
+  }
   // Replay the persisted DMT image: every mutation is written through to
   // the store, so the in-memory table *is* the persisted state. Dirty
   // extents found here survived the crash on the CServers' non-volatile
@@ -93,6 +111,13 @@ void Rebuilder::AbortFlushRun(const std::shared_ptr<FlushRun>& state) {
   for (const DirtyRange& seg : state->run.segments) {
     inflight_flush_.erase(
         std::make_tuple(seg.file, seg.orig_begin, seg.version));
+  }
+  if (obs_ != nullptr) {
+    obs_flush_aborts_->Inc();
+    if (state->span != obs::kNoSpan) {
+      obs_->tracer.End(state->span, engine_.now());
+      obs_->tracer.AddArg(state->span, "aborted", 1);
+    }
   }
   Backoff();
 }
@@ -121,6 +146,18 @@ void Rebuilder::FlushDirty() {
     state->cache_id = cservers_.OpenOrCreate(cache_file_namer_(run.file));
     state->orig_id = dservers_.OpenOrCreate(run.file);
     state->reads_left = static_cast<int>(run.segments.size());
+    state->started_at = engine_.now();
+    if (obs_ != nullptr) {
+      obs_flush_runs_->Inc();
+      obs_flushed_bytes_->Add(run.length());
+      if (obs_->tracing()) {
+        state->span =
+            obs_->tracer.Begin(lane_, "flush_run", "rebuilder", engine_.now());
+        obs_->tracer.AddArg(state->span, "bytes", run.length());
+        obs_->tracer.AddArg(state->span, "segments",
+                            static_cast<std::int64_t>(run.segments.size()));
+      }
+    }
 
     for (const DirtyRange& seg : run.segments) {
       inflight_flush_.insert(
@@ -166,6 +203,12 @@ void Rebuilder::FlushDirty() {
               engine_.Cancel(state->timeout_event);
               state->timeout_event = sim::kInvalidEvent;
             }
+            if (obs_ != nullptr) {
+              obs_flush_run_ns_->Record(engine_.now() - state->started_at);
+              if (state->span != obs::kNoSpan) {
+                obs_->tracer.End(state->span, engine_.now());
+              }
+            }
             for (const DirtyRange& seg : state->run.segments) {
               inflight_flush_.erase(
                   std::make_tuple(seg.file, seg.orig_begin, seg.version));
@@ -184,14 +227,15 @@ void Rebuilder::FlushDirty() {
             // same tokens is idempotent.
             ++stats_.flush_failures;
             AbortFlushRun(state);
-          });
+          },
+          state->span);
     };
     for (const DirtyRange& seg : run.segments) {
       cservers_.Submit(
           state->cache_id, device::IoKind::kRead, seg.cache_offset,
           seg.orig_end - seg.orig_begin, pfs::Priority::kBackground,
           [read_arrived](SimTime) { read_arrived(true); },
-          [read_arrived](SimTime) { read_arrived(false); });
+          [read_arrived](SimTime) { read_arrived(false); }, state->span);
     }
   }
 }
@@ -200,6 +244,12 @@ void Rebuilder::FailFetch(const CdtKey& key, byte_count cache_offset) {
   (void)cache_offset;
   ++stats_.fetch_failures;
   ++stats_.fetches_completed;  // resolves idle() accounting
+  if (obs_ != nullptr) {
+    obs_fetch_failures_->Inc();
+    if (obs_->tracing()) {
+      obs_->tracer.Instant(lane_, "fetch_failed", "rebuilder", engine_.now());
+    }
+  }
   // Drop the placeholder mapping inserted at fetch-issue time — but only
   // its still-clean parts: a foreground write that raced the fetch has
   // dirtied (and now owns) its portion, and that data is real.
@@ -236,6 +286,19 @@ void Rebuilder::FetchCritical() {
     stats_.fetched_bytes += key.length;
     cdt_.ClearCacheFlag(key);
 
+    const SimTime fetch_start = engine_.now();
+    const obs::SpanId fetch_span =
+        (obs_ != nullptr && obs_->tracing())
+            ? obs_->tracer.Begin(lane_, "fetch", "rebuilder", fetch_start)
+            : obs::kNoSpan;
+    if (obs_ != nullptr) {
+      obs_fetches_->Inc();
+      obs_fetched_bytes_->Add(key.length);
+      if (fetch_span != obs::kNoSpan) {
+        obs_->tracer.AddArg(fetch_span, "bytes", key.length);
+      }
+    }
+
     const std::string cache_file = cache_file_namer_(key.file);
     const pfs::FileId cache_id = cservers_.OpenOrCreate(cache_file);
     const pfs::FileId orig_id = dservers_.OpenOrCreate(key.file);
@@ -257,16 +320,25 @@ void Rebuilder::FetchCritical() {
     dservers_.Submit(
         orig_id, device::IoKind::kRead, key.offset, key.length,
         pfs::Priority::kBackground,
-        [this, key, cache_id, cache_offset](SimTime) {
+        [this, key, cache_id, cache_offset, fetch_span](SimTime) {
           cservers_.Submit(
               cache_id, device::IoKind::kWrite, *cache_offset, key.length,
               pfs::Priority::kBackground,
-              [this](SimTime) { ++stats_.fetches_completed; },
-              [this, key, cache_offset](SimTime) {
+              [this, fetch_span](SimTime t) {
+                ++stats_.fetches_completed;
+                if (fetch_span != obs::kNoSpan) obs_->tracer.End(fetch_span, t);
+              },
+              [this, key, cache_offset, fetch_span](SimTime t) {
+                if (fetch_span != obs::kNoSpan) obs_->tracer.End(fetch_span, t);
                 FailFetch(key, *cache_offset);
-              });
+              },
+              fetch_span);
         },
-        [this, key, cache_offset](SimTime) { FailFetch(key, *cache_offset); });
+        [this, key, cache_offset, fetch_span](SimTime t) {
+          if (fetch_span != obs::kNoSpan) obs_->tracer.End(fetch_span, t);
+          FailFetch(key, *cache_offset);
+        },
+        fetch_span);
   }
 }
 

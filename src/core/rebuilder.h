@@ -27,6 +27,7 @@
 #include "core/cdt.h"
 #include "core/dmt.h"
 #include "core/redirector.h"
+#include "obs/observability.h"
 #include "pfs/file_system.h"
 #include "sim/engine.h"
 
@@ -104,6 +105,11 @@ class Rebuilder {
     health_ = std::move(probe);
   }
 
+  // Attaches the shared observability bundle (null detaches): destage runs
+  // and fetches appear on the "rebuilder" trace lane and feed
+  // rebuilder.* metrics.
+  void SetObservability(obs::Observability* obs);
+
   // Crash-recovery pass, invoked after the cache tier comes back: replays
   // the (persisted) DMT image to re-discover dirty extents that were
   // awaiting flush when the CServer went down, clears the retry backoff,
@@ -148,6 +154,17 @@ class Rebuilder {
   // No reorganization I/O is issued before this time (failure backoff).
   SimTime retry_at_ = 0;
   RebuilderStats stats_;
+
+  // Observability (null = not observed).
+  obs::Observability* obs_ = nullptr;
+  std::uint32_t lane_ = 0;
+  obs::Counter* obs_flush_runs_ = nullptr;
+  obs::Counter* obs_flushed_bytes_ = nullptr;
+  obs::Counter* obs_flush_aborts_ = nullptr;
+  obs::Counter* obs_fetches_ = nullptr;
+  obs::Counter* obs_fetched_bytes_ = nullptr;
+  obs::Counter* obs_fetch_failures_ = nullptr;
+  obs::Histogram* obs_flush_run_ns_ = nullptr;
 };
 
 }  // namespace s4d::core

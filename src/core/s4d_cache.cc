@@ -52,7 +52,75 @@ S4DCache::S4DCache(sim::Engine& engine, pfs::FileSystem& dservers,
       static_cast<std::size_t>(std::max(1, config_.dmt_shards)), 0);
   redirector_.SetHealthProbe([this]() { return CacheTierAvailable(); });
   rebuilder_.SetHealthProbe([this]() { return CacheTierAvailable(); });
+  // Health-aware admission: the Identifier sees the cache tier's live
+  // degradation factor on every decision.
+  identifier_.SetHealthProbe([this]() { return CacheTierSlowdown(); });
+  identifier_.set_unhealthy_threshold(config_.cache_unhealthy_degrade);
+  SetupObservability();
   if (config_.enable_rebuilder) rebuilder_.Start();
+}
+
+double S4DCache::CacheTierSlowdown() const {
+  double worst = 1.0;
+  for (int i = 0; i < cservers_.server_count(); ++i) {
+    worst = std::max(worst, cservers_.server(i).device().degrade());
+  }
+  return worst;
+}
+
+void S4DCache::SetupObservability() {
+  obs_ = config_.obs;
+  if (obs_ == nullptr) return;
+  metadata_lane_ = obs_->tracer.Lane("metadata");
+  middleware_lane_ = obs_->tracer.Lane("middleware");
+  obs::MetricsRegistry& m = obs_->metrics;
+  obs_reads_ = m.GetCounter("s4d.read.requests");
+  obs_writes_ = m.GetCounter("s4d.write.requests");
+  obs_cserver_bytes_ = m.GetCounter("s4d.cserver_bytes");
+  obs_dserver_bytes_ = m.GetCounter("s4d.dserver_bytes");
+  obs_read_latency_ns_ = m.GetHistogram("s4d.read.latency_ns");
+  obs_write_latency_ns_ = m.GetHistogram("s4d.write.latency_ns");
+  obs_benefit_ns_ = m.GetHistogram("core.benefit_ns");
+  obs_noncritical_ = m.GetCounter("core.noncritical_decisions");
+  // Aggregate middleware state, evaluated lazily at sample/export time so
+  // the hot paths that maintain it are untouched.
+  m.SetGaugeFn("s4d.dirty_bytes",
+               [this] { return static_cast<double>(dmt_.dirty_bytes()); });
+  m.SetGaugeFn("s4d.cache_used_bytes",
+               [this] { return static_cast<double>(space_.used_bytes()); });
+  m.SetGaugeFn("s4d.cache_tier_slowdown",
+               [this] { return CacheTierSlowdown(); });
+  m.SetGaugeFn("s4d.read_hit_ratio", [this] {
+    const RedirectorStats& s = redirector_.stats();
+    return s.read_requests > 0
+               ? static_cast<double>(s.read_cache_hits + s.read_partial_hits) /
+                     static_cast<double>(s.read_requests)
+               : 0.0;
+  });
+  m.SetGaugeFn("core.redirector.admissions", [this] {
+    return static_cast<double>(redirector_.stats().write_admissions);
+  });
+  m.SetGaugeFn("core.redirector.evictions", [this] {
+    return static_cast<double>(redirector_.stats().evictions);
+  });
+  m.SetGaugeFn("core.identifier.critical", [this] {
+    return static_cast<double>(identifier_.stats().critical);
+  });
+  m.SetGaugeFn("core.identifier.health_rejections", [this] {
+    return static_cast<double>(identifier_.stats().health_rejections);
+  });
+  rebuilder_.SetObservability(obs_);
+}
+
+std::uint32_t S4DCache::RankLane(int rank) {
+  if (rank < 0) return middleware_lane_;
+  const auto idx = static_cast<std::size_t>(rank);
+  constexpr std::uint32_t kUnset = 0xffffffffu;
+  if (idx >= rank_lanes_.size()) rank_lanes_.resize(idx + 1, kUnset);
+  if (rank_lanes_[idx] == kUnset) {
+    rank_lanes_[idx] = obs_->tracer.Lane("rank" + std::to_string(rank));
+  }
+  return rank_lanes_[idx];
 }
 
 S4DCache::~S4DCache() { rebuilder_.Stop(); }
@@ -95,6 +163,35 @@ void S4DCache::Execute(device::IoKind kind, const mpiio::FileRequest& request,
   counters_.cserver_bytes += c_bytes;
   counters_.dserver_bytes += d_bytes;
 
+  const SimTime issued_at = engine_.now();
+  obs::SpanId span = obs::kNoSpan;
+  if (obs_ != nullptr) {
+    const bool is_read = kind == device::IoKind::kRead;
+    (is_read ? obs_reads_ : obs_writes_)->Inc();
+    obs_cserver_bytes_->Add(c_bytes);
+    obs_dserver_bytes_->Add(d_bytes);
+    const SimTime benefit = identifier_.last_benefit();
+    if (benefit > 0) {
+      obs_benefit_ns_->Record(benefit);
+    } else {
+      obs_noncritical_->Inc();
+    }
+    if (obs_->tracing()) {
+      span = obs_->tracer.Begin(RankLane(request.rank),
+                                device::IoKindName(kind), "s4d", issued_at);
+      obs_->tracer.AddArg(span, "offset", request.offset);
+      obs_->tracer.AddArg(span, "size", request.size);
+      obs_->tracer.AddArg(
+          span, "route",
+          std::string(c_bytes > 0 && d_bytes > 0 ? "split"
+                      : c_bytes > 0              ? "cservers"
+                                                 : "dservers"));
+      obs_->tracer.AddArg(span, "B_ns", benefit);
+      if (plan.admitted) obs_->tracer.AddArg(span, "admitted", 1);
+      if (plan.blocked_on_cache) obs_->tracer.AddArg(span, "stale", 1);
+    }
+  }
+
   const pfs::FileId orig_id = dservers_.OpenOrCreate(request.file);
   const pfs::FileId cache_id =
       c_bytes > 0 ? cservers_.OpenOrCreate(CacheFileName(request.file))
@@ -109,15 +206,28 @@ void S4DCache::Execute(device::IoKind kind, const mpiio::FileRequest& request,
     SimTime last = 0;
     bool failed = false;
     mpiio::IoCompletion done;
+    SimTime issued_at = 0;
+    obs::SpanId span = obs::kNoSpan;
   };
   auto join = std::make_shared<ExecJoin>();
   join->remaining = static_cast<int>(plan.segments.size());
   join->done = std::move(done);
-  auto arrive = [this, join](SimTime t, bool ok) {
+  join->issued_at = issued_at;
+  join->span = span;
+  auto arrive = [this, join, kind](SimTime t, bool ok) {
     join->last = std::max(join->last, t);
     if (!ok) join->failed = true;
     if (--join->remaining > 0) return;
     if (join->failed) ++counters_.failed_requests;
+    if (obs_ != nullptr) {
+      (kind == device::IoKind::kRead ? obs_read_latency_ns_
+                                     : obs_write_latency_ns_)
+          ->Record(join->last - join->issued_at);
+      if (join->span != obs::kNoSpan) {
+        obs_->tracer.End(join->span, join->last);
+        if (join->failed) obs_->tracer.AddArg(join->span, "failed", 1);
+      }
+    }
     if (join->done) join->done(join->last);
   };
 
@@ -135,21 +245,27 @@ void S4DCache::Execute(device::IoKind kind, const mpiio::FileRequest& request,
     const SimTime start = std::max(engine_.now(), free_at);
     free_at = start + config_.dmt_update_latency;
     delay += free_at - engine_.now();
+    if (span != obs::kNoSpan) {
+      const obs::SpanId persist = obs_->tracer.Complete(
+          metadata_lane_, "dmt_persist", "metadata", start,
+          config_.dmt_update_latency, span);
+      obs_->tracer.AddArg(persist, "shard", static_cast<std::int64_t>(shard));
+    }
   }
   engine_.ScheduleAfter(
       delay,
-      [this, kind, plan, orig_id, cache_id, arrive]() {
+      [this, kind, plan, orig_id, cache_id, arrive, span]() {
         for (const IoSegment& seg : plan.segments) {
           auto on_complete = [arrive](SimTime t) { arrive(t, true); };
           auto on_failure = [arrive](SimTime t) { arrive(t, false); };
           if (seg.target == IoSegment::Target::kCServers) {
             cservers_.Submit(cache_id, kind, seg.offset, seg.size,
                              pfs::Priority::kNormal, std::move(on_complete),
-                             std::move(on_failure));
+                             std::move(on_failure), span);
           } else {
             dservers_.Submit(orig_id, kind, seg.offset, seg.size,
                              pfs::Priority::kNormal, std::move(on_complete),
-                             std::move(on_failure));
+                             std::move(on_failure), span);
           }
         }
       });
@@ -180,24 +296,68 @@ void S4DCache::Read(const mpiio::FileRequest& request,
     // unreachable cache tier.
     if (config_.degraded_read_mode == DegradedReadMode::kQueue) {
       ++counters_.queued_degraded_reads;
-      queued_reads_.push_back(PendingRead{request, std::move(done)});
+      const std::uint64_t id = next_pending_id_++;
+      queued_reads_.push_back(PendingRead{id, request, std::move(done)});
+      if (obs_ != nullptr && obs_->tracing()) {
+        const obs::SpanId i = obs_->tracer.Instant(
+            RankLane(request.rank), "read_queued", "s4d", engine_.now());
+        obs_->tracer.AddArg(i, "offset", request.offset);
+        obs_->tracer.AddArg(i, "size", request.size);
+      }
+      // A rank must not block forever when no recovery ever comes: after
+      // the timeout the read is promoted to a stale DServer read.
+      if (config_.queue_stale_timeout > 0) {
+        engine_.ScheduleAfter(config_.queue_stale_timeout,
+                              [this, id]() { PromoteQueuedRead(id); });
+      }
       return;
     }
     // kServeStale: deliver the DServer copy now; the dirty ranges we are
     // bypassing are part of the reported loss window.
     ++counters_.stale_dirty_reads;
-    if (dirty_loss_hook_) {
-      const DmtLookup lookup =
-          dmt_.Lookup(request.file, request.offset, request.size);
-      for (const MappedSegment& seg : lookup.mapped) {
-        if (seg.dirty) {
-          dirty_loss_hook_(request.file, seg.orig_begin,
-                           seg.orig_end - seg.orig_begin);
-        }
+    ServeStale(request, plan, std::move(done));
+    return;
+  }
+  Execute(device::IoKind::kRead, request, plan, std::move(done));
+}
+
+void S4DCache::ServeStale(const mpiio::FileRequest& request,
+                          const RoutingPlan& plan, mpiio::IoCompletion done) {
+  if (dirty_loss_hook_) {
+    const DmtLookup lookup =
+        dmt_.Lookup(request.file, request.offset, request.size);
+    for (const MappedSegment& seg : lookup.mapped) {
+      if (seg.dirty) {
+        dirty_loss_hook_(request.file, seg.orig_begin,
+                         seg.orig_end - seg.orig_begin);
       }
     }
   }
   Execute(device::IoKind::kRead, request, plan, std::move(done));
+}
+
+void S4DCache::PromoteQueuedRead(std::uint64_t id) {
+  auto it = queued_reads_.begin();
+  while (it != queued_reads_.end() && it->id != id) ++it;
+  // Already drained by a tier recovery — nothing to promote.
+  if (it == queued_reads_.end()) return;
+  PendingRead pending = std::move(*it);
+  queued_reads_.erase(it);
+  ++counters_.promoted_stale_reads;
+  ++counters_.stale_dirty_reads;
+  if (obs_ != nullptr && obs_->tracing()) {
+    const obs::SpanId i =
+        obs_->tracer.Instant(RankLane(pending.request.rank), "promoted_stale",
+                             "s4d", engine_.now());
+    obs_->tracer.AddArg(i, "offset", pending.request.offset);
+    obs_->tracer.AddArg(i, "size", pending.request.size);
+  }
+  // Re-plan as non-critical: the tier is still down, so the plan routes to
+  // the DServers; the dirty ranges it bypasses are reported as the loss.
+  const RoutingPlan plan =
+      redirector_.PlanRead(pending.request.file, pending.request.offset,
+                           pending.request.size, false);
+  ServeStale(pending.request, plan, std::move(pending.done));
 }
 
 void S4DCache::OnCacheTierRestored() {

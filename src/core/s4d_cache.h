@@ -26,6 +26,7 @@
 #include "core/redirector.h"
 #include "kvstore/kvstore.h"
 #include "mpiio/io_dispatch.h"
+#include "obs/observability.h"
 #include "pfs/file_system.h"
 
 namespace s4d::core {
@@ -64,6 +65,20 @@ struct S4DConfig {
   std::size_t cdt_max_entries = 1 << 20;
   std::string cache_file_suffix = ".s4d";
   DegradedReadMode degraded_read_mode = DegradedReadMode::kQueue;
+  // kQueue mode only: a read held for the down cache tier is promoted to
+  // a stale DServer read after this long without a recovery — a rank must
+  // not block forever when no restart ever comes. The promoted read's
+  // bypassed dirty ranges are reported through the dirty-loss hook, as in
+  // kServeStale. 0 (the default) preserves queue-forever semantics.
+  SimTime queue_stale_timeout = 0;
+  // Health-aware admission: a cache tier degraded by at least this factor
+  // (worst DeviceModel::degrade() across CServers) stops attracting new
+  // admissions; see DataIdentifier::SetHealthProbe. Values <= 1 disable
+  // the veto (the scaled benefit still applies).
+  double cache_unhealthy_degrade = 2.0;
+  // Shared observability bundle (metrics + tracer); null = not observed.
+  // Not owned; must outlive the cache.
+  obs::Observability* obs = nullptr;
 };
 
 struct S4DCounters {
@@ -77,6 +92,7 @@ struct S4DCounters {
   std::int64_t failed_requests = 0;        // a sub-I/O failed under the op
   std::int64_t queued_degraded_reads = 0;  // held until tier recovery
   std::int64_t stale_dirty_reads = 0;      // served stale (kServeStale)
+  std::int64_t promoted_stale_reads = 0;   // queued reads timed out to stale
   std::int64_t wiped_extents = 0;          // mappings lost to a media wipe
   byte_count lost_dirty_bytes = 0;         // the dirty-data-loss window
 };
@@ -136,6 +152,11 @@ class S4DCache final : public mpiio::IoDispatch {
   // the Rebuilder poll this on every decision.
   bool CacheTierAvailable() const { return cservers_.AllServersReachable(); }
 
+  // Worst per-device degradation factor across the cache tier (1.0 =
+  // healthy). Fed into the Data Identifier so degraded SSDs stop
+  // attracting admissions (health-aware admission, ROADMAP).
+  double CacheTierSlowdown() const;
+
   // Called (by the FaultInjector) once the last down CServer restarted:
   // re-issues reads queued in kQueue mode and runs the Rebuilder's
   // crash-recovery pass over the persisted DMT.
@@ -158,6 +179,14 @@ class S4DCache final : public mpiio::IoDispatch {
                const RoutingPlan& plan, mpiio::IoCompletion done);
   void StampPlanContent(const mpiio::FileRequest& request,
                         const RoutingPlan& plan);
+  void SetupObservability();
+  std::uint32_t RankLane(int rank);
+  // Promotes queued read `id` (if still queued) to a stale DServer read.
+  void PromoteQueuedRead(std::uint64_t id);
+  // Serves a dirty-blocked read from the stale DServer copy, reporting the
+  // bypassed dirty ranges through the loss hook.
+  void ServeStale(const mpiio::FileRequest& request, const RoutingPlan& plan,
+                  mpiio::IoCompletion done);
 
   sim::Engine& engine_;
   pfs::FileSystem& dservers_;
@@ -177,13 +206,30 @@ class S4DCache final : public mpiio::IoDispatch {
   // Busy-until times of the sharded metadata-persistence path.
   std::vector<SimTime> metadata_shard_free_at_;
   // Reads held while the cache tier is down (kQueue mode), re-issued in
-  // arrival order on recovery.
+  // arrival order on recovery — or promoted to stale after
+  // queue_stale_timeout.
   struct PendingRead {
+    std::uint64_t id = 0;
     mpiio::FileRequest request;
     mpiio::IoCompletion done;
   };
   std::vector<PendingRead> queued_reads_;
+  std::uint64_t next_pending_id_ = 1;
   DirtyLossHook dirty_loss_hook_;
+
+  // Observability (null = not observed). Handles resolved once.
+  obs::Observability* obs_ = nullptr;
+  std::uint32_t metadata_lane_ = 0;
+  std::uint32_t middleware_lane_ = 0;
+  std::vector<std::uint32_t> rank_lanes_;
+  obs::Counter* obs_reads_ = nullptr;
+  obs::Counter* obs_writes_ = nullptr;
+  obs::Counter* obs_cserver_bytes_ = nullptr;
+  obs::Counter* obs_dserver_bytes_ = nullptr;
+  obs::Histogram* obs_read_latency_ns_ = nullptr;
+  obs::Histogram* obs_write_latency_ns_ = nullptr;
+  obs::Histogram* obs_benefit_ns_ = nullptr;  // positive B values only
+  obs::Counter* obs_noncritical_ = nullptr;   // decisions with B <= 0
 };
 
 }  // namespace s4d::core

@@ -30,6 +30,18 @@ struct AccessCosts {
   SimTime total() const { return positioning + transfer; }
 };
 
+// Per-device service accounting, updated by DeviceModel::Serve. The EWMA
+// tracks recent service time (degradation included), so it is the live
+// health signal the observability layer exports and the admission path
+// can consult — a degraded device shows up here within a handful of
+// accesses, long before end-of-run aggregates would.
+struct DeviceStats {
+  std::int64_t accesses = 0;
+  byte_count bytes = 0;
+  SimTime busy = 0;                // sum of positioning + transfer
+  double ewma_service_ns = 0.0;    // EWMA of per-access service time
+};
+
 class DeviceModel {
  public:
   virtual ~DeviceModel() = default;
@@ -38,6 +50,31 @@ class DeviceModel {
   // (e.g. the HDD head position) as if the access completed.
   virtual AccessCosts Access(IoKind kind, byte_count offset,
                              byte_count size) = 0;
+
+  // Access() plus fault/health accounting: applies the degradation
+  // multiplier to both cost phases and updates DeviceStats. This is the
+  // entry point the service path (FileServer) uses; Access() stays the
+  // pure cost model for analytic callers (e.g. CostModelParams).
+  AccessCosts Serve(IoKind kind, byte_count offset, byte_count size) {
+    AccessCosts costs = Access(kind, offset, size);
+    if (degrade_ != 1.0) {
+      costs.positioning =
+          static_cast<SimTime>(static_cast<double>(costs.positioning) * degrade_);
+      costs.transfer =
+          static_cast<SimTime>(static_cast<double>(costs.transfer) * degrade_);
+    }
+    ++stats_.accesses;
+    stats_.bytes += size;
+    stats_.busy += costs.total();
+    const auto service = static_cast<double>(costs.total());
+    stats_.ewma_service_ns =
+        stats_.accesses == 1
+            ? service
+            : kEwmaAlpha * service + (1.0 - kEwmaAlpha) * stats_.ewma_service_ns;
+    return costs;
+  }
+
+  const DeviceStats& stats() const { return stats_; }
 
   // Forgets positional state (fresh run); statistics are unaffected.
   virtual void Reset() = 0;
@@ -52,7 +89,10 @@ class DeviceModel {
   double degrade() const { return degrade_; }
 
  private:
+  static constexpr double kEwmaAlpha = 0.2;
+
   double degrade_ = 1.0;
+  DeviceStats stats_;
 };
 
 }  // namespace s4d::device

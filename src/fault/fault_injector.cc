@@ -1,6 +1,7 @@
 #include "fault/fault_injector.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "core/s4d_cache.h"
 
@@ -80,9 +81,33 @@ void FaultInjector::ApplyToServer(const FaultEvent& event, pfs::FileSystem& fs,
   }
 }
 
+void FaultInjector::SetObservability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) return;
+  lane_ = obs_->tracer.Lane("faults");
+  obs_events_ = obs_->metrics.GetCounter("fault.events");
+}
+
 void FaultInjector::Apply(const FaultEvent& event) {
   pfs::FileSystem& fs = tier(event.tier);
   ++stats_.events_applied;
+  if (obs_ != nullptr) {
+    obs_events_->Inc();
+    if (obs_->tracing()) {
+      const obs::SpanId i = obs_->tracer.Instant(
+          lane_, FaultKindName(event.kind), "fault", engine_.now());
+      obs_->tracer.AddArg(i, "tier", std::string(FaultTierName(event.tier)));
+      obs_->tracer.AddArg(i, "server",
+                          static_cast<std::int64_t>(event.server));
+      if (event.kind == FaultKind::kDeviceDegrade ||
+          event.kind == FaultKind::kLinkDegrade ||
+          event.kind == FaultKind::kBgErrorRate) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.12g", event.value);
+        obs_->tracer.AddArg(i, "value", std::string(buf));
+      }
+    }
+  }
   if (event.server == kAllServers) {
     for (int i = 0; i < fs.server_count(); ++i) ApplyToServer(event, fs, i);
   } else if (event.server < fs.server_count()) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fault/fault_schedule.h"
+#include "obs/observability.h"
 #include "pfs/file_system.h"
 #include "sim/engine.h"
 
@@ -55,6 +56,10 @@ class FaultInjector {
   // the armed engine callbacks).
   void Apply(const FaultEvent& event);
 
+  // Attaches the shared observability bundle: every applied event becomes
+  // an instant on the "faults" lane and bumps the fault.events counter.
+  void SetObservability(obs::Observability* obs);
+
   const InjectorStats& stats() const { return stats_; }
 
  private:
@@ -69,6 +74,10 @@ class FaultInjector {
   core::S4DCache* cache_;
   std::vector<sim::EventId> armed_;
   InjectorStats stats_;
+
+  obs::Observability* obs_ = nullptr;
+  std::uint32_t lane_ = 0;
+  obs::Counter* obs_events_ = nullptr;
 };
 
 }  // namespace s4d::fault

@@ -28,6 +28,11 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
       });
 
   stock_ = std::make_unique<mpiio::StockDispatch>(*dservers_);
+
+  if (config_.obs != nullptr) {
+    dservers_->SetObservability(config_.obs);
+    cservers_->SetObservability(config_.obs);
+  }
 }
 
 core::CostModel Testbed::MakeCostModel() const {
@@ -38,6 +43,7 @@ core::CostModel Testbed::MakeCostModel() const {
 
 std::unique_ptr<core::S4DCache> Testbed::MakeS4D(core::S4DConfig s4d_config,
                                                  kv::KvStore* dmt_store) {
+  if (s4d_config.obs == nullptr) s4d_config.obs = config_.obs;
   return std::make_unique<core::S4DCache>(engine_, *dservers_, *cservers_,
                                           MakeCostModel(),
                                           std::move(s4d_config), dmt_store);

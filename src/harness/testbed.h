@@ -14,6 +14,7 @@
 #include "mpiio/mpi_io.h"
 #include "mpiio/stock_dispatch.h"
 #include "net/link_model.h"
+#include "obs/observability.h"
 #include "pfs/file_system.h"
 #include "sim/engine.h"
 
@@ -31,6 +32,10 @@ struct TestbedConfig {
   // per-server share of any file in the experiment.
   byte_count file_reservation = 16 * GiB;
   std::uint64_t seed = 1;
+  // Shared observability bundle; null = not observed. Not owned — must
+  // outlive the testbed. Both file systems attach to it, and MakeS4D
+  // defaults the middleware's bundle to it.
+  obs::Observability* obs = nullptr;
 };
 
 class Testbed {

@@ -29,6 +29,14 @@ struct LinkProfile {
 
 LinkProfile GigabitEthernet();
 
+// Wire-occupancy accounting per link, fed by OccupyTransfer on the
+// service path and exported as obs gauges (pfs.<fs>.link_busy_ns).
+struct LinkStats {
+  std::int64_t transfers = 0;
+  byte_count bytes = 0;
+  SimTime wire_time = 0;  // sum of TransferTime over all transfers
+};
+
 class LinkModel {
  public:
   explicit LinkModel(LinkProfile profile) : profile_(std::move(profile)) {}
@@ -41,6 +49,18 @@ class LinkModel {
                ? t
                : static_cast<SimTime>(static_cast<double>(t) * degrade_);
   }
+
+  // TransferTime plus accounting: the service path calls this so link
+  // utilization is observable without a second bandwidth computation.
+  SimTime OccupyTransfer(byte_count bytes) {
+    const SimTime t = TransferTime(bytes);
+    ++stats_.transfers;
+    stats_.bytes += bytes;
+    stats_.wire_time += t;
+    return t;
+  }
+
+  const LinkStats& stats() const { return stats_; }
 
   // Fixed request/response round-trip overhead for one RPC.
   SimTime RpcOverhead() const {
@@ -62,6 +82,7 @@ class LinkModel {
  private:
   LinkProfile profile_;
   double degrade_ = 1.0;
+  LinkStats stats_;
 };
 
 }  // namespace s4d::net

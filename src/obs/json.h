@@ -1,0 +1,49 @@
+// Tiny JSON emission helpers shared by the obs exporters.
+//
+// Everything the exporters print must be byte-stable across runs: strings
+// are escaped the same way everywhere, and doubles go through one fixed
+// printf format so the same value always serializes to the same bytes.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace s4d::obs {
+
+inline void WriteJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+inline void WriteJsonDouble(std::ostream& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out << buf;
+}
+
+}  // namespace s4d::obs

@@ -1,0 +1,57 @@
+#include "obs/sampler.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace s4d::obs {
+
+void TimeSeriesSampler::Start() {
+  if (pending_ != sim::kInvalidEvent || interval_ <= 0) return;
+  Tick();
+}
+
+void TimeSeriesSampler::Stop() {
+  if (pending_ != sim::kInvalidEvent) {
+    engine_.Cancel(pending_);
+    pending_ = sim::kInvalidEvent;
+  }
+}
+
+void TimeSeriesSampler::SampleNow() {
+  Row row;
+  row.t = engine_.now();
+  row.values.reserve(probes_.size());
+  for (const auto& probe : probes_) row.values.push_back(probe());
+  rows_.push_back(std::move(row));
+}
+
+void TimeSeriesSampler::Tick() {
+  SampleNow();
+  pending_ = engine_.ScheduleAfter(interval_, [this] { Tick(); });
+}
+
+void TimeSeriesSampler::WriteJson(std::ostream& out) const {
+  out << "{\"interval_ns\":" << interval_ << ",\"names\":[";
+  bool first = true;
+  for (const std::string& name : names_) {
+    if (!first) out << ',';
+    first = false;
+    WriteJsonString(out, name);
+  }
+  out << "],\"rows\":[";
+  first = true;
+  for (const Row& row : rows_) {
+    if (!first) out << ',';
+    first = false;
+    out << '[' << row.t;
+    for (const double v : row.values) {
+      out << ',';
+      WriteJsonDouble(out, v);
+    }
+    out << ']';
+  }
+  out << "]}";
+}
+
+}  // namespace s4d::obs

@@ -1,0 +1,61 @@
+// Periodic time-series sampler driven by the sim engine.
+//
+// Probes are read-only callbacks (queue depth, dirty bytes, hit ratio);
+// the sampler fires on a fixed sim-time interval, evaluates every probe,
+// and appends one row. Probes must not mutate simulator state: sampling
+// only consumes engine event ids, never changes the I/O timeline.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace s4d::obs {
+
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(sim::Engine& engine, SimTime interval)
+      : engine_(engine), interval_(interval) {}
+  ~TimeSeriesSampler() { Stop(); }
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  void AddProbe(std::string name, std::function<double()> fn) {
+    names_.push_back(std::move(name));
+    probes_.push_back(std::move(fn));
+  }
+
+  // Takes an immediate sample, then one per interval until Stop().
+  void Start();
+  void Stop();
+  void SampleNow();
+
+  struct Row {
+    SimTime t = 0;
+    std::vector<double> values;
+  };
+
+  SimTime interval() const { return interval_; }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // {"interval_ns":...,"names":[...],"rows":[[t,v...],...]}
+  void WriteJson(std::ostream& out) const;
+
+ private:
+  void Tick();
+
+  sim::Engine& engine_;
+  SimTime interval_;
+  sim::EventId pending_ = sim::kInvalidEvent;
+  std::vector<std::string> names_;
+  std::vector<std::function<double()>> probes_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace s4d::obs

@@ -21,8 +21,33 @@ FileServer::FileServer(sim::Engine& engine,
   assert(device_ != nullptr);
 }
 
+void FileServer::SetObservability(obs::Observability* obs,
+                                  const std::string& fs_label) {
+  obs_ = obs;
+  if (obs_ == nullptr) return;
+  lane_ = obs_->tracer.Lane(name_);
+  const std::string prefix = "pfs." + fs_label + ".";
+  obs_jobs_ = obs_->metrics.GetCounter(prefix + "jobs");
+  obs_bytes_ = obs_->metrics.GetCounter(prefix + "bytes");
+  obs_failed_jobs_ = obs_->metrics.GetCounter(prefix + "failed_jobs");
+  obs_service_ns_ = obs_->metrics.GetHistogram(prefix + "service_ns");
+  obs_queue_wait_ns_ = obs_->metrics.GetHistogram(prefix + "queue_wait_ns");
+  // Live health signal: recent per-access service time (degradation
+  // included), evaluated lazily from DeviceStats at export/sample time.
+  obs_->metrics.SetGaugeFn(
+      "pfs." + name_ + ".ewma_service_us",
+      [this] { return device_->stats().ewma_service_ns / 1000.0; });
+}
+
 void FileServer::FailJob(ServerJob job) {
   ++stats_.failed_jobs;
+  if (obs_ != nullptr) {
+    obs_failed_jobs_->Inc();
+    if (obs_->tracing()) {
+      obs_->tracer.Instant(lane_, "job_failed", "pfs", engine_.now(),
+                           job.parent_span);
+    }
+  }
   // Failures resolve on the next engine step, not inline: Crash/Submit may
   // themselves run inside an event callback, and re-entering the caller's
   // completion chain synchronously would reorder its state updates.
@@ -34,6 +59,7 @@ void FileServer::FailJob(ServerJob job) {
 
 void FileServer::Submit(ServerJob job) {
   assert(job.size > 0);
+  job.enqueued_at = engine_.now();
   if (!up_) {
     // Connection refused: the client learns of the failure after the RPC
     // attempt, modelled as an immediate failure.
@@ -150,6 +176,13 @@ void FileServer::Serve(ServerJob job) {
   if (job.priority == Priority::kBackground && background_error_rate_ > 0.0 &&
       fault_rng_.NextBool(background_error_rate_)) {
     ++stats_.failed_jobs;
+    if (obs_ != nullptr) {
+      obs_failed_jobs_->Inc();
+      if (obs_->tracing()) {
+        obs_->tracer.Instant(lane_, "bg_error", "pfs", engine_.now(),
+                             job.parent_span);
+      }
+    }
     const SimTime service = link_.RpcOverhead();
     inflight_job_ = std::move(job);
     inflight_event_ = engine_.ScheduleAfter(service, [this]() {
@@ -164,16 +197,14 @@ void FileServer::Serve(ServerJob job) {
     return;
   }
 
-  device::AccessCosts costs = device_->Access(job.kind, job.lba, job.size);
-  if (device_->degrade() != 1.0) {
-    costs.positioning = static_cast<SimTime>(
-        static_cast<double>(costs.positioning) * device_->degrade());
-    costs.transfer = static_cast<SimTime>(static_cast<double>(costs.transfer) *
-                                          device_->degrade());
-  }
+  // Serve (not Access): the device applies its own degradation multiplier
+  // and updates DeviceStats, which backs the EWMA health gauge.
+  const device::AccessCosts costs =
+      device_->Serve(job.kind, job.lba, job.size);
   // The device transfer and the wire transfer of the same bytes are
   // pipelined; the slower of the two gates the request.
-  const SimTime data_phase = std::max(costs.transfer, link_.TransferTime(job.size));
+  const SimTime wire = link_.OccupyTransfer(job.size);
+  const SimTime data_phase = std::max(costs.transfer, wire);
   const SimTime service = link_.RpcOverhead() + costs.positioning + data_phase;
 
   if (job.priority == Priority::kNormal) {
@@ -186,6 +217,26 @@ void FileServer::Serve(ServerJob job) {
   stats_.busy_time += service;
   stats_.positioning_time += costs.positioning;
   if (costs.positioning == 0) ++stats_.zero_positioning_jobs;
+
+  if (obs_ != nullptr) {
+    const SimTime wait =
+        job.enqueued_at >= 0 ? engine_.now() - job.enqueued_at : 0;
+    obs_jobs_->Inc();
+    obs_bytes_->Add(job.size);
+    obs_service_ns_->Record(service);
+    obs_queue_wait_ns_->Record(wait);
+    if (obs_->tracing()) {
+      const obs::SpanId id = obs_->tracer.Complete(
+          lane_, device::IoKindName(job.kind),
+          job.priority == Priority::kNormal ? "pfs" : "pfs.bg", engine_.now(),
+          service, job.parent_span);
+      obs_->tracer.AddArg(id, "size", job.size);
+      obs_->tracer.AddArg(id, "wait_ns", wait);
+      obs_->tracer.AddArg(id, "pos_ns", costs.positioning);
+      obs_->tracer.AddArg(id, "dev_ns", costs.transfer);
+      obs_->tracer.AddArg(id, "net_ns", wire);
+    }
+  }
 
   inflight_job_ = std::move(job);
   inflight_event_ = engine_.ScheduleAfter(service, [this]() {

@@ -26,6 +26,7 @@
 #include "common/rng.h"
 #include "device/device_model.h"
 #include "net/link_model.h"
+#include "obs/observability.h"
 #include "sim/engine.h"
 
 namespace s4d::pfs {
@@ -43,6 +44,11 @@ struct ServerJob {
   // injected error). Optional: when null, on_complete fires for failures
   // too, preserving pre-fault-subsystem semantics for legacy callers.
   std::function<void(SimTime)> on_failure;
+  // Tracing: the request-level span this sub-request belongs to; the
+  // server's service span links to it as its parent.
+  obs::SpanId parent_span = obs::kNoSpan;
+  // Stamped by Submit; queue-wait time is measured from here.
+  SimTime enqueued_at = -1;
 };
 
 struct ServerStats {
@@ -105,9 +111,16 @@ class FileServer {
   // write-back window being widened by transient background-I/O errors.
   void SetBackgroundErrorRate(double rate, std::uint64_t seed);
 
+  // Attaches the shared observability bundle. `fs_label` scopes the shared
+  // per-file-system metrics (all servers of one FileSystem resolve the same
+  // registry slots); the per-device EWMA service-latency gauge is published
+  // under this server's own name. Null detaches.
+  void SetObservability(obs::Observability* obs, const std::string& fs_label);
+
   const ServerStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
   device::DeviceModel& device() { return *device_; }
+  const device::DeviceModel& device() const { return *device_; }
   const net::LinkModel& link() const { return link_; }
   net::LinkModel& mutable_link() { return link_; }
   std::size_t queue_depth() const {
@@ -146,6 +159,16 @@ class FileServer {
   std::optional<ServerJob> inflight_job_;
   double background_error_rate_ = 0.0;
   Rng fault_rng_{1};
+
+  // Observability (null = not observed). Handles are resolved once in
+  // SetObservability so the service path pays pointer arithmetic only.
+  obs::Observability* obs_ = nullptr;
+  std::uint32_t lane_ = 0;
+  obs::Counter* obs_jobs_ = nullptr;
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Counter* obs_failed_jobs_ = nullptr;
+  obs::Histogram* obs_service_ns_ = nullptr;
+  obs::Histogram* obs_queue_wait_ns_ = nullptr;
 };
 
 }  // namespace s4d::pfs

@@ -37,10 +37,29 @@ byte_count FileSystem::FileBaseLba(FileId file) const {
   return static_cast<byte_count>(file) * config_.file_reservation_per_server;
 }
 
+void FileSystem::SetObservability(obs::Observability* obs) {
+  for (auto& server : servers_) {
+    server->SetObservability(obs, config_.name);
+  }
+  if (obs == nullptr) return;
+  // Tier-level load signals, evaluated lazily at sample/export time.
+  obs->metrics.SetGaugeFn("pfs." + config_.name + ".queue_depth", [this] {
+    std::size_t depth = 0;
+    for (const auto& server : servers_) depth += server->queue_depth();
+    return static_cast<double>(depth);
+  });
+  obs->metrics.SetGaugeFn("pfs." + config_.name + ".link_busy_ns", [this] {
+    SimTime busy = 0;
+    for (const auto& server : servers_) busy += server->link().stats().wire_time;
+    return static_cast<double>(busy);
+  });
+}
+
 void FileSystem::Submit(FileId file, device::IoKind kind, byte_count offset,
                         byte_count size, Priority priority,
                         std::function<void(SimTime)> on_complete,
-                        std::function<void(SimTime)> on_failure) {
+                        std::function<void(SimTime)> on_failure,
+                        obs::SpanId parent_span) {
   assert(file >= 0 && static_cast<std::size_t>(file) < file_names_.size());
   assert(offset >= 0);
 
@@ -101,6 +120,7 @@ void FileSystem::Submit(FileId file, device::IoKind kind, byte_count offset,
     job.priority = priority;
     job.on_complete = [arrive](SimTime t) { arrive(t, true); };
     job.on_failure = [arrive](SimTime t) { arrive(t, false); };
+    job.parent_span = parent_span;
     servers_[static_cast<std::size_t>(sub.server)]->Submit(std::move(job));
   }
 }

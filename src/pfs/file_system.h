@@ -86,10 +86,17 @@ class FileSystem {
   // failed (its server crashed, or a fault injector failed it). Callers
   // that pass no `on_failure` keep the legacy semantics: failures resolve
   // through `on_complete`, and only FsStats records them.
+  // `parent_span` (optional): the request-level span the per-server
+  // sub-request spans attach to when tracing is enabled.
   void Submit(FileId file, device::IoKind kind, byte_count offset,
               byte_count size, Priority priority,
               std::function<void(SimTime)> on_complete,
-              std::function<void(SimTime)> on_failure = nullptr);
+              std::function<void(SimTime)> on_failure = nullptr,
+              obs::SpanId parent_span = obs::kNoSpan);
+
+  // Attaches the shared observability bundle to this file system and all
+  // its servers; metrics are scoped "pfs.<config.name>.*". Null detaches.
+  void SetObservability(obs::Observability* obs);
 
   // --- content tracking (only when config.track_content) ---------------
   // Records that [offset, offset+size) of `file` now holds `token`.

@@ -8,15 +8,21 @@
 #include "fault/fault_schedule.h"
 #include "harness/driver.h"
 #include "harness/testbed.h"
+#include "obs/observability.h"
+#include "obs/sampler.h"
 #include "workloads/ior.h"
 
 namespace s4d {
 namespace {
 
 harness::RunResult RunOnce(std::uint64_t bed_seed, std::uint64_t wl_seed,
-                           bool use_s4d, bool with_empty_injector = false) {
+                           bool use_s4d, bool with_empty_injector = false,
+                           bool with_obs = false) {
+  obs::Observability obs;
+  obs.tracer.set_enabled(with_obs);
   harness::TestbedConfig bed_cfg;
   bed_cfg.seed = bed_seed;
+  if (with_obs) bed_cfg.obs = &obs;
   harness::Testbed bed(bed_cfg);
   std::unique_ptr<core::S4DCache> s4d;
   mpiio::IoDispatch* dispatch = &bed.stock();
@@ -31,6 +37,13 @@ harness::RunResult RunOnce(std::uint64_t bed_seed, std::uint64_t wl_seed,
     injector = std::make_unique<fault::FaultInjector>(
         bed.engine(), bed.dservers(), bed.cservers(), s4d.get());
     injector->Arm(fault::FaultSchedule{});
+  }
+  std::unique_ptr<obs::TimeSeriesSampler> sampler;
+  if (with_obs) {
+    sampler = std::make_unique<obs::TimeSeriesSampler>(bed.engine(),
+                                                       FromMillis(5));
+    sampler->AddProbe("noop", [] { return 0.0; });
+    sampler->Start();
   }
   mpiio::MpiIoLayer layer(bed.engine(), *dispatch);
   workloads::IorConfig ior;
@@ -72,6 +85,19 @@ TEST(Determinism, DifferentTestbedSeedsDiffer) {
   const auto a = RunOnce(1, 42, false);
   const auto b = RunOnce(2, 42, false);
   EXPECT_NE(a.end, b.end);
+}
+
+TEST(Determinism, ObservabilityIsTimelineFree) {
+  // Full instrumentation — metrics, tracing, a running sampler — must not
+  // move a single event: observation reads the simulation, never drives it.
+  const auto plain = RunOnce(1, 42, true);
+  const auto observed = RunOnce(1, 42, true, /*with_empty_injector=*/false,
+                                /*with_obs=*/true);
+  EXPECT_EQ(plain.end, observed.end);
+  EXPECT_EQ(plain.bytes, observed.bytes);
+  EXPECT_DOUBLE_EQ(plain.throughput_mbps, observed.throughput_mbps);
+  EXPECT_DOUBLE_EQ(plain.mean_latency_us, observed.mean_latency_us);
+  EXPECT_DOUBLE_EQ(plain.max_latency_us, observed.max_latency_us);
 }
 
 TEST(Determinism, EmptyFaultScheduleIsBehaviorFree) {

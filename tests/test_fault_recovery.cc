@@ -138,6 +138,59 @@ TEST(FaultRecovery, DirtyReadQueuesUntilTierRestored) {
   EXPECT_EQ(rig.checker.failures(), 0);
 }
 
+TEST(FaultRecovery, DirtyReadPromotesToStaleAfterTimeout) {
+  // kQueue with a timeout: no restart ever comes, so the held read must
+  // promote itself to a stale DServer read instead of stalling forever.
+  auto cfg = Rig::CacheAllConfig();
+  cfg.queue_stale_timeout = FromMillis(500);
+  Rig rig(cfg);
+  rig.Write(0, 128 * KiB);
+  rig.Inject("0ms crash cservers all");
+
+  mpiio::FileRequest request;
+  request.file = kFile;
+  request.offset = 0;
+  request.size = 64 * KiB;
+  bool done = false;
+  rig.s4d->Read(request, [&done](SimTime) { done = true; });
+  rig.bed.engine().RunUntil(rig.bed.engine().now() + FromMillis(100));
+  EXPECT_FALSE(done) << "read must still be held before the timeout";
+  EXPECT_EQ(rig.s4d->counters().queued_degraded_reads, 1);
+
+  rig.bed.engine().RunUntil(rig.bed.engine().now() + FromSeconds(2));
+  EXPECT_TRUE(done) << "timed-out read must complete from the DServers";
+  EXPECT_EQ(rig.s4d->counters().promoted_stale_reads, 1);
+  EXPECT_EQ(rig.s4d->counters().stale_dirty_reads, 1);
+  // The bypassed dirty range went through the loss hook.
+  EXPECT_GE(rig.checker.lost_bytes(), 64 * KiB);
+}
+
+TEST(FaultRecovery, RecoveryBeforeTimeoutLeavesNothingToPromote) {
+  auto cfg = Rig::CacheAllConfig();
+  cfg.queue_stale_timeout = FromMillis(500);
+  Rig rig(cfg);
+  rig.Write(0, 128 * KiB);
+  rig.Inject("0ms crash cservers all");
+
+  mpiio::FileRequest request;
+  request.file = kFile;
+  request.offset = 0;
+  request.size = 64 * KiB;
+  bool done = false;
+  rig.s4d->Read(request, [&done](SimTime) { done = true; });
+  rig.bed.engine().RunUntil(rig.bed.engine().now() + FromMillis(100));
+  ASSERT_FALSE(done);
+
+  // Tier restored well before the timeout: the read drains through the
+  // normal recovery path and the later timer must find nothing to promote.
+  rig.Inject("0ms restart cservers all");
+  rig.bed.engine().RunUntil(rig.bed.engine().now() + FromSeconds(2));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.s4d->counters().promoted_stale_reads, 0);
+  EXPECT_EQ(rig.s4d->counters().stale_dirty_reads, 0);
+  EXPECT_EQ(rig.checker.failures(), 0);
+}
+
 TEST(FaultRecovery, ServeStaleCompletesAndReportsLossWindow) {
   auto cfg = Rig::CacheAllConfig();
   cfg.degraded_read_mode = core::DegradedReadMode::kServeStale;

@@ -39,10 +39,22 @@
 // verification summary (failures vs. reads inside the reported
 // dirty-data-loss window). `middleware.degraded_reads = queue|stale`
 // selects what a dirty read does while the cache tier is down.
+//
+// Observability (all optional; defaults keep the run unobserved):
+//
+//   [obs]
+//   trace_out = trace.json      ; Chrome trace_event JSON (chrome://tracing)
+//   metrics_out = metrics.json  ; metrics registry dump (+ time series)
+//   sample_interval = 10ms      ; periodic sampler; 0 disables
+//
+// The equivalent CLI flags `--trace-out=`, `--metrics-out=` and
+// `--sample-interval=` override the config file.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "common/config_parser.h"
 #include "common/table_printer.h"
@@ -52,6 +64,8 @@
 #include "harness/content_checker.h"
 #include "harness/driver.h"
 #include "harness/testbed.h"
+#include "obs/observability.h"
+#include "obs/sampler.h"
 #include "trace/trace.h"
 #include <fstream>
 #include <sstream>
@@ -148,11 +162,23 @@ int Run(const ConfigParser& config) {
   }
   const bool verify = config.BoolOr("cluster", "verify_content", false);
 
+  // Observability: constructed before the testbed so every layer can attach
+  // at build time; entirely inert (null pointers everywhere) when no output
+  // was requested.
+  const std::string trace_out = config.StringOr("obs", "trace_out", "");
+  const std::string metrics_out = config.StringOr("obs", "metrics_out", "");
+  const SimTime sample_interval =
+      config.DurationOr("obs", "sample_interval", 0);
+  const bool observed = !trace_out.empty() || !metrics_out.empty();
+  obs::Observability obs;
+  obs.tracer.set_enabled(!trace_out.empty());
+
   harness::TestbedConfig bed_cfg;
   bed_cfg.dservers = static_cast<int>(config.IntOr("cluster", "dservers", 8));
   bed_cfg.cservers = static_cast<int>(config.IntOr("cluster", "cservers", 4));
   bed_cfg.stripe_size = config.SizeOr("cluster", "stripe", 64 * KiB);
   bed_cfg.track_content = verify;
+  if (observed) bed_cfg.obs = &obs;
   harness::Testbed bed(bed_cfg);
 
   trace::TraceCollector collector;
@@ -186,6 +212,12 @@ int Run(const ConfigParser& config) {
     cfg.rebuilder.io_timeout = config.DurationOr(
         "middleware", "io_timeout",
         schedule->empty() ? SimTime{0} : FromSeconds(5));
+    // kQueue mode: a read held for the down cache tier is promoted to a
+    // stale DServer read after this long (0 = queue forever).
+    cfg.queue_stale_timeout =
+        config.DurationOr("faults", "queue_stale_timeout", 0);
+    cfg.cache_unhealthy_degrade = config.DoubleOr(
+        "middleware", "cache_unhealthy_degrade", cfg.cache_unhealthy_degrade);
     s4d = bed.MakeS4D(cfg);
     dispatch = s4d.get();
   } else if (mw_type != "stock") {
@@ -207,9 +239,50 @@ int Run(const ConfigParser& config) {
 
   fault::FaultInjector injector(bed.engine(), bed.dservers(), bed.cservers(),
                                 s4d.get());
+  if (observed) injector.SetObservability(&obs);
   if (!schedule->empty()) {
     injector.Arm(*schedule);
     std::printf("faults: %zu scheduled\n", schedule->size());
+  }
+
+  // Periodic time series (written into the metrics dump). Probes are
+  // read-only; sampling never perturbs the I/O timeline.
+  obs::TimeSeriesSampler sampler(bed.engine(), sample_interval);
+  if (observed && sample_interval > 0) {
+    sampler.AddProbe("opfs.queue_depth", [&bed] {
+      double sum = 0;
+      for (int i = 0; i < bed.dservers().server_count(); ++i) {
+        sum += static_cast<double>(bed.dservers().server(i).queue_depth());
+      }
+      return sum;
+    });
+    sampler.AddProbe("cpfs.queue_depth", [&bed] {
+      double sum = 0;
+      for (int i = 0; i < bed.cservers().server_count(); ++i) {
+        sum += static_cast<double>(bed.cservers().server(i).queue_depth());
+      }
+      return sum;
+    });
+    if (s4d) {
+      core::S4DCache* cache = s4d.get();
+      sampler.AddProbe("s4d.dirty_bytes", [cache] {
+        return static_cast<double>(cache->dmt().dirty_bytes());
+      });
+      sampler.AddProbe("s4d.cache_used_bytes", [cache] {
+        return static_cast<double>(cache->cache_space().used_bytes());
+      });
+      sampler.AddProbe("s4d.read_hit_ratio", [cache] {
+        const core::RedirectorStats& rs = cache->redirector_stats();
+        return rs.read_requests > 0
+                   ? static_cast<double>(rs.read_cache_hits +
+                                         rs.read_partial_hits) /
+                         static_cast<double>(rs.read_requests)
+                   : 0.0;
+      });
+      sampler.AddProbe("s4d.cache_tier_slowdown",
+                       [cache] { return cache->CacheTierSlowdown(); });
+    }
+    sampler.Start();
   }
 
   auto workload = MakeWorkload(config);
@@ -341,6 +414,39 @@ int Run(const ConfigParser& config) {
     }
   }
 
+  if (observed) {
+    sampler.Stop();
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open trace output: %s\n",
+                     trace_out.c_str());
+        return 1;
+      }
+      obs.tracer.WriteChromeTrace(out);
+      std::printf("\ntrace: %zu events -> %s\n", obs.tracer.records().size(),
+                  trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open metrics output: %s\n",
+                     metrics_out.c_str());
+        return 1;
+      }
+      out << "{\"metrics\":";
+      obs.metrics.WriteJson(out);
+      out << ",\"series\":";
+      if (sample_interval > 0) {
+        sampler.WriteJson(out);
+      } else {
+        out << "null";
+      }
+      out << "}\n";
+      std::printf("metrics: -> %s\n", metrics_out.c_str());
+    }
+  }
+
   if (verify) {
     checker.CheckAll(*dispatch);
     std::printf("\n-- verification --\n");
@@ -370,8 +476,39 @@ int main(int argc, char** argv) {
     return 0;
   }
   ConfigParser config;
-  if (argc >= 2) {
-    const Status status = config.ParseFile(argv[1]);
+  const char* config_path = nullptr;
+  struct Override {
+    const char* section;
+    const char* key;
+    std::string value;
+  };
+  std::vector<Override> overrides;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto flag_value = [&arg](const char* prefix) -> std::optional<std::string> {
+      const std::size_t len = std::strlen(prefix);
+      if (arg.compare(0, len, prefix) == 0) return arg.substr(len);
+      return std::nullopt;
+    };
+    if (auto v = flag_value("--trace-out=")) {
+      overrides.push_back({"obs", "trace_out", *v});
+    } else if (auto v = flag_value("--metrics-out=")) {
+      overrides.push_back({"obs", "metrics_out", *v});
+    } else if (auto v = flag_value("--sample-interval=")) {
+      overrides.push_back({"obs", "sample_interval", *v});
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    } else if (config_path == nullptr) {
+      config_path = argv[i];
+    } else {
+      std::fprintf(stderr, "more than one config file given: %s\n",
+                   arg.c_str());
+      return 1;
+    }
+  }
+  if (config_path != nullptr) {
+    const Status status = config.ParseFile(config_path);
     if (!status.ok()) {
       std::fprintf(stderr, "config error: %s\n", status.ToString().c_str());
       return 1;
@@ -381,5 +518,7 @@ int main(int argc, char** argv) {
     std::printf("(no config given; using built-in defaults — "
                 "see --print-default-config)\n\n");
   }
+  // CLI flags override the config file.
+  for (const Override& o : overrides) config.Set(o.section, o.key, o.value);
   return Run(config);
 }

@@ -1,0 +1,120 @@
+// trace_summary — aggregate a Chrome trace produced by s4dsim.
+//
+//   $ ./tools/trace_summary trace.json [top_n]
+//
+// Reads the trace_event JSON written by obs::Tracer::WriteChromeTrace and
+// prints the top-N span names by total duration (complete "X" events), plus
+// instant-event counts. This is a line-oriented scan of our own exporter's
+// stable output — one event per line — not a general JSON parser.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct NameAgg {
+  long long count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+// Extracts the JSON string value following `"<key>":"` on this line, undoing
+// the exporter's backslash escaping. Returns false when the key is absent.
+bool ExtractString(const std::string& line, const std::string& key,
+                   std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  out->clear();
+  for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      out->push_back(line[++i]);
+      continue;
+    }
+    if (c == '"') return true;
+    out->push_back(c);
+  }
+  return false;
+}
+
+bool ExtractNumber(const std::string& line, const std::string& key,
+                   double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + at + needle.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [top_n]\n", argv[0]);
+    return 1;
+  }
+  const int top_n = argc >= 3 ? std::atoi(argv[2]) : 10;
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+
+  std::map<std::string, NameAgg> spans;
+  std::map<std::string, long long> instants;
+  long long events = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string ph;
+    if (!ExtractString(line, "ph", &ph)) continue;
+    std::string name;
+    if (!ExtractString(line, "name", &name)) continue;
+    if (ph == "X") {
+      double dur = 0.0;
+      if (!ExtractNumber(line, "dur", &dur)) continue;
+      NameAgg& agg = spans[name];
+      ++agg.count;
+      agg.total_us += dur;
+      agg.max_us = std::max(agg.max_us, dur);
+      ++events;
+    } else if (ph == "i") {
+      ++instants[name];
+      ++events;
+    }
+  }
+  if (events == 0) {
+    std::fprintf(stderr, "no trace events found in %s\n", argv[1]);
+    return 1;
+  }
+
+  std::vector<std::pair<std::string, NameAgg>> ranked(spans.begin(),
+                                                      spans.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_us != b.second.total_us)
+      return a.second.total_us > b.second.total_us;
+    return a.first < b.first;
+  });
+
+  std::printf("%-24s %10s %14s %12s %12s\n", "span", "count", "total_ms",
+              "mean_us", "max_us");
+  int shown = 0;
+  for (const auto& [name, agg] : ranked) {
+    if (shown++ >= top_n) break;
+    std::printf("%-24s %10lld %14.3f %12.1f %12.1f\n", name.c_str(), agg.count,
+                agg.total_us / 1000.0,
+                agg.total_us / static_cast<double>(agg.count), agg.max_us);
+  }
+  if (!instants.empty()) {
+    std::printf("\n%-24s %10s\n", "instant", "count");
+    for (const auto& [name, count] : instants) {
+      std::printf("%-24s %10lld\n", name.c_str(), count);
+    }
+  }
+  return 0;
+}
