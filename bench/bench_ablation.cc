@@ -11,8 +11,11 @@
 //    side, measured on fresh testbeds) across sizes and distances.
 #include "bench_common.h"
 
+#include <vector>
+
 #include "common/table_printer.h"
 #include "device/hybrid_device.h"
+#include "harness/sweep_runner.h"
 #include "mpiio/memory_cache.h"
 
 namespace s4d::bench {
@@ -77,7 +80,7 @@ double RunPolicy(const BenchArgs& args, byte_count file_size, int ranks,
   return mbps;
 }
 
-void PolicyAblation(const BenchArgs& args) {
+void PolicyAblation(const BenchArgs& args, BenchReporter& report) {
   std::printf("--- Ablation 1: admission policy (IOR mix writes) ---\n");
   const byte_count file_size = args.full ? 2 * GiB : 64 * MiB;
   const int ranks = 32;
@@ -90,6 +93,7 @@ void PolicyAblation(const BenchArgs& args) {
     core::AdmissionPolicy policy;
   };
   table.AddRow({"stock (no cache)", TablePrinter::Num(stock), "--"});
+  report.Add("throughput_mbps", stock, {{"policy", "stock"}});
   for (const Row& row :
        {Row{"selective (cost model)", core::AdmissionPolicy::kCostModel},
         Row{"cache everything", core::AdmissionPolicy::kAlways},
@@ -98,6 +102,7 @@ void PolicyAblation(const BenchArgs& args) {
                                   /*verbose=*/true);
     table.AddRow({row.name, TablePrinter::Num(mbps),
                   TablePrinter::Percent((mbps / stock - 1.0) * 100.0)});
+    report.Add("throughput_mbps", mbps, {{"policy", row.name}});
   }
   table.Print(std::cout);
   std::printf(
@@ -130,32 +135,48 @@ bool DServersFasterSimulated(const BenchArgs& args, byte_count distance,
   return measure(false) <= measure(true);
 }
 
-void PredictorQuality(const BenchArgs& args) {
+void PredictorQuality(const BenchArgs& args, BenchReporter& report) {
   std::printf("--- Ablation 2: cost-model predictor vs simulated truth ---\n");
   core::CostModel model(core::CostModelParams::FromProfiles(
       8, 4, 64 * KiB, device::SeagateST32502NS(),
       device::OczRevoDriveX2Effective(), net::GigabitEthernet()));
 
+  // The 16 ground-truth points are independent simulations; run them on the
+  // sweep pool and read the results back in grid order.
+  struct GridPoint {
+    byte_count distance;
+    byte_count size;
+  };
+  std::vector<GridPoint> grid;
+  for (byte_count distance : {byte_count{0}, 10 * MiB, 1 * GiB, 40 * GiB})
+    for (byte_count size : {8 * KiB, 64 * KiB, 1 * MiB, 16 * MiB})
+      grid.push_back({distance, size});
+  std::vector<char> sim_dservers(grid.size());
+  harness::RunIndexedParallel(
+      static_cast<int>(grid.size()), args.jobs, [&](int i) {
+        const GridPoint& g = grid[static_cast<std::size_t>(i)];
+        sim_dservers[static_cast<std::size_t>(i)] =
+            DServersFasterSimulated(args, g.distance, g.size) ? 1 : 0;
+      });
+
   TablePrinter table({"distance", "size", "model says", "simulator says",
                       "agree"});
   int agree = 0, total = 0;
-  for (byte_count distance : {byte_count{0}, 10 * MiB, 1 * GiB, 40 * GiB}) {
-    for (byte_count size : {8 * KiB, 64 * KiB, 1 * MiB, 16 * MiB}) {
-      const bool model_cservers =
-          model.IsCritical(device::IoKind::kWrite, distance, 0, size);
-      const bool sim_dservers = DServersFasterSimulated(args, distance, size);
-      const bool match = model_cservers != sim_dservers;
-      ++total;
-      if (match) ++agree;
-      table.AddRow({FormatBytes(distance), FormatBytes(size),
-                    model_cservers ? "CServers" : "DServers",
-                    sim_dservers ? "DServers" : "CServers",
-                    match ? "yes" : "NO"});
-    }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const bool model_cservers = model.IsCritical(
+        device::IoKind::kWrite, grid[i].distance, 0, grid[i].size);
+    const bool match = model_cservers != (sim_dservers[i] != 0);
+    ++total;
+    if (match) ++agree;
+    table.AddRow({FormatBytes(grid[i].distance), FormatBytes(grid[i].size),
+                  model_cservers ? "CServers" : "DServers",
+                  sim_dservers[i] ? "DServers" : "CServers",
+                  match ? "yes" : "NO"});
   }
   table.Print(std::cout);
   std::printf("\npredictor agreement: %d/%d (%.0f%%)\n", agree, total,
               100.0 * agree / total);
+  report.Add("predictor_agreement_percent", 100.0 * agree / total);
   std::printf(
       "note: disagreements cluster at the decision boundary, where either\n"
       "choice costs little — exactly where a predictor may be wrong safely.\n");
@@ -289,14 +310,16 @@ void GlobalVsPerServer(const BenchArgs& args) {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv);
+  BenchReporter report("ablation", args);
   std::printf("=== Ablations: selective admission & predictor quality ===\n");
-  PrintScale(args, "policy sweep + 16-point model-vs-simulation grid");
-  PolicyAblation(args);
-  PredictorQuality(args);
+  report.Scale("policy sweep + 16-point model-vs-simulation grid");
+  PolicyAblation(args, report);
+  PredictorQuality(args, report);
   std::printf("\n");
   MemoryCacheStacking(args);
   std::printf("\n");
   GlobalVsPerServer(args);
+  report.Finish();
   return 0;
 }
 

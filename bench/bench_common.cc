@@ -1,0 +1,124 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <string>
+
+namespace s4d::bench {
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  // %.17g round-trips; trim to %g when it is exact to keep the file tidy.
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchReporter::BenchReporter(std::string name, const BenchArgs& args)
+    : name_(std::move(name)),
+      args_(args),
+      start_(std::chrono::steady_clock::now()) {}
+
+void BenchReporter::Scale(const std::string& detail) {
+  detail_ = detail;
+  std::printf("scale: %s (%s)\n\n",
+              args_.full ? "FULL (paper parameters)" : "reduced",
+              detail.c_str());
+}
+
+void BenchReporter::Add(const std::string& metric, double value,
+                        Labels labels) {
+  samples_.push_back(Sample{metric, value, std::move(labels)});
+}
+
+bool BenchReporter::Finish() {
+  if (finished_) return true;
+  finished_ = true;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::printf("\n[bench_%s] wall %.2fs, %zu metric(s)\n", name_.c_str(), wall,
+              samples_.size());
+  if (!args_.write_json) return true;
+
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": ";
+  AppendJsonString(out, name_);
+  out += ",\n  \"scale\": ";
+  AppendJsonString(out, args_.full ? "full" : "reduced");
+  out += ",\n  \"detail\": ";
+  AppendJsonString(out, detail_);
+  out += ",\n  \"seed\": " + std::to_string(args_.seed);
+  out += ",\n  \"jobs\": " + std::to_string(args_.jobs);
+  out += ",\n  \"wall_seconds\": " + FormatDouble(wall);
+  out += ",\n  \"metrics\": [";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const Sample& s = samples_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    AppendJsonString(out, s.metric);
+    out += ", \"value\": " + FormatDouble(s.value);
+    if (!s.labels.empty()) {
+      out += ", \"labels\": {";
+      for (std::size_t j = 0; j < s.labels.size(); ++j) {
+        if (j) out += ", ";
+        AppendJsonString(out, s.labels[j].first);
+        out += ": ";
+        AppendJsonString(out, s.labels[j].second);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += samples_.empty() ? "]" : "\n  ]";
+  out += "\n}\n";
+
+  const std::string path =
+      args_.json_path.empty() ? "BENCH_" + name_ + ".json" : args_.json_path;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_%s: cannot write %s\n", name_.c_str(),
+                 path.c_str());
+    return false;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("[bench_%s] wrote %s\n", name_.c_str(), path.c_str());
+  return true;
+}
+
+}  // namespace s4d::bench

@@ -1,20 +1,29 @@
 // Shared plumbing for the per-figure/table bench binaries.
 //
 // Every bench accepts:
-//   --full    paper-scale parameters (slow); default is a reduced scale
-//             with identical shapes (same request sizes, same server
-//             counts, smaller files)
-//   --seed=N  RNG seed (default 42)
+//   --full       paper-scale parameters (slow); default is a reduced scale
+//                with identical shapes (same request sizes, same server
+//                counts, smaller files)
+//   --seed=N     RNG seed (default 42)
+//   --jobs=N     worker threads for benches that sweep independent points
+//                (the simulated results are byte-identical for any N)
+//   --json=PATH  where to write the machine-readable result
+//                (default BENCH_<name>.json in the current directory)
+//   --no-json    skip writing the JSON result
 //
 // Output convention: each bench prints the table/series the corresponding
-// paper figure or table reports, plus the scale it ran at, so
-// EXPERIMENTS.md can record paper-vs-measured side by side.
+// paper figure or table reports (plus the scale it ran at) for humans, and
+// records every headline number through BenchReporter::Add so the same run
+// lands in BENCH_<name>.json for EXPERIMENTS.md and the CI regression gate.
 #pragma once
 
 #include <cstdio>
 #include <cstring>
+#include <chrono>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/s4d_cache.h"
 #include "harness/driver.h"
@@ -26,6 +35,9 @@ namespace s4d::bench {
 struct BenchArgs {
   bool full = false;
   std::uint64_t seed = 42;
+  int jobs = 1;
+  std::string json_path;  // empty = default BENCH_<name>.json
+  bool write_json = true;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -35,18 +47,64 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.full = true;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      args.jobs = static_cast<int>(std::strtol(argv[i] + 7, nullptr, 10));
+      if (args.jobs < 1) args.jobs = 1;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      args.json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--no-json") == 0) {
+      args.write_json = false;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--full] [--seed=N]\n", argv[0]);
+      std::printf(
+          "usage: %s [--full] [--seed=N] [--jobs=N] [--json=PATH] "
+          "[--no-json]\n",
+          argv[0]);
       std::exit(0);
     }
   }
   return args;
 }
 
-inline void PrintScale(const BenchArgs& args, const std::string& detail) {
-  std::printf("scale: %s (%s)\n\n",
-              args.full ? "FULL (paper parameters)" : "reduced", detail.c_str());
-}
+// Collects a bench run's headline numbers and writes them as JSON.
+//
+// Usage:
+//   BenchReporter report("fig6", args);
+//   report.Scale(args, "10-instance IOR mix, ...");
+//   report.Add("throughput_mbps", value, {{"request", "16K"}, ...});
+//   ...
+//   report.Finish();   // prints wall time, writes BENCH_fig6.json
+class BenchReporter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  BenchReporter(std::string name, const BenchArgs& args);
+
+  // Prints the scale banner (replaces the old PrintScale) and records the
+  // detail string in the JSON output.
+  void Scale(const std::string& detail);
+
+  void Add(const std::string& metric, double value, Labels labels = {});
+
+  // Writes the JSON file (unless --no-json) and prints the wall time.
+  // Returns false if the file could not be written.
+  bool Finish();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Sample {
+    std::string metric;
+    double value;
+    Labels labels;
+  };
+
+  std::string name_;
+  BenchArgs args_;
+  std::string detail_;
+  std::vector<Sample> samples_;
+  std::chrono::steady_clock::time_point start_;
+  bool finished_ = false;
+};
 
 // Which instances of the IOR mix issue random requests: the paper creates
 // the instances one by one with different parameters; we alternate so that

@@ -29,12 +29,13 @@ struct Scenario {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv);
+  BenchReporter report("faults", args);
   std::printf("=== fault modes: IOR write throughput ===\n");
   const byte_count file_size = args.full ? 1 * GiB : 32 * MiB;
   const byte_count request = 16 * KiB;
   const int ranks = 16;
-  PrintScale(args, std::to_string(ranks) + " procs, random 16 KiB writes, file " +
-                       FormatBytes(file_size) + " each");
+  report.Scale(std::to_string(ranks) + " procs, random 16 KiB writes, file " +
+               FormatBytes(file_size) + " each");
 
   const Scenario scenarios[] = {
       {"healthy", nullptr},
@@ -85,6 +86,8 @@ int Main(int argc, char** argv) {
              obs.metrics.GetGauge("pfs.CPFS/server0.ewma_service_us")->value(),
              1),
          TablePrinter::Int(s4d->counters().failed_requests)});
+    report.Add("throughput_mbps", result.throughput_mbps,
+               {{"scenario", s.name}});
   }
   table.Print(std::cout);
 
@@ -95,10 +98,12 @@ int Main(int argc, char** argv) {
     std::printf("FAIL: degraded-SSD throughput %.1f MB/s fell below "
                 "0.9 x tier-down (%.1f MB/s)\n",
                 degraded_mbps, down_mbps);
+    report.Finish();
     return 1;
   }
   std::printf("health gate OK: degraded %.1f MB/s >= 0.9 x down %.1f MB/s\n",
               degraded_mbps, down_mbps);
+  report.Finish();
   return 0;
 }
 

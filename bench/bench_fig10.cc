@@ -25,9 +25,10 @@ double RunTile(mpiio::MpiIoLayer& layer, int ranks, byte_count element,
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv);
+  BenchReporter report("fig10", args);
   std::printf("=== Figure 10: MPI-Tile-IO stock vs S4D-Cache ===\n");
   const byte_count element = args.full ? 32 * KiB : 8 * KiB;
-  PrintScale(args, "10x10 elements/tile, element " + FormatBytes(element));
+  report.Scale("10x10 elements/tile, element " + FormatBytes(element));
 
   for (device::IoKind kind : {device::IoKind::kWrite, device::IoKind::kRead}) {
     std::printf("--- %s ---\n", device::IoKindName(kind));
@@ -71,6 +72,14 @@ int Main(int argc, char** argv) {
           {TablePrinter::Int(ranks), TablePrinter::Num(stock_mbps),
            TablePrinter::Num(s4d_mbps),
            TablePrinter::Percent((s4d_mbps / stock_mbps - 1.0) * 100.0)});
+      report.Add("throughput_mbps", stock_mbps,
+                 {{"kind", device::IoKindName(kind)},
+                  {"procs", std::to_string(ranks)},
+                  {"system", "stock"}});
+      report.Add("throughput_mbps", s4d_mbps,
+                 {{"kind", device::IoKindName(kind)},
+                  {"procs", std::to_string(ranks)},
+                  {"system", "s4d"}});
     }
     table.Print(std::cout);
     std::printf("\n");
@@ -78,6 +87,7 @@ int Main(int argc, char** argv) {
   std::printf(
       "paper: writes +21-33%%, reads +18-31%% across 100-400 processes;\n"
       "nested-stride locality keeps gains below IOR's.\n");
+  report.Finish();
   return 0;
 }
 

@@ -12,6 +12,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv);
+  BenchReporter report("fig7", args);
   std::printf("=== Figure 7: IOR stock vs S4D-Cache, varied processes ===\n");
   const byte_count request = 16 * KiB;
   // Keep the per-process partition constant across process counts (the
@@ -19,8 +20,8 @@ int Main(int argc, char** argv) {
   // no process' data co-locates with any other's"); a shrinking partition
   // would change the randomness of the pattern, not just the contention.
   const byte_count partition = args.full ? 64 * MiB : 4 * MiB;
-  PrintScale(args, "10-instance IOR mix, 16 KiB requests, " +
-                       FormatBytes(partition) + " per process");
+  report.Scale("10-instance IOR mix, 16 KiB requests, " +
+               FormatBytes(partition) + " per process");
 
   for (device::IoKind kind : {device::IoKind::kWrite, device::IoKind::kRead}) {
     std::printf("--- Figure 7(%s): %s ---\n",
@@ -71,6 +72,14 @@ int Main(int argc, char** argv) {
           {TablePrinter::Int(ranks), TablePrinter::Num(stock_mbps),
            TablePrinter::Num(s4d_mbps),
            TablePrinter::Percent((s4d_mbps / stock_mbps - 1.0) * 100.0)});
+      report.Add("throughput_mbps", stock_mbps,
+                 {{"kind", device::IoKindName(kind)},
+                  {"procs", std::to_string(ranks)},
+                  {"system", "stock"}});
+      report.Add("throughput_mbps", s4d_mbps,
+                 {{"kind", device::IoKindName(kind)},
+                  {"procs", std::to_string(ranks)},
+                  {"system", "s4d"}});
     }
     table.Print(std::cout);
     std::printf("\n");
@@ -78,6 +87,7 @@ int Main(int argc, char** argv) {
   std::printf(
       "paper: writes improve 35.4-49.5%% across 16-128 processes; bandwidth\n"
       "declines with more processes; reads show the same trend.\n");
+  report.Finish();
   return 0;
 }
 

@@ -12,11 +12,12 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv);
+  BenchReporter report("fig8", args);
   std::printf("=== Figure 8: IOR stock vs S4D-Cache, varied CServers ===\n");
   const byte_count file_size = args.full ? 2 * GiB : 64 * MiB;
   const byte_count request = 16 * KiB;
   const int ranks = 32;
-  PrintScale(args, "32 procs, 16 KiB requests, cache space fixed at 20%");
+  report.Scale("32 procs, 16 KiB requests, cache space fixed at 20%");
 
   for (device::IoKind kind : {device::IoKind::kWrite, device::IoKind::kRead}) {
     std::printf("--- Figure 8(%s): %s ---\n",
@@ -62,6 +63,9 @@ int Main(int argc, char** argv) {
       table.AddRow(
           {TablePrinter::Int(cservers), TablePrinter::Num(mbps),
            TablePrinter::Percent((mbps / baseline - 1.0) * 100.0)});
+      report.Add("throughput_mbps", mbps,
+                 {{"kind", device::IoKindName(kind)},
+                  {"cservers", std::to_string(cservers)}});
     }
     table.Print(std::cout);
     std::printf("\n");
@@ -69,6 +73,7 @@ int Main(int argc, char** argv) {
   std::printf(
       "paper: write bandwidth improves 20.7-60.1%% from 1 to 6 CServers,\n"
       "with only slight gains past 4; reads higher, also plateauing.\n");
+  report.Finish();
   return 0;
 }
 

@@ -16,11 +16,12 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv);
+  BenchReporter report("metadata", args);
   std::printf("=== Metadata space overhead (Section V-E.1) ===\n");
   const byte_count cache_size = args.full ? 1 * GiB : 64 * MiB;
   const byte_count request = 4 * KiB;  // worst case
-  PrintScale(args, "4 KiB requests filling " + FormatBytes(cache_size) +
-                       " of cache space");
+  report.Scale("4 KiB requests filling " + FormatBytes(cache_size) +
+               " of cache space");
 
   const auto dir = std::filesystem::temp_directory_path() /
                    ("s4d_meta_bench_" + std::to_string(::getpid()));
@@ -64,8 +65,14 @@ int Main(int argc, char** argv) {
                              3)});
   table.Print(std::cout);
   std::printf("\npaper: the metadata space overhead is 0.6%%, negligible.\n");
+  report.Add("analytic_overhead_percent",
+             in_memory_analytic / static_cast<double>(cache_size) * 100.0);
+  report.Add("persisted_overhead_percent",
+             static_cast<double>(stats.log_bytes) /
+                 static_cast<double>(cache_size) * 100.0);
 
   std::filesystem::remove_all(dir);
+  report.Finish();
   return 0;
 }
 

@@ -15,11 +15,12 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv);
+  BenchReporter report("table3", args);
   std::printf("=== Table III: request distribution (IOR writes) ===\n");
   const byte_count file_size = args.full ? 2 * GiB : 64 * MiB;
   const int ranks = 32;
-  PrintScale(args, "32 procs, 10-instance IOR mix, file " +
-                       FormatBytes(file_size) + " each");
+  report.Scale("32 procs, 10-instance IOR mix, file " +
+               FormatBytes(file_size) + " each");
 
   TablePrinter table({"request", "DServers (%)", "CServers (%)",
                       "seq-instance share of DServer reqs"});
@@ -74,11 +75,16 @@ int Main(int argc, char** argv) {
                   TablePrinter::Num(dist.RequestPercent("DServers")),
                   TablePrinter::Num(dist.RequestPercent("CServers")),
                   TablePrinter::Percent(seq_share)});
+    report.Add("cserver_request_percent", dist.RequestPercent("CServers"),
+               {{"request", FormatBytes(request)}});
+    report.Add("dserver_seq_share_percent", seq_share,
+               {{"request", FormatBytes(request)}});
   }
   table.Print(std::cout);
   std::printf(
       "\npaper: 16 KiB -> 16.3%% DServers / 83.7%% CServers (DServers mostly\n"
       "sequential); 4096 KiB -> 100%% DServers / 0%% CServers.\n");
+  report.Finish();
   return 0;
 }
 

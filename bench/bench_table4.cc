@@ -11,6 +11,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv);
+  BenchReporter report("table4", args);
   std::printf("=== Table IV: IOR write throughput vs SSD cache capacity ===\n");
   const byte_count file_size = args.full ? 2 * GiB : 64 * MiB;
   const byte_count request = 16 * KiB;
@@ -18,7 +19,7 @@ int Main(int argc, char** argv) {
   // Paper capacities are 0/2/4/6 GiB against 20 GiB of data (10 x 2 GiB):
   // 0 / 10 / 20 / 30 percent of the data size. Scale the same fractions.
   const byte_count data_size = 10 * file_size;
-  PrintScale(args, "32 procs, 16 KiB requests, data " + FormatBytes(data_size));
+  report.Scale("32 procs, 16 KiB requests, data " + FormatBytes(data_size));
 
   TablePrinter table({"capacity", "throughput MB/s", "speedup"});
   double baseline = 0.0;
@@ -51,11 +52,14 @@ int Main(int argc, char** argv) {
     table.AddRow({FormatBytes(capacity) + " (" + std::to_string(pct) + "%)",
                   TablePrinter::Num(mbps, 2),
                   TablePrinter::Percent((mbps / baseline - 1.0) * 100.0)});
+    report.Add("throughput_mbps", mbps,
+               {{"capacity_pct", std::to_string(pct)}});
   }
   table.Print(std::cout);
   std::printf(
       "\npaper: 58.03 MB/s at 0 GiB rising to 90.89 MB/s at 6 GiB\n"
       "(speedups 19.5/48.4/56.6%%), flattening once random data fits.\n");
+  report.Finish();
   return 0;
 }
 

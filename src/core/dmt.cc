@@ -69,6 +69,7 @@ void DataMappingTable::ErasePersisted(std::uint32_t file_index,
 }
 
 Status DataMappingTable::LoadFromStore() {
+  InvalidateHint();
   if (!store_) return Status::FailedPrecondition("DMT has no backing store");
   for (const std::string& key : store_->KeysWithPrefix("D|")) {
     const auto last_sep = key.rfind('|');
@@ -111,20 +112,44 @@ Status DataMappingTable::LoadFromStore() {
   return Status::Ok();
 }
 
+DataMappingTable::FileMap::const_iterator
+DataMappingTable::FirstOverlapCandidate(const FileMap& map,
+                                        std::uint32_t file_index,
+                                        byte_count offset) const {
+  if (hint_valid_ && hint_file_ == file_index) {
+    auto h = hint_it_;
+    // The hint (or one of its next two neighbours) decides the query
+    // locally when it is the floor entry for `offset`.
+    for (int step = 0; step < 2 && h->first <= offset; ++step) {
+      auto next = std::next(h);
+      if (next == map.end() || next->first > offset) {
+        return h->second.end > offset ? h : next;
+      }
+      h = next;
+    }
+  }
+  auto it = map.upper_bound(offset);
+  if (it != map.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > offset) it = prev;
+  }
+  return it;
+}
+
 DmtLookup DataMappingTable::Lookup(const std::string& file, byte_count offset,
                                    byte_count size) const {
   DmtLookup result;
   if (size <= 0) return result;
   const byte_count end = offset + size;
-  const FileMap* map = FindFile(file);
   byte_count cursor = offset;
-  if (map) {
-    auto it = map->upper_bound(offset);
-    if (it != map->begin()) {
-      auto prev = std::prev(it);
-      if (prev->second.end > offset) it = prev;
-    }
-    for (; it != map->end() && it->first < end; ++it) {
+  auto idx_it = file_index_.find(file);
+  if (idx_it != file_index_.end()) {
+    const std::uint32_t file_index = idx_it->second;
+    const FileMap& map = files_[file_index];
+    auto it = FirstOverlapCandidate(map, file_index, offset);
+    auto last_examined = map.end();
+    for (; it != map.end() && it->first < end; ++it) {
+      last_examined = it;
       const byte_count seg_begin = std::max(offset, it->first);
       const byte_count seg_end = std::min(end, it->second.end);
       if (seg_begin >= seg_end) continue;
@@ -137,12 +162,18 @@ DmtLookup DataMappingTable::Lookup(const std::string& file, byte_count offset,
       result.mapped.push_back(seg);
       cursor = seg_end;
     }
+    if (last_examined != map.end()) {
+      hint_valid_ = true;
+      hint_file_ = file_index;
+      hint_it_ = last_examined;
+    }
   }
   if (cursor < end) result.gaps.emplace_back(cursor, end);
   return result;
 }
 
 void DataMappingTable::SplitAt(std::uint32_t file_index, byte_count pos) {
+  InvalidateHint();
   FileMap& map = files_[file_index];
   auto it = map.upper_bound(pos);
   if (it == map.begin()) return;
@@ -166,6 +197,7 @@ void DataMappingTable::Insert(const std::string& file, byte_count offset,
                               byte_count size, byte_count cache_offset,
                               bool dirty) {
   assert(size > 0);
+  InvalidateHint();
   const std::uint32_t file_index = InternFile(file);
   FileMap& map = files_[file_index];
 #ifndef NDEBUG
@@ -198,6 +230,7 @@ std::vector<RemovedExtent> DataMappingTable::Invalidate(
 
   SplitAt(file_index, offset);
   SplitAt(file_index, end);
+  InvalidateHint();
 
   FileMap& map = files_[file_index];
   auto it = map.lower_bound(offset);
@@ -264,6 +297,7 @@ void DataMappingTable::Touch(const std::string& file, byte_count offset,
 }
 
 std::optional<RemovedExtent> DataMappingTable::EvictLruClean() {
+  InvalidateHint();
   for (auto lru_it = lru_index_.begin(); lru_it != lru_index_.end();
        ++lru_it) {
     const LruRef ref = lru_it->second;

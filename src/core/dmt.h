@@ -157,6 +157,16 @@ class DataMappingTable {
   const FileMap* FindFile(const std::string& file) const;
   std::uint32_t InternFile(const std::string& file);
 
+  // First entry a range query at `offset` must examine: the entry covering
+  // `offset` if any, else the first entry past it. Checks the last-hit
+  // hint (and up to two successors) before paying the O(log n)
+  // upper_bound — sequential scans, the dominant access pattern, land on
+  // the hint nearly every time.
+  FileMap::const_iterator FirstOverlapCandidate(const FileMap& map,
+                                                std::uint32_t file_index,
+                                                byte_count offset) const;
+  void InvalidateHint() const { hint_valid_ = false; }
+
   // Splits the entry containing `pos` (if any) so `pos` becomes a boundary.
   void SplitAt(std::uint32_t file_index, byte_count pos);
 
@@ -168,6 +178,12 @@ class DataMappingTable {
   void ErasePersisted(std::uint32_t file_index, byte_count begin);
 
   kv::KvStore* store_;
+  // Last-hit lookup hint; points at a dereferenceable entry of
+  // files_[hint_file_] whenever hint_valid_. Conservatively invalidated by
+  // every structural mutation.
+  mutable bool hint_valid_ = false;
+  mutable std::uint32_t hint_file_ = 0;
+  mutable FileMap::const_iterator hint_it_;
   std::unordered_map<std::string, std::uint32_t> file_index_;
   std::vector<std::string> file_names_;
   std::vector<FileMap> files_;

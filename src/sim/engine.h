@@ -2,65 +2,150 @@
 //
 // The engine owns the simulated clock and a priority queue of events.
 // Events with equal timestamps fire in scheduling order (a monotonically
-// increasing sequence number breaks ties), so a run is a pure function of
-// its inputs — there is no wall-clock anywhere in the simulator.
+// increasing generation counter breaks ties), so a run is a pure function
+// of its inputs — there is no wall-clock anywhere in the simulator.
+//
+// Hot-path layout (see DESIGN.md "Engine internals & performance"):
+//   * Callbacks live in a slab of reusable slots; an EventId packs
+//     {generation:40, slot:24}, so Schedule/Cancel/dispatch never touch a
+//     hash map and Cancel is an O(1) generation retire.
+//   * The slab is chunked (stable addresses), so a firing callback is
+//     invoked in place — no per-event relocation — even if it schedules
+//     events that grow the slab.
+//   * The binary heap stores 16-byte {time, id} entries, compares them
+//     with one branchless 128-bit key, and pops bottom-up (Wegener) with a
+//     hole instead of swap chains. A cancelled event's heap entry is left
+//     in place and recognized in O(1) at pop time (its generation no
+//     longer matches the slot), so each cancel costs one amortized pop —
+//     no tombstone rescans.
+//   * Events scheduled at the current time — the simulator's most common
+//     case (zero-delay dispatch hops) — bypass the heap through a FIFO
+//     ring that is always drained before the clock advances.
+//   * Callbacks are InlineCallback (48-byte small-buffer storage), not
+//     std::function, so scheduling a typical event performs zero heap
+//     allocations once the slab and heap vectors are warm.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "common/sim_time.h"
+#include "sim/inline_callback.h"
 
 namespace s4d::sim {
 
+// Packs {generation:40, slot:24}. Generations start at 1, so no valid id
+// is ever 0.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  static constexpr int kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
+  static constexpr std::uint64_t kMaxGeneration =
+      (std::uint64_t{1} << (64 - kSlotBits)) - 1;
 
   SimTime now() const { return now_; }
 
   // Schedules `fn` at absolute simulated time `t` (>= now).
-  EventId ScheduleAt(SimTime t, Callback fn) {
+  template <typename F>
+  EventId ScheduleAt(SimTime t, F&& fn) {
     assert(t >= now_ && "cannot schedule into the past");
-    const EventId id = next_id_++;
-    callbacks_.emplace(id, std::move(fn));
-    queue_.push(QueuedEvent{t, id});
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(slot_count_);
+      assert(slot_count_ < kSlotMask && "event slab exhausted");
+      if ((slot_count_ & kChunkMask) == 0) {
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+      }
+      ++slot_count_;
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    }
+    const std::uint64_t gen = next_generation_;
+    // Wraps after ~10^12 schedulings. FIFO tie-breaking and stale-entry
+    // detection both compare generations, so a wrap is only observable if
+    // events separated by a full 2^40 schedulings coexist.
+    next_generation_ = gen == kMaxGeneration ? 1 : gen + 1;
+    Slot& s = SlotRef(slot);
+    s.generation = gen;
+    s.fn.Emplace(std::forward<F>(fn));
+    const EventId id = (gen << kSlotBits) | slot;
+    if (t == now_) {
+      // Same-time fast path: zero-delay hops (server dispatch, collective
+      // turnarounds) are the most common schedule in the simulator. They
+      // are FIFO among themselves and the clock cannot advance while any
+      // are pending, so a ring buffer replaces both heap operations; the
+      // generation compare in Step keeps ordering against same-time heap
+      // entries exact.
+      ring_.push_back(id);
+    } else {
+      HeapPush(t, id);
+    }
+    ++live_events_;
     return id;
   }
 
   // Schedules `fn` after a non-negative delay from now.
-  EventId ScheduleAfter(SimTime delay, Callback fn) {
+  template <typename F>
+  EventId ScheduleAfter(SimTime delay, F&& fn) {
     assert(delay >= 0);
-    return ScheduleAt(now_ + delay, std::move(fn));
+    return ScheduleAt(now_ + delay, std::forward<F>(fn));
   }
 
   // Cancels a pending event. Safe to call on already-fired or unknown ids;
-  // returns whether an event was actually cancelled.
-  bool Cancel(EventId id) { return callbacks_.erase(id) > 0; }
+  // returns whether an event was actually cancelled. O(1): the slot's
+  // generation is retired and the capture destroyed; the heap entry stays
+  // behind and is skipped (one generation compare) when it surfaces. The
+  // schedule-then-cancel pattern (timeouts that did not trip) usually
+  // cancels the most recently scheduled event, whose entry is still the
+  // last heap/ring element — that one is trimmed on the spot, also O(1).
+  bool Cancel(EventId id) {
+    const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+    if (id == kInvalidEvent || slot >= slot_count_) return false;
+    Slot& s = SlotRef(slot);
+    if (s.generation != (id >> kSlotBits)) return false;
+    s.fn = InlineCallback();  // destroy the capture eagerly
+    s.generation = 0;
+    free_slots_.push_back(slot);
+    --live_events_;
+    if (!heap_.empty() && heap_.back().id == id) {
+      heap_.pop_back();
+    } else if (ring_head_ < ring_.size() && ring_.back() == id) {
+      ring_.pop_back();
+      if (ring_head_ == ring_.size()) {
+        ring_.clear();
+        ring_head_ = 0;
+      }
+    }
+    return true;
+  }
 
   // Fires the next pending event, if any. Returns false when idle.
   bool Step() {
-    while (!queue_.empty()) {
-      QueuedEvent ev = queue_.top();
-      queue_.pop();
-      auto it = callbacks_.find(ev.id);
-      if (it == callbacks_.end()) continue;  // cancelled
-      Callback fn = std::move(it->second);
-      callbacks_.erase(it);
-      assert(ev.time >= now_);
-      now_ = ev.time;
-      ++events_fired_;
-      fn();
-      return true;
+    for (;;) {
+      if (ring_head_ < ring_.size()) {
+        const EventId rid = ring_[ring_head_];
+        // Every ring entry is at time now_. The heap top only precedes it
+        // if it is also ripe (time <= now_) and was scheduled earlier
+        // (smaller generation).
+        if (heap_.empty() || heap_.front().time > now_ ||
+            heap_.front().id > rid) {
+          PopRing();
+          if (Fire(rid, now_)) return true;
+          continue;
+        }
+      }
+      if (heap_.empty()) return false;
+      const HeapEntry ev = heap_.front();
+      HeapPop();
+      if (Fire(ev.id, ev.time)) return true;
     }
-    return false;
   }
 
   // Runs until no events remain.
@@ -72,39 +157,168 @@ class Engine {
   // Runs events with time <= deadline; afterwards now() == deadline
   // (even if the queue drained earlier).
   void RunUntil(SimTime deadline) {
-    while (!queue_.empty()) {
-      // Skip over cancelled heads without advancing time.
-      if (callbacks_.find(queue_.top().id) == callbacks_.end()) {
-        queue_.pop();
+    for (;;) {
+      // Drop cancelled ring heads so a stale entry can't force Step past
+      // the deadline.
+      while (ring_head_ < ring_.size() && !IsLive(ring_[ring_head_])) {
+        PopRing();
+      }
+      if (ring_head_ < ring_.size()) {
+        if (now_ > deadline) break;  // ring entries fire at now_
+        Step();
         continue;
       }
-      if (queue_.top().time > deadline) break;
+      if (heap_.empty()) break;
+      const HeapEntry& top = heap_.front();
+      if (!IsLive(top.id)) {
+        HeapPop();  // stale head; each cancelled entry is popped only once
+        continue;
+      }
+      if (top.time > deadline) break;
       Step();
     }
     if (now_ < deadline) now_ = deadline;
   }
 
-  bool idle() const { return callbacks_.empty(); }
-  std::size_t pending_events() const { return callbacks_.size(); }
+  bool idle() const { return live_events_ == 0; }
+  // Exact count of schedulable (non-cancelled, non-fired) events.
+  std::size_t pending_events() const { return live_events_; }
+  // Queued entries (heap + same-time ring), including not-yet-popped
+  // cancelled ones; >= pending_events().
+  std::size_t queue_depth() const {
+    return heap_.size() + (ring_.size() - ring_head_);
+  }
   std::uint64_t events_fired() const { return events_fired_; }
 
+  // Test-only: jumps the generation counter (e.g. near kMaxGeneration to
+  // exercise wraparound).
+  void set_next_generation_for_test(std::uint64_t gen) {
+    assert(gen >= 1 && gen <= kMaxGeneration);
+    next_generation_ = gen;
+  }
+
  private:
-  struct QueuedEvent {
-    SimTime time;
-    EventId id;  // doubles as the FIFO tie-breaker: ids increase monotonically
-    bool operator>(const QueuedEvent& o) const {
-      if (time != o.time) return time > o.time;
-      return id > o.id;
-    }
+  // 4096 slots x 64 bytes = 256 KiB per chunk.
+  static constexpr std::uint32_t kChunkShift = 12;
+  static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSlots - 1;
+
+  struct Slot {
+    std::uint64_t generation = 0;  // 0 = free; live slots match their id
+    InlineCallback fn;
   };
 
+  struct HeapEntry {
+    SimTime time;
+    EventId id;  // generation in the high bits doubles as the FIFO tie-break
+  };
+
+  // Single branchless 128-bit compare of (time, id). The simulated clock
+  // starts at 0 and never goes backwards, so the sign-free cast preserves
+  // ordering.
+  static unsigned __int128 Key(const HeapEntry& e) {
+    return (static_cast<unsigned __int128>(static_cast<std::uint64_t>(e.time))
+            << 64) |
+           e.id;
+  }
+
+  static bool Before(const HeapEntry& a, const HeapEntry& b) {
+    return Key(a) < Key(b);
+  }
+
+  Slot& SlotRef(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & kChunkMask];
+  }
+
+  bool IsLive(EventId id) {
+    return SlotRef(static_cast<std::uint32_t>(id & kSlotMask)).generation ==
+           (id >> kSlotBits);
+  }
+
+  void PopRing() {
+    if (++ring_head_ == ring_.size()) {
+      ring_.clear();
+      ring_head_ = 0;
+    }
+  }
+
+  // Fires `id` at time `t` if it is still live; returns whether it fired.
+  bool Fire(EventId id, SimTime t) {
+    const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+    Slot& s = SlotRef(slot);
+    if (s.generation != (id >> kSlotBits)) return false;  // cancelled
+    // Retire the slot before invoking (Cancel on the firing id is a no-op,
+    // matching fired-event semantics) but return it to the free list only
+    // afterwards: the callback runs in place in the slab, so its storage
+    // must not be reused while it executes. Chunked storage keeps the
+    // address stable even if the callback grows the slab.
+    s.generation = 0;
+    --live_events_;
+    assert(t >= now_);
+    now_ = t;
+    ++events_fired_;
+    s.fn();
+    s.fn = InlineCallback();
+    free_slots_.push_back(slot);
+    return true;
+  }
+
+  void HeapPush(SimTime t, EventId id) {
+    const HeapEntry e{t, id};
+    heap_.push_back(e);
+    std::size_t hole = heap_.size() - 1;
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / 2;
+      if (!Before(e, heap_[parent])) break;
+      heap_[hole] = heap_[parent];
+      hole = parent;
+    }
+    heap_[hole] = e;
+  }
+
+  // Bottom-up (Wegener) pop: descend the hole to a leaf comparing only
+  // sibling pairs (one branchless select per level), then bubble the last
+  // element up from the leaf. Cheaper than the textbook sift-down because
+  // the displaced last element is leaf-sized and rarely bubbles far, and
+  // the descent has no data-dependent exit branch per level.
+  void HeapPop() {
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    std::size_t hole = 0;
+    std::size_t child = 1;
+    while (child + 1 < n) {
+      child += static_cast<std::size_t>(Before(heap_[child + 1], heap_[child]));
+      heap_[hole] = heap_[child];
+      hole = child;
+      child = 2 * hole + 1;
+    }
+    if (child < n) {
+      heap_[hole] = heap_[child];
+      hole = child;
+    }
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / 2;
+      if (!Before(last, heap_[parent])) break;
+      heap_[hole] = heap_[parent];
+      hole = parent;
+    }
+    heap_[hole] = last;
+  }
+
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_generation_ = 1;
   std::uint64_t events_fired_ = 0;
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
-                      std::greater<QueuedEvent>>
-      queue_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::size_t live_events_ = 0;
+  std::size_t slot_count_ = 0;
+  std::vector<HeapEntry> heap_;
+  // FIFO of events scheduled at the current time; always drained before
+  // the clock advances, so every entry's time is exactly now_.
+  std::vector<EventId> ring_;
+  std::size_t ring_head_ = 0;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 // Join-counter: invokes `done` once `Expect`ed completions have all arrived.
@@ -117,12 +331,19 @@ class CompletionJoin {
   }
 
   // Records one arrival at time `t`; fires the callback on the last one.
+  // Arriving after the join has fired is a bug in the caller's completion
+  // accounting and asserts.
   void Arrive(SimTime t) {
-    assert(remaining_ > 0);
+    assert(remaining_ > 0 &&
+           "CompletionJoin::Arrive after the join already fired");
     last_ = std::max(last_, t);
-    if (--remaining_ == 0 && done_) {
+    if (--remaining_ == 0) {
+      // Move out and clear *before* invoking: the callback may destroy the
+      // owning request (and with it this join), so done_ must already be
+      // empty — no dangling capture can outlive the firing.
       auto fn = std::move(done_);
-      fn(last_);
+      done_ = nullptr;
+      if (fn) fn(last_);
     }
   }
 

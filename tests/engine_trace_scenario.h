@@ -1,0 +1,96 @@
+// A deterministic schedule/fire/cancel mix whose fired-event trace pins the
+// engine's ordering contract. The golden fixture
+// (tests/fixtures/engine_golden_trace.txt) was produced by the original
+// std::function/unordered_map engine; test_determinism byte-compares the
+// current engine's trace against it, so any rework of the event core must
+// reproduce the exact same event order, clock values, and live-event counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+
+namespace s4d::sim {
+
+inline std::string RunEngineTraceScenario() {
+  Engine engine;
+  Rng rng(0xf1c5);
+  std::string out;
+  int label = 0;
+  auto record = [&](int lbl) {
+    out += "t=" + std::to_string(engine.now()) +
+           " ev=" + std::to_string(lbl) + "\n";
+  };
+
+  // Phase 1: a burst of absolute-time events; roughly a quarter are
+  // cancelled before anything runs, another slice is double-cancelled.
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 600; ++i) {
+    const SimTime t = static_cast<SimTime>(rng.NextBelow(1000));
+    const int lbl = label++;
+    const EventId id = engine.ScheduleAt(t, [&record, lbl] { record(lbl); });
+    if (rng.NextBelow(4) == 0) doomed.push_back(id);
+  }
+  for (const EventId id : doomed) engine.Cancel(id);
+  for (const EventId id : doomed) engine.Cancel(id);  // no-op second cancel
+  out += "phase1 pending=" + std::to_string(engine.pending_events()) + "\n";
+
+  // Phase 2: a same-timestamp burst — must fire in scheduling order.
+  for (int i = 0; i < 250; ++i) {
+    const int lbl = label++;
+    engine.ScheduleAt(1000, [&record, lbl] { record(lbl); });
+  }
+
+  // Phase 3: callbacks that schedule follow-ups and cancel freshly
+  // scheduled siblings from inside the firing callback.
+  for (int c = 0; c < 80; ++c) {
+    const SimTime t = 2000 + static_cast<SimTime>(rng.NextBelow(400));
+    const int lbl = label++;
+    engine.ScheduleAt(t, [&engine, &record, &label, &rng, lbl] {
+      record(lbl);
+      const int follow = label++;
+      engine.ScheduleAfter(1 + static_cast<SimTime>(rng.NextBelow(25)),
+                           [&record, follow] { record(follow); });
+      const int dead = label++;
+      const EventId kill =
+          engine.ScheduleAfter(5, [&record, dead] { record(dead); });
+      engine.Cancel(kill);
+    });
+  }
+
+  // Phase 4: zero-delay chains — hops scheduled at the current time from
+  // inside callbacks, interleaved with same-time absolute schedules and
+  // cancellations of not-yet-fired same-time events.
+  for (int c = 0; c < 40; ++c) {
+    const SimTime t = 3000 + static_cast<SimTime>(rng.NextBelow(100));
+    const int lbl = label++;
+    engine.ScheduleAt(t, [&engine, &record, &label, &rng, lbl] {
+      record(lbl);
+      const int hop1 = label++;
+      engine.ScheduleAfter(0, [&engine, &record, &label, hop1] {
+        record(hop1);
+        const int hop2 = label++;
+        engine.ScheduleAfter(0, [&record, hop2] { record(hop2); });
+      });
+      const int racer = label++;
+      engine.ScheduleAt(engine.now(), [&record, racer] { record(racer); });
+      const int dead = label++;
+      const EventId kill =
+          engine.ScheduleAfter(0, [&record, dead] { record(dead); });
+      if (rng.NextBelow(2) == 0) engine.Cancel(kill);
+    });
+  }
+
+  engine.RunUntil(1500);
+  out += "mid now=" + std::to_string(engine.now()) +
+         " pending=" + std::to_string(engine.pending_events()) + "\n";
+  engine.Run();
+  out += "end now=" + std::to_string(engine.now()) +
+         " fired=" + std::to_string(engine.events_fired()) +
+         " pending=" + std::to_string(engine.pending_events()) + "\n";
+  return out;
+}
+
+}  // namespace s4d::sim

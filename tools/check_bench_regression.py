@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Gate a fresh bench JSON against a committed baseline.
+
+Compares every metric whose name matches --metric (default: events_per_sec,
+higher-is-better) between two BENCH_*.json files, pairing samples by
+(name, labels). Exits nonzero if any current value falls more than
+--tolerance (default 20%) below its baseline.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_engine.json \
+      --current build/BENCH_engine.json [--metric events_per_sec] \
+      [--tolerance 0.2]
+"""
+import argparse
+import json
+import sys
+
+
+def load_samples(path, metric):
+    with open(path) as f:
+        doc = json.load(f)
+    samples = {}
+    for m in doc.get("metrics", []):
+        if m["name"] != metric:
+            continue
+        key = (m["name"], tuple(sorted(m.get("labels", {}).items())))
+        samples[key] = m["value"]
+    return samples
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--metric", default="events_per_sec")
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    args = parser.parse_args()
+
+    baseline = load_samples(args.baseline, args.metric)
+    current = load_samples(args.current, args.metric)
+    if not baseline:
+        print(f"no '{args.metric}' samples in baseline {args.baseline}")
+        return 2
+
+    failures = 0
+    for key, base_value in sorted(baseline.items()):
+        label = ", ".join(f"{k}={v}" for k, v in key[1]) or "(no labels)"
+        if key not in current:
+            print(f"MISSING  {label}: baseline {base_value:.3g}, "
+                  "not in current run")
+            failures += 1
+            continue
+        value = current[key]
+        floor = base_value * (1.0 - args.tolerance)
+        ratio = value / base_value if base_value else float("inf")
+        status = "ok" if value >= floor else "REGRESSED"
+        print(f"{status:10s}{label}: {value:.3g} vs baseline "
+              f"{base_value:.3g} ({ratio:.2f}x, floor {floor:.3g})")
+        if value < floor:
+            failures += 1
+    if failures:
+        print(f"\n{failures} metric(s) regressed more than "
+              f"{args.tolerance:.0%} below baseline")
+        return 1
+    print(f"\nall {len(baseline)} metric(s) within {args.tolerance:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

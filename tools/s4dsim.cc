@@ -6,6 +6,7 @@
 //
 //   $ ./tools/s4dsim experiment.ini
 //   $ ./tools/s4dsim --print-default-config > experiment.ini
+//   $ ./tools/s4dsim --sweep-seeds=8 --jobs=4 experiment.ini
 //
 // Config format (all keys optional — defaults reproduce the paper's
 // deployment, 8 DServers + 4 CServers, GigE, 64 KiB stripes):
@@ -49,6 +50,12 @@
 //
 // The equivalent CLI flags `--trace-out=`, `--metrics-out=` and
 // `--sample-interval=` override the config file.
+//
+// Seed sweeps: `--sweep-seeds=N` runs N copies of the experiment with
+// workload seeds base, base+1, ..., base+N-1 (base = workload.seed) and
+// prints one result row per seed plus an aggregate. `--jobs=J` runs them on
+// J threads; every run owns its whole simulated world, so the per-seed
+// rows are byte-identical for any J.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -63,6 +70,7 @@
 #include "fault/fault_schedule.h"
 #include "harness/content_checker.h"
 #include "harness/driver.h"
+#include "harness/sweep_runner.h"
 #include "harness/testbed.h"
 #include "obs/observability.h"
 #include "obs/sampler.h"
@@ -468,6 +476,124 @@ int Run(const ConfigParser& config) {
   return 0;
 }
 
+// One sweep run: the experiment from the config with the workload seed
+// replaced, everything else identical. No printing (runs execute
+// concurrently); the caller reports the returned metrics in seed order.
+struct SeedMetrics {
+  std::uint64_t seed = 0;
+  harness::RunResult result{};
+  SimTime sim_end = 0;
+  std::uint64_t events_fired = 0;
+};
+
+SeedMetrics RunOneSeed(const ConfigParser& base, std::uint64_t seed) {
+  ConfigParser config = base;
+  config.Set("workload", "seed", std::to_string(seed));
+
+  auto schedule = fault::FaultSchedule::FromConfig(config);
+  if (!schedule.ok()) {
+    std::fprintf(stderr, "fault config error: %s\n",
+                 schedule.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  harness::TestbedConfig bed_cfg;
+  bed_cfg.dservers = static_cast<int>(config.IntOr("cluster", "dservers", 8));
+  bed_cfg.cservers = static_cast<int>(config.IntOr("cluster", "cservers", 4));
+  bed_cfg.stripe_size = config.SizeOr("cluster", "stripe", 64 * KiB);
+  harness::Testbed bed(bed_cfg);
+
+  const std::string mw_type = config.StringOr("middleware", "type", "s4d");
+  std::unique_ptr<core::S4DCache> s4d;
+  mpiio::IoDispatch* dispatch = &bed.stock();
+  if (mw_type == "s4d") {
+    core::S4DConfig cfg;
+    cfg.cache_capacity =
+        config.SizeOr("middleware", "cache_capacity", 128 * MiB);
+    const std::string policy =
+        config.StringOr("middleware", "policy", "cost-model");
+    cfg.policy = policy == "always" ? core::AdmissionPolicy::kAlways
+                 : policy == "never" ? core::AdmissionPolicy::kNever
+                                     : core::AdmissionPolicy::kCostModel;
+    cfg.rebuilder.interval =
+        config.DurationOr("middleware", "rebuild_interval", FromMillis(100));
+    cfg.rebuilder.io_timeout = config.DurationOr(
+        "middleware", "io_timeout",
+        schedule->empty() ? SimTime{0} : FromSeconds(5));
+    s4d = bed.MakeS4D(cfg);
+    dispatch = s4d.get();
+  } else if (mw_type != "stock") {
+    std::fprintf(stderr, "unknown middleware type: %s\n", mw_type.c_str());
+    std::exit(1);
+  }
+
+  fault::FaultInjector injector(bed.engine(), bed.dservers(), bed.cservers(),
+                                s4d.get());
+  if (!schedule->empty()) injector.Arm(*schedule);
+
+  mpiio::MpiIoLayer layer(bed.engine(), *dispatch);
+  auto settle = [&] {
+    if (!s4d) return;
+    harness::DrainUntil(bed.engine(), [&] { return s4d->BackgroundQuiescent(); },
+                        FromSeconds(3600));
+  };
+  if (config.StringOr("workload", "kind", "write") == "read") {
+    ConfigParser write_config = config;
+    write_config.Set("workload", "kind", "write");
+    auto writer = MakeWorkload(write_config);
+    harness::RunClosedLoop(layer, *writer);
+    settle();
+    auto cold_reader = MakeWorkload(config);
+    harness::RunClosedLoop(layer, *cold_reader);
+    settle();
+  }
+
+  auto workload = MakeWorkload(config);
+  SeedMetrics metrics;
+  metrics.seed = seed;
+  const int repeat = static_cast<int>(config.IntOr("workload", "repeat", 1));
+  for (int pass = 0; pass < repeat; ++pass) {
+    workload->Reset();
+    metrics.result = harness::RunClosedLoop(layer, *workload);
+  }
+  metrics.sim_end = bed.engine().now();
+  metrics.events_fired = bed.engine().events_fired();
+  return metrics;
+}
+
+int RunSweep(const ConfigParser& config, int seeds, int jobs) {
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(config.IntOr("workload", "seed", 42));
+  // The banner deliberately omits the jobs count: sweep output is
+  // byte-identical for any --jobs value, and keeping the execution detail
+  // out of it lets callers diff runs directly.
+  std::printf("sweep: %d seeds (base %llu)\n\n", seeds,
+              static_cast<unsigned long long>(base));
+  const auto results = harness::RunSweep<SeedMetrics>(
+      seeds, jobs, base,
+      [&](const harness::SweepJob& job) { return RunOneSeed(config, job.seed); });
+
+  TablePrinter table({"seed", "MB/s", "requests", "mean latency (us)",
+                      "sim end (ms)", "events"});
+  double sum = 0.0, lo = 0.0, hi = 0.0;
+  for (const SeedMetrics& m : results) {
+    table.AddRow({TablePrinter::Int(static_cast<std::int64_t>(m.seed)),
+                  TablePrinter::Num(m.result.throughput_mbps, 2),
+                  TablePrinter::Int(m.result.requests),
+                  TablePrinter::Num(m.result.mean_latency_us, 1),
+                  TablePrinter::Num(ToMillis(m.sim_end), 1),
+                  TablePrinter::Int(static_cast<std::int64_t>(m.events_fired))});
+    const double t = m.result.throughput_mbps;
+    sum += t;
+    if (m.seed == base || t < lo) lo = t;
+    if (m.seed == base || t > hi) hi = t;
+  }
+  table.Print(std::cout);
+  std::printf("\naggregate: mean %.2f MB/s, min %.2f, max %.2f over %d seeds\n",
+              sum / static_cast<double>(seeds), lo, hi, seeds);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -483,6 +609,8 @@ int main(int argc, char** argv) {
     std::string value;
   };
   std::vector<Override> overrides;
+  int sweep_seeds = 0;
+  int jobs = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto flag_value = [&arg](const char* prefix) -> std::optional<std::string> {
@@ -496,6 +624,15 @@ int main(int argc, char** argv) {
       overrides.push_back({"obs", "metrics_out", *v});
     } else if (auto v = flag_value("--sample-interval=")) {
       overrides.push_back({"obs", "sample_interval", *v});
+    } else if (auto v = flag_value("--sweep-seeds=")) {
+      sweep_seeds = static_cast<int>(std::strtol(v->c_str(), nullptr, 10));
+      if (sweep_seeds < 1) {
+        std::fprintf(stderr, "--sweep-seeds wants a positive count\n");
+        return 1;
+      }
+    } else if (auto v = flag_value("--jobs=")) {
+      jobs = static_cast<int>(std::strtol(v->c_str(), nullptr, 10));
+      if (jobs < 1) jobs = 1;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 1;
@@ -520,5 +657,6 @@ int main(int argc, char** argv) {
   }
   // CLI flags override the config file.
   for (const Override& o : overrides) config.Set(o.section, o.key, o.value);
+  if (sweep_seeds > 0) return RunSweep(config, sweep_seeds, jobs);
   return Run(config);
 }
