@@ -1,0 +1,16 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace s4d::check_internal {
+
+void CheckFail(const char* file, int line, const char* cond,
+               const std::string& message) {
+  std::fprintf(stderr, "%s:%d: S4D_CHECK(%s) failed%s%s\n", file, line, cond,
+               message.empty() ? "" : ": ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace s4d::check_internal

@@ -1,0 +1,84 @@
+// Runtime invariant checks: S4D_CHECK and S4D_DCHECK.
+//
+// S4D_CHECK(cond) aborts with "file:line: S4D_CHECK(cond) failed" when the
+// condition is false, in every build type — use it for load-bearing
+// invariants whose violation means the simulation state is corrupt and any
+// further output would be garbage. Extra context streams onto the macro:
+//
+//   S4D_CHECK(used + free == capacity)
+//       << "used=" << used << " free=" << free;
+//
+// The streamed operands are evaluated only on failure, so a passing check
+// costs one branch.
+//
+// S4D_DCHECK(cond) is S4D_CHECK in debug builds (!NDEBUG) and compiles to
+// nothing in release builds (the condition is parsed but never evaluated) —
+// use it for hot-path pre/postconditions that are too expensive or too
+// numerous to keep in the bench-facing binaries.
+//
+// AuditInvariants() methods across the codebase are built from S4D_CHECK so
+// that a paranoid run (-DS4D_PARANOID=ON, see CMakePresets.json) dies loudly
+// at the first inconsistent structure rather than ticking on with drifted
+// accounting.
+#pragma once
+
+#include <sstream>
+
+namespace s4d::check_internal {
+
+// Prints "file:line: S4D_CHECK(cond) failed: msg" to stderr and aborts.
+[[noreturn]] void CheckFail(const char* file, int line, const char* cond,
+                            const std::string& message);
+
+// Constructed only on the failure path; the destructor reports and aborts.
+class FailureStream {
+ public:
+  FailureStream(const char* file, int line, const char* cond)
+      : file_(file), line_(line), cond_(cond) {}
+  FailureStream(const FailureStream&) = delete;
+  FailureStream& operator=(const FailureStream&) = delete;
+  [[noreturn]] ~FailureStream() { CheckFail(file_, line_, cond_, out_.str()); }
+
+  template <typename T>
+  FailureStream& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* cond_;
+  std::ostringstream out_;
+};
+
+// `Voidify() & stream` swallows the stream expression into void so the
+// ternary in S4D_CHECK has matching operand types. `&` binds looser than
+// `<<`, so every streamed operand attaches to the FailureStream first.
+struct Voidify {
+  void operator&(FailureStream&) {}
+  void operator&(FailureStream&&) {}
+};
+
+}  // namespace s4d::check_internal
+
+// The `cond ? void : stream` shape keeps the success path free of any
+// object construction and lets callers chain `<< context`.
+#define S4D_CHECK(cond)                               \
+  (cond) ? (void)0                                    \
+         : ::s4d::check_internal::Voidify() &         \
+               ::s4d::check_internal::FailureStream(  \
+                   __FILE__, __LINE__, #cond)
+
+#ifndef NDEBUG
+#define S4D_DCHECK(cond) S4D_CHECK(cond)
+#else
+// `true || (cond)` keeps the condition (and its captures) compiled and
+// odr-used without evaluating it, so release builds get zero cost and no
+// unused-variable warnings.
+#define S4D_DCHECK(cond)                              \
+  (true || (cond)) ? (void)0                          \
+                   : ::s4d::check_internal::Voidify() &         \
+                         ::s4d::check_internal::FailureStream(  \
+                             __FILE__, __LINE__, #cond)
+#endif

@@ -1,6 +1,6 @@
 #include "core/cache_space.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace s4d::core {
 
@@ -9,8 +9,9 @@ CacheSpaceAllocator::CacheSpaceAllocator(byte_count capacity,
     : capacity_(capacity),
       free_bytes_(capacity),
       spread_granularity_(spread_granularity) {
-  assert(capacity >= 0);
-  assert(spread_granularity >= 0);
+  S4D_CHECK(capacity >= 0) << "negative cache capacity " << capacity;
+  S4D_CHECK(spread_granularity >= 0)
+      << "negative spread granularity " << spread_granularity;
   if (capacity > 0) free_.emplace(0, capacity);
 }
 
@@ -37,7 +38,7 @@ std::optional<byte_count> CacheSpaceAllocator::AllocateAtOrAfter(
 }
 
 std::optional<byte_count> CacheSpaceAllocator::Allocate(byte_count size) {
-  assert(size > 0);
+  S4D_CHECK(size > 0) << "allocating " << size << " bytes";
   const byte_count from = spread_granularity_ > 0 ? hint_ : 0;
   auto offset = AllocateAtOrAfter(from, size);
   if (!offset && from > 0) offset = AllocateAtOrAfter(0, size);  // wrap
@@ -47,11 +48,12 @@ std::optional<byte_count> CacheSpaceAllocator::Allocate(byte_count size) {
     hint_ = (*offset + std::max(size, spread_granularity_)) % capacity_;
     hint_ = hint_ / spread_granularity_ * spread_granularity_;
   }
+  MaybeAudit();
   return offset;
 }
 
 bool CacheSpaceAllocator::Reserve(byte_count offset, byte_count size) {
-  assert(size > 0);
+  S4D_CHECK(size > 0) << "reserving " << size << " bytes";
   if (offset < 0 || offset + size > capacity_) return false;
   auto it = free_.upper_bound(offset);
   if (it == free_.begin()) return false;
@@ -64,18 +66,26 @@ bool CacheSpaceAllocator::Reserve(byte_count offset, byte_count size) {
   if (extent_begin < offset) free_.emplace(extent_begin, offset);
   if (offset + size < extent_end) free_.emplace(offset + size, extent_end);
   free_bytes_ -= size;
+  MaybeAudit();
   return true;
 }
 
 void CacheSpaceAllocator::Free(byte_count offset, byte_count size) {
-  assert(size > 0);
-  assert(offset >= 0 && offset + size <= capacity_);
+  S4D_CHECK(size > 0) << "freeing " << size << " bytes";
+  S4D_CHECK(offset >= 0 && offset + size <= capacity_)
+      << "freeing [" << offset << ", " << offset + size
+      << ") outside capacity " << capacity_;
   auto next = free_.lower_bound(offset);
-  // Double-free / overlap checks.
-  assert(next == free_.end() || offset + size <= next->first);
+  // Double-free / overlap checks: the freed range must not intersect any
+  // extent already in the free pool.
+  S4D_CHECK(next == free_.end() || offset + size <= next->first)
+      << "double free: [" << offset << ", " << offset + size
+      << ") overlaps free extent at " << next->first;
   if (next != free_.begin()) {
     auto prev = std::prev(next);
-    assert(prev->second <= offset && "freeing range overlapping free extent");
+    S4D_CHECK(prev->second <= offset)
+        << "double free: [" << offset << ", " << offset + size
+        << ") overlaps free extent ending at " << prev->second;
     if (prev->second == offset) {
       // Coalesce with predecessor.
       prev->second = offset + size;
@@ -84,6 +94,7 @@ void CacheSpaceAllocator::Free(byte_count offset, byte_count size) {
         prev->second = next->second;
         free_.erase(next);
       }
+      MaybeAudit();
       return;
     }
   }
@@ -94,6 +105,39 @@ void CacheSpaceAllocator::Free(byte_count offset, byte_count size) {
   }
   free_.emplace(offset, end);
   free_bytes_ += size;
+  MaybeAudit();
+}
+
+void CacheSpaceAllocator::AuditInvariants() const {
+  byte_count total_free = 0;
+  byte_count prev_end = 0;
+  bool first = true;
+  for (const auto& [begin, end] : free_) {
+    S4D_CHECK(begin >= 0 && end <= capacity_)
+        << "free extent [" << begin << ", " << end << ") outside capacity "
+        << capacity_;
+    S4D_CHECK(end > begin)
+        << "empty/negative free extent [" << begin << ", " << end << ")";
+    S4D_CHECK(first || begin > prev_end)
+        << "free extents not disjoint/coalesced: previous ends at "
+        << prev_end << ", next begins at " << begin;
+    total_free += end - begin;
+    prev_end = end;
+    first = false;
+  }
+  S4D_CHECK(total_free == free_bytes_)
+      << "free_bytes counter " << free_bytes_ << " != recomputed "
+      << total_free << " (used " << used_bytes() << " + free " << free_bytes_
+      << " must equal capacity " << capacity_ << ")";
+}
+
+bool CacheSpaceAllocator::IsAllocated(byte_count offset,
+                                      byte_count size) const {
+  if (size <= 0 || offset < 0 || offset + size > capacity_) return false;
+  auto it = free_.lower_bound(offset);
+  if (it != free_.end() && it->first < offset + size) return false;
+  if (it != free_.begin() && std::prev(it)->second > offset) return false;
+  return true;
 }
 
 byte_count CacheSpaceAllocator::largest_free_extent() const {

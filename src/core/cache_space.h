@@ -37,13 +37,35 @@ class CacheSpaceAllocator {
   // an allocation are allowed and coalesce).
   void Free(byte_count offset, byte_count size);
 
+  // True iff [offset, offset+size) lies inside the capacity and intersects
+  // no free extent — i.e. every byte of it is currently allocated. Used by
+  // the cross-structure audit to prove each DMT extent owns its cache
+  // bytes. O(log free extents).
+  bool IsAllocated(byte_count offset, byte_count size) const;
+
   byte_count capacity() const { return capacity_; }
   byte_count free_bytes() const { return free_bytes_; }
   byte_count used_bytes() const { return capacity_ - free_bytes_; }
   byte_count largest_free_extent() const;
   std::size_t free_extent_count() const { return free_.size(); }
 
+  // S4D_CHECKs the free-list invariants: extents inside [0, capacity),
+  // positive length, sorted, pairwise disjoint with no coalescible
+  // neighbours, and the free_bytes counter equal to the recomputed sum (so
+  // used + free == capacity holds by construction). O(free extents).
+  // Paranoid builds run it after every mutation; tests call it directly.
+  void AuditInvariants() const;
+
  private:
+  friend struct CacheSpaceTestPeer;  // corruption injection in test_invariants
+
+  // Paranoid-build hook (O(free extents) is cheap enough to run every time).
+#ifdef S4D_PARANOID
+  void MaybeAudit() const { AuditInvariants(); }
+#else
+  void MaybeAudit() const {}
+#endif
+
   // First-fit scan over free extents, considering only offsets >= `from`.
   std::optional<byte_count> AllocateAtOrAfter(byte_count from,
                                               byte_count size);

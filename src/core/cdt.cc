@@ -1,5 +1,9 @@
 #include "core/cdt.h"
 
+#include <unordered_set>
+
+#include "common/check.h"
+
 namespace s4d::core {
 
 bool CriticalDataTable::Add(const CdtKey& key) {
@@ -14,6 +18,7 @@ bool CriticalDataTable::Add(const CdtKey& key) {
     insertion_order_.pop_front();
     ++evictions_;
   }
+  MaybeAudit();
   return true;
 }
 
@@ -24,6 +29,7 @@ bool CriticalDataTable::SetCacheFlag(const CdtKey& key) {
     it->second.c_flag = true;
     flagged_.push_back(key);
   }
+  MaybeAudit();
   return true;
 }
 
@@ -61,6 +67,35 @@ std::vector<CdtKey> CriticalDataTable::PendingFetches(std::size_t limit) {
     ++scanned;
   }
   return out;
+}
+
+void CriticalDataTable::AuditInvariants() const {
+  S4D_CHECK(max_entries_ == 0 || entries_.size() <= max_entries_)
+      << "CDT holds " << entries_.size() << " entries, bound is "
+      << max_entries_;
+  // Add() pushes each key exactly once and eviction pops it, so the FIFO
+  // holds exactly the live keys.
+  S4D_CHECK(insertion_order_.size() == entries_.size())
+      << "CDT FIFO holds " << insertion_order_.size() << " keys for "
+      << entries_.size() << " entries";
+  for (const CdtKey& key : insertion_order_) {
+    S4D_CHECK(entries_.find(key) != entries_.end())
+        << "CDT FIFO key " << key.file << ":" << key.offset << "+"
+        << key.length << " not in the table";
+  }
+  // flagged_ is pruned lazily, so stale keys are fine — but every live
+  // C_flag must be queued or the Rebuilder will never fetch it.
+  std::unordered_set<const CdtKey*> queued;
+  queued.reserve(flagged_.size());
+  for (const CdtKey& key : flagged_) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) queued.insert(&it->first);
+  }
+  for (const auto& [key, info] : entries_) {
+    S4D_CHECK(!info.c_flag || queued.count(&key) > 0)
+        << "C_flagged entry " << key.file << ":" << key.offset << "+"
+        << key.length << " missing from the fetch queue";
+  }
 }
 
 }  // namespace s4d::core

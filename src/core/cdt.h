@@ -73,7 +73,26 @@ class CriticalDataTable {
   std::size_t size() const { return entries_.size(); }
   std::int64_t evictions() const { return evictions_; }
 
+  // S4D_CHECKs the table's bookkeeping: the entry count within the bound,
+  // the FIFO holding exactly the live keys (so eviction order is
+  // well-defined), and every C_flagged entry present in the fetch queue —
+  // a flagged entry outside it would never be fetched by the Rebuilder.
+  // O(entries + queued). Paranoid builds run it every few mutations; tests
+  // call it directly.
+  void AuditInvariants() const;
+
  private:
+  // Paranoid-build hook (stride keeps the fuzz suites from going
+  // quadratic; the stride counter is deterministic).
+#ifdef S4D_PARANOID
+  void MaybeAudit() const {
+    if ((++audit_tick_ & 7) == 0) AuditInvariants();
+  }
+  mutable std::uint64_t audit_tick_ = 0;
+#else
+  void MaybeAudit() const {}
+#endif
+
   struct Info {
     bool c_flag = false;
   };

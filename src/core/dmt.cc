@@ -1,8 +1,9 @@
 #include "core/dmt.h"
 
-#include <cassert>
 #include <charconv>
 #include <cstdio>
+
+#include "common/check.h"
 
 namespace s4d::core {
 
@@ -58,8 +59,7 @@ void DataMappingTable::PersistEntry(std::uint32_t file_index,
                 entry.dirty ? 1 : 0,
                 static_cast<unsigned long long>(entry.version));
   const Status s = store_->Put(RecordKey(file_names_[file_index], begin), value);
-  assert(s.ok());
-  (void)s;
+  S4D_CHECK(s.ok()) << "DMT write-through failed: " << s.ToString();
 }
 
 void DataMappingTable::ErasePersisted(std::uint32_t file_index,
@@ -109,6 +109,9 @@ Status DataMappingTable::LoadFromStore() {
     if (entry.dirty) dirty_bytes_ += entry.end - begin;
     IndexLru(file_index, begin, it->second);
   }
+#ifdef S4D_PARANOID
+  AuditInvariants();
+#endif
   return Status::Ok();
 }
 
@@ -188,7 +191,7 @@ void DataMappingTable::SplitAt(std::uint32_t file_index, byte_count pos) {
   it->second.end = pos;
   PersistEntry(file_index, it->first, it->second);
   auto [new_it, inserted] = map.emplace(pos, right);
-  assert(inserted);
+  S4D_CHECK(inserted) << "split position " << pos << " already a boundary";
   IndexLru(file_index, pos, new_it->second);
   PersistEntry(file_index, pos, new_it->second);
 }
@@ -196,14 +199,16 @@ void DataMappingTable::SplitAt(std::uint32_t file_index, byte_count pos) {
 void DataMappingTable::Insert(const std::string& file, byte_count offset,
                               byte_count size, byte_count cache_offset,
                               bool dirty) {
-  assert(size > 0);
+  S4D_CHECK(size > 0) << "inserting empty mapping for " << file;
   InvalidateHint();
   const std::uint32_t file_index = InternFile(file);
   FileMap& map = files_[file_index];
 #ifndef NDEBUG
   {
     const DmtLookup existing = Lookup(file, offset, size);
-    assert(existing.mapped.empty() && "Insert over an existing mapping");
+    S4D_CHECK(existing.mapped.empty())
+        << "Insert over an existing mapping: " << file << " [" << offset
+        << ", " << offset + size << ")";
   }
 #endif
   Entry entry;
@@ -212,11 +217,13 @@ void DataMappingTable::Insert(const std::string& file, byte_count offset,
   entry.dirty = dirty;
   entry.version = next_version_++;
   auto [it, inserted] = map.emplace(offset, entry);
-  assert(inserted);
+  S4D_CHECK(inserted) << "mapping already begins at " << offset << " in "
+                      << file;
   IndexLru(file_index, offset, it->second);
   PersistEntry(file_index, offset, it->second);
   mapped_bytes_ += size;
   if (dirty) dirty_bytes_ += size;
+  MaybeAudit();
 }
 
 std::vector<RemovedExtent> DataMappingTable::Invalidate(
@@ -235,7 +242,7 @@ std::vector<RemovedExtent> DataMappingTable::Invalidate(
   FileMap& map = files_[file_index];
   auto it = map.lower_bound(offset);
   while (it != map.end() && it->first < end) {
-    assert(it->second.end <= end);
+    S4D_DCHECK(it->second.end <= end);
     RemovedExtent ext;
     ext.file = file;
     ext.orig_begin = it->first;
@@ -250,6 +257,7 @@ std::vector<RemovedExtent> DataMappingTable::Invalidate(
     ErasePersisted(file_index, it->first);
     it = map.erase(it);
   }
+  MaybeAudit();
   return removed;
 }
 
@@ -276,6 +284,7 @@ void DataMappingTable::SetDirty(const std::string& file, byte_count offset,
     if (dirty) entry.version = next_version_++;
     PersistEntry(file_index, it->first, entry);
   }
+  MaybeAudit();
 }
 
 void DataMappingTable::Touch(const std::string& file, byte_count offset,
@@ -294,6 +303,7 @@ void DataMappingTable::Touch(const std::string& file, byte_count offset,
     UnindexLru(it->second);
     IndexLru(idx_it->second, it->first, it->second);
   }
+  MaybeAudit();
 }
 
 std::optional<RemovedExtent> DataMappingTable::EvictLruClean() {
@@ -303,8 +313,9 @@ std::optional<RemovedExtent> DataMappingTable::EvictLruClean() {
     const LruRef ref = lru_it->second;
     FileMap& map = files_[ref.file_index];
     auto it = map.find(ref.begin);
-    assert(it != map.end() && it->second.lru_seq == lru_it->first &&
-           "LRU index out of sync");
+    S4D_CHECK(it != map.end() && it->second.lru_seq == lru_it->first)
+        << "LRU index out of sync for " << file_names_[ref.file_index]
+        << " at " << ref.begin;
     if (it->second.dirty) continue;  // only clean space is reclaimable
 
     RemovedExtent ext;
@@ -318,6 +329,7 @@ std::optional<RemovedExtent> DataMappingTable::EvictLruClean() {
     lru_index_.erase(lru_it);
     ErasePersisted(ref.file_index, it->first);
     map.erase(it);
+    MaybeAudit();
     return ext;
   }
   return std::nullopt;
@@ -330,7 +342,7 @@ std::vector<DirtyRange> DataMappingTable::CollectDirty(
     if (out.size() >= max_ranges) break;
     const FileMap& map = files_[ref.file_index];
     auto it = map.find(ref.begin);
-    assert(it != map.end());
+    S4D_DCHECK(it != map.end());
     if (!it->second.dirty) continue;
     DirtyRange range;
     range.file = file_names_[ref.file_index];
@@ -398,6 +410,7 @@ bool DataMappingTable::MarkCleanIfVersion(const std::string& file,
   it->second.dirty = false;
   dirty_bytes_ -= end - begin;
   PersistEntry(idx_it->second, begin, it->second);
+  MaybeAudit();
   return true;
 }
 
@@ -416,6 +429,50 @@ std::vector<RemovedExtent> DataMappingTable::AllExtents() const {
     }
   }
   return out;
+}
+
+void DataMappingTable::AuditInvariants() const {
+  S4D_CHECK(files_.size() == file_names_.size());
+  S4D_CHECK(file_index_.size() == file_names_.size());
+  byte_count mapped = 0;
+  byte_count dirty = 0;
+  std::size_t entries = 0;
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    byte_count prev_end = 0;
+    bool first = true;
+    for (const auto& [begin, entry] : files_[i]) {
+      S4D_CHECK(entry.end > begin)
+          << "empty/negative extent [" << begin << ", " << entry.end
+          << ") in " << file_names_[i];
+      S4D_CHECK(first || begin >= prev_end)
+          << "overlapping extents in " << file_names_[i] << ": previous ends "
+          << prev_end << ", next begins " << begin;
+      S4D_CHECK(entry.cache_offset >= 0);
+      S4D_CHECK(entry.version < next_version_)
+          << "version " << entry.version << " >= allocator cursor "
+          << next_version_;
+      const auto lru = lru_index_.find(entry.lru_seq);
+      S4D_CHECK(lru != lru_index_.end())
+          << "extent at " << begin << " in " << file_names_[i]
+          << " missing from the LRU index";
+      S4D_CHECK(lru->second.file_index == i && lru->second.begin == begin)
+          << "LRU index points elsewhere for extent at " << begin;
+      mapped += entry.end - begin;
+      if (entry.dirty) dirty += entry.end - begin;
+      ++entries;
+      prev_end = entry.end;
+      first = false;
+    }
+  }
+  S4D_CHECK(entries == lru_index_.size())
+      << "LRU index holds " << lru_index_.size() << " refs for " << entries
+      << " extents";
+  S4D_CHECK(mapped == mapped_bytes_)
+      << "mapped_bytes counter " << mapped_bytes_ << " != recomputed "
+      << mapped;
+  S4D_CHECK(dirty == dirty_bytes_)
+      << "dirty_bytes counter " << dirty_bytes_ << " != recomputed " << dirty;
+  S4D_CHECK(!hint_valid_ || hint_file_ < files_.size());
 }
 
 std::size_t DataMappingTable::entry_count() const {

@@ -134,11 +134,22 @@ class DataMappingTable {
   byte_count mapped_bytes() const;
   byte_count dirty_bytes() const;
 
+  // Walks the whole table and S4D_CHECKs the representation invariants:
+  // per-file extents sorted and non-overlapping with positive length, the
+  // mapped/dirty byte counters equal to the recomputed sums, every entry
+  // indexed by the LRU map (and vice versa), and versions below the
+  // allocator cursor. O(entries); aborts with the violated invariant on
+  // failure. Paranoid builds (-DS4D_PARANOID=ON) run it automatically every
+  // few mutations; tests call it directly.
+  void AuditInvariants() const;
+
   // Serialized size of one persisted record; reported by bench_metadata to
   // reproduce the §V-E.1 space-overhead estimate.
   static std::size_t ApproxRecordBytes() { return 6 * 4; }
 
  private:
+  friend struct DmtTestPeer;  // corruption injection in test_invariants
+
   struct Entry {
     byte_count end = 0;           // exclusive
     byte_count cache_offset = 0;  // of the entry's begin
@@ -176,6 +187,18 @@ class DataMappingTable {
   void PersistEntry(std::uint32_t file_index, byte_count begin,
                     const Entry& entry);
   void ErasePersisted(std::uint32_t file_index, byte_count begin);
+
+  // Paranoid-build hook: audits every 8th mutation (deterministic stride —
+  // the full walk after every mutation would make the fuzz suites
+  // quadratic).
+#ifdef S4D_PARANOID
+  void MaybeAudit() const {
+    if ((++audit_tick_ & 7) == 0) AuditInvariants();
+  }
+  mutable std::uint64_t audit_tick_ = 0;
+#else
+  void MaybeAudit() const {}
+#endif
 
   kv::KvStore* store_;
   // Last-hit lookup hint; points at a dereferenceable entry of

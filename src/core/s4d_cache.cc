@@ -1,7 +1,8 @@
 #include "core/s4d_cache.h"
 
-#include <cassert>
+#include <algorithm>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace s4d::core {
@@ -151,7 +152,7 @@ void S4DCache::StampPlanContent(const mpiio::FileRequest& request,
 
 void S4DCache::Execute(device::IoKind kind, const mpiio::FileRequest& request,
                        const RoutingPlan& plan, mpiio::IoCompletion done) {
-  assert(!plan.segments.empty());
+  S4D_DCHECK(!plan.segments.empty());
 
   // Routing accounting (Table III): a request counts toward the side that
   // serves it; split requests count toward both plus the split counter.
@@ -273,7 +274,8 @@ void S4DCache::Execute(device::IoKind kind, const mpiio::FileRequest& request,
 
 void S4DCache::Write(const mpiio::FileRequest& request,
                      mpiio::IoCompletion done) {
-  assert(request.size > 0);
+  S4D_CHECK(request.size > 0) << "zero-size write on " << request.file;
+  MaybeAudit();
   const bool critical =
       identifier_.Identify(request.file, request.rank, device::IoKind::kWrite,
                            request.offset, request.size);
@@ -285,7 +287,8 @@ void S4DCache::Write(const mpiio::FileRequest& request,
 
 void S4DCache::Read(const mpiio::FileRequest& request,
                     mpiio::IoCompletion done) {
-  assert(request.size > 0);
+  S4D_CHECK(request.size > 0) << "zero-size read on " << request.file;
+  MaybeAudit();
   const bool critical =
       identifier_.Identify(request.file, request.rank, device::IoKind::kRead,
                            request.offset, request.size);
@@ -450,6 +453,53 @@ std::vector<mpiio::ContentEntry> S4DCache::ReadContent(const std::string& file,
               return a.begin < b.begin;
             });
   return out;
+}
+
+void S4DCache::AuditInvariants(bool expect_quiescent) const {
+  dmt_.AuditInvariants();
+  space_.AuditInvariants();
+  cdt_.AuditInvariants();
+
+  // Every mapping owns its cache bytes, and no two mappings share any.
+  std::vector<RemovedExtent> extents = dmt_.AllExtents();
+  for (const RemovedExtent& ext : extents) {
+    S4D_CHECK(space_.IsAllocated(ext.cache_offset, ext.length()))
+        << "DMT extent " << ext.file << " [" << ext.orig_begin << ", "
+        << ext.orig_end << ") maps cache range [" << ext.cache_offset << ", "
+        << ext.cache_offset + ext.length() << ") that is (partly) free";
+  }
+  std::sort(extents.begin(), extents.end(),
+            [](const RemovedExtent& a, const RemovedExtent& b) {
+              return a.cache_offset < b.cache_offset;
+            });
+  for (std::size_t i = 1; i < extents.size(); ++i) {
+    const RemovedExtent& prev = extents[i - 1];
+    const RemovedExtent& cur = extents[i];
+    S4D_CHECK(prev.cache_offset + prev.length() <= cur.cache_offset)
+        << "DMT extents share cache bytes: " << prev.file << " ["
+        << prev.orig_begin << ", " << prev.orig_end << ") and " << cur.file
+        << " [" << cur.orig_begin << ", " << cur.orig_end << ") overlap at "
+        << cur.cache_offset;
+  }
+
+  // The allocator covers at least the mapped bytes; the slack is space
+  // allocated for in-flight Rebuilder fetches whose mappings land on I/O
+  // completion, which a quiescent cache must have none of.
+  S4D_CHECK(space_.used_bytes() >= dmt_.mapped_bytes())
+      << "allocator used " << space_.used_bytes()
+      << " bytes < mapped " << dmt_.mapped_bytes();
+  if (expect_quiescent) {
+    S4D_CHECK(space_.used_bytes() == dmt_.mapped_bytes())
+        << "quiescent cache leaks space: used " << space_.used_bytes()
+        << " != mapped " << dmt_.mapped_bytes();
+  }
+
+  const IdentifierStats& ident = identifier_.stats();
+  S4D_CHECK(ident.critical <= ident.requests)
+      << ident.critical << " critical of " << ident.requests << " requests";
+  S4D_CHECK(ident.cdt_inserts <= ident.critical)
+      << ident.cdt_inserts << " CDT inserts of " << ident.critical
+      << " critical decisions";
 }
 
 }  // namespace s4d::core

@@ -174,7 +174,28 @@ class S4DCache final : public mpiio::IoDispatch {
            rebuilder_.idle();
   }
 
+  // Cross-structure audit: runs the DMT / cache-space / CDT audits, then
+  // S4D_CHECKs that the structures agree — every DMT extent's cache range
+  // is allocated and pairwise disjoint from the others, and the allocator's
+  // used bytes cover the mapped bytes. In-flight Rebuilder work (space
+  // allocated for a fetch whose mapping lands on I/O completion) keeps
+  // used > mapped transiently, so the exact used == mapped equality is only
+  // enforced with `expect_quiescent` (no foreground ops in flight and
+  // BackgroundQuiescent()). O(extents log extents). Paranoid builds run the
+  // non-quiescent form every 64 foreground requests.
+  void AuditInvariants(bool expect_quiescent = false) const;
+
  private:
+  // Paranoid-build hook for the foreground entry points.
+#ifdef S4D_PARANOID
+  void MaybeAudit() const {
+    if ((++audit_tick_ & 63) == 0) AuditInvariants();
+  }
+  mutable std::uint64_t audit_tick_ = 0;
+#else
+  void MaybeAudit() const {}
+#endif
+
   void Execute(device::IoKind kind, const mpiio::FileRequest& request,
                const RoutingPlan& plan, mpiio::IoCompletion done);
   void StampPlanContent(const mpiio::FileRequest& request,

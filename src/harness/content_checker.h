@@ -20,7 +20,7 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/interval_map.h"
@@ -59,9 +59,11 @@ class ContentChecker {
   const std::string& first_failure() const { return first_failure_; }
 
  private:
-  std::unordered_map<std::string, IntervalMap<std::uint64_t>> reference_;
+  // Sorted so CheckAll() visits files in a deterministic order (the first
+  // recorded failure message depends on it).
+  std::map<std::string, IntervalMap<std::uint64_t>> reference_;
   // Ranges reported lost, per file (token value unused — presence only).
-  std::unordered_map<std::string, IntervalMap<std::uint64_t>> maybe_lost_;
+  std::map<std::string, IntervalMap<std::uint64_t>> maybe_lost_;
   std::uint64_t next_token_ = 1;
   std::int64_t checks_ = 0;
   std::int64_t failures_ = 0;

@@ -1,7 +1,8 @@
 #include "harness/driver.h"
 
-#include <cassert>
 #include <vector>
+
+#include "common/check.h"
 
 namespace s4d::harness {
 
@@ -10,7 +11,7 @@ RunResult RunClosedLoop(mpiio::MpiIoLayer& layer,
                         const DriverOptions& options) {
   sim::Engine& engine = layer.engine();
   const int ranks = workload.ranks();
-  assert(ranks >= 1);
+  S4D_CHECK(ranks >= 1) << "workload reports " << ranks << " ranks";
 
   RunResult result;
   result.start = engine.now();
@@ -59,8 +60,9 @@ RunResult RunClosedLoop(mpiio::MpiIoLayer& layer,
 
   while (active > 0) {
     const bool progressed = engine.Step();
-    assert(progressed && "engine drained with ranks still active");
-    if (!progressed) break;
+    S4D_CHECK(progressed)
+        << "engine drained with " << active << " of " << ranks
+        << " ranks still active (deadlocked I/O completion?)";
   }
 
   result.end = engine.now();

@@ -170,7 +170,7 @@ Status KvStore::Put(std::string_view key, std::string_view value) {
     return Status::InvalidArgument("key or value too large");
   }
   if (Status s = AppendRecord(kOpPut, key, value); !s.ok()) return s;
-  auto it = map_.find(std::string(key));
+  auto it = map_.find(key);
   if (it != map_.end()) {
     live_bytes_ -= static_cast<std::int64_t>(kHeaderSize + key.size() +
                                              it->second.size());
@@ -186,7 +186,7 @@ Status KvStore::Put(std::string_view key, std::string_view value) {
 
 Status KvStore::Delete(std::string_view key) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = map_.find(std::string(key));
+  auto it = map_.find(key);
   if (it == map_.end()) return Status::NotFound();
   if (Status s = AppendRecord(kOpDelete, key, ""); !s.ok()) return s;
   live_bytes_ -= static_cast<std::int64_t>(kHeaderSize + key.size() +
@@ -199,14 +199,14 @@ Status KvStore::Delete(std::string_view key) {
 std::optional<std::string> KvStore::Get(std::string_view key) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.gets;
-  auto it = map_.find(std::string(key));
+  auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
   return it->second;
 }
 
 bool KvStore::Contains(std::string_view key) {
   std::lock_guard<std::mutex> lock(mutex_);
-  return map_.find(std::string(key)) != map_.end();
+  return map_.find(key) != map_.end();
 }
 
 std::vector<std::string> KvStore::Keys() {

@@ -21,7 +21,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/status.h"
@@ -93,7 +93,10 @@ class KvStore {
   std::string path_;
   Options options_;
   std::mutex mutex_;
-  std::unordered_map<std::string, std::string> map_;
+  // Sorted (with heterogeneous lookup) so every full iteration — Keys(),
+  // KeysWithPrefix(), compaction — emits records in one deterministic
+  // order regardless of insertion history or hash seed.
+  std::map<std::string, std::string, std::less<>> map_;
   int fd_ = -1;
   std::int64_t log_bytes_ = 0;
   std::int64_t live_bytes_ = 0;

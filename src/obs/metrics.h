@@ -60,7 +60,7 @@ class Histogram {
 
   static int BucketIndex(std::int64_t v) {
     if (v <= 0) return 0;
-    const int w = std::bit_width(static_cast<std::uint64_t>(v));
+    const int w = static_cast<int>(std::bit_width(static_cast<std::uint64_t>(v)));
     return w < kBuckets ? w : kBuckets - 1;
   }
   // Bucket bounds: bucket i covers [BucketLo(i), BucketHi(i)).

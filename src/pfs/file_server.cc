@@ -1,9 +1,10 @@
 #include "pfs/file_server.h"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 #include <vector>
+
+#include "common/check.h"
 
 namespace s4d::pfs {
 
@@ -18,7 +19,7 @@ FileServer::FileServer(sim::Engine& engine,
       background_idle_grace_(background_idle_grace),
       jitter_rng_(std::hash<std::string>{}(name_) | 1),
       fault_rng_(std::hash<std::string>{}(name_) ^ 0xfa01dULL) {
-  assert(device_ != nullptr);
+  S4D_CHECK(device_ != nullptr) << "server " << name_ << " has no device";
 }
 
 void FileServer::SetObservability(obs::Observability* obs,
@@ -58,7 +59,8 @@ void FileServer::FailJob(ServerJob job) {
 }
 
 void FileServer::Submit(ServerJob job) {
-  assert(job.size > 0);
+  S4D_CHECK(job.size > 0)
+      << "server " << name_ << " got a job of " << job.size << " bytes";
   job.enqueued_at = engine_.now();
   if (!up_) {
     // Connection refused: the client learns of the failure after the RPC

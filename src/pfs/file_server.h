@@ -43,7 +43,7 @@ struct ServerJob {
   // Invoked instead of on_complete when the job fails (server crash,
   // injected error). Optional: when null, on_complete fires for failures
   // too, preserving pre-fault-subsystem semantics for legacy callers.
-  std::function<void(SimTime)> on_failure;
+  std::function<void(SimTime)> on_failure = nullptr;
   // Tracing: the request-level span this sub-request belongs to; the
   // server's service span links to it as its parent.
   obs::SpanId parent_span = obs::kNoSpan;

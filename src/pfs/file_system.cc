@@ -1,15 +1,18 @@
 #include "pfs/file_system.h"
 
-#include <cassert>
 #include <memory>
 #include <utility>
+
+#include "common/check.h"
 
 namespace s4d::pfs {
 
 FileSystem::FileSystem(sim::Engine& engine, FsConfig config,
                        DeviceFactory factory)
     : engine_(engine), config_(std::move(config)) {
-  assert(config_.stripe.server_count >= 1);
+  S4D_CHECK(config_.stripe.server_count >= 1)
+      << "file system needs at least one server, got "
+      << config_.stripe.server_count;
   servers_.reserve(static_cast<std::size_t>(config_.stripe.server_count));
   for (int i = 0; i < config_.stripe.server_count; ++i) {
     servers_.push_back(std::make_unique<FileServer>(
@@ -60,8 +63,10 @@ void FileSystem::Submit(FileId file, device::IoKind kind, byte_count offset,
                         std::function<void(SimTime)> on_complete,
                         std::function<void(SimTime)> on_failure,
                         obs::SpanId parent_span) {
-  assert(file >= 0 && static_cast<std::size_t>(file) < file_names_.size());
-  assert(offset >= 0);
+  S4D_CHECK(file >= 0 && static_cast<std::size_t>(file) < file_names_.size())
+      << "I/O on unopened file id " << file << " (" << file_names_.size()
+      << " files open)";
+  S4D_CHECK(offset >= 0) << "negative file offset " << offset;
 
   const auto subs = SplitRequest(config_.stripe, offset, size);
   if (subs.empty()) {
@@ -98,7 +103,8 @@ void FileSystem::Submit(FileId file, device::IoKind kind, byte_count offset,
   state->on_complete = std::move(on_complete);
   state->on_failure = std::move(on_failure);
   auto arrive = [this, state](SimTime t, bool ok) {
-    assert(state->remaining > 0);
+    S4D_DCHECK(state->remaining > 0)
+        << "sub-request completion after the request already finished";
     state->last = std::max(state->last, t);
     if (!ok) state->failed = true;
     if (--state->remaining > 0) return;
@@ -143,7 +149,8 @@ int FileSystem::DownServerCount() const {
 void FileSystem::StampContent(FileId file, byte_count offset, byte_count size,
                               std::uint64_t token) {
   if (!config_.track_content || size <= 0) return;
-  assert(file >= 0 && static_cast<std::size_t>(file) < contents_.size());
+  S4D_CHECK(file >= 0 && static_cast<std::size_t>(file) < contents_.size())
+      << "stamping unopened file id " << file;
   contents_[static_cast<std::size_t>(file)].Assign(offset, offset + size,
                                                    token);
 }
@@ -151,14 +158,16 @@ void FileSystem::StampContent(FileId file, byte_count offset, byte_count size,
 void FileSystem::EraseContent(FileId file, byte_count offset,
                               byte_count size) {
   if (!config_.track_content || size <= 0) return;
-  assert(file >= 0 && static_cast<std::size_t>(file) < contents_.size());
+  S4D_CHECK(file >= 0 && static_cast<std::size_t>(file) < contents_.size())
+      << "erasing content of unopened file id " << file;
   contents_[static_cast<std::size_t>(file)].Erase(offset, offset + size);
 }
 
 std::vector<FileSystem::ContentMap::Entry> FileSystem::ReadContent(
     FileId file, byte_count offset, byte_count size) const {
   if (!config_.track_content || size <= 0) return {};
-  assert(file >= 0 && static_cast<std::size_t>(file) < contents_.size());
+  S4D_CHECK(file >= 0 && static_cast<std::size_t>(file) < contents_.size())
+      << "reading content of unopened file id " << file;
   return contents_[static_cast<std::size_t>(file)].Overlapping(offset,
                                                                offset + size);
 }

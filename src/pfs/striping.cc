@@ -1,15 +1,18 @@
 #include "pfs/striping.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace s4d::pfs {
 
 std::vector<SubRequest> SplitRequest(const StripeConfig& cfg,
                                      byte_count offset, byte_count size) {
-  assert(cfg.server_count >= 1);
-  assert(cfg.stripe_size >= 1);
-  assert(offset >= 0);
+  S4D_CHECK(cfg.server_count >= 1)
+      << "stripe config needs at least one server, got " << cfg.server_count;
+  S4D_CHECK(cfg.stripe_size >= 1)
+      << "stripe size must be positive, got " << cfg.stripe_size;
+  S4D_CHECK(offset >= 0) << "negative file offset " << offset;
   std::vector<SubRequest> out;
   if (size <= 0) return out;
 
@@ -41,7 +44,8 @@ std::vector<SubRequest> SplitRequest(const StripeConfig& cfg,
     }
     // Round-robin placement keeps one file's stripes contiguous per server,
     // so per-server fragments of a contiguous request coalesce exactly.
-    assert(a.local_begin + a.total == local || a.total == 0);
+    S4D_DCHECK(a.local_begin + a.total == local || a.total == 0)
+        << "per-server fragments failed to coalesce at local offset " << local;
     a.total += fragment;
     pos += fragment;
     remaining -= fragment;

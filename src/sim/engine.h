@@ -26,12 +26,12 @@
 //     allocations once the slab and heap vectors are warm.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/check.h"
 #include "common/sim_time.h"
 #include "sim/inline_callback.h"
 
@@ -54,11 +54,12 @@ class Engine {
   // Schedules `fn` at absolute simulated time `t` (>= now).
   template <typename F>
   EventId ScheduleAt(SimTime t, F&& fn) {
-    assert(t >= now_ && "cannot schedule into the past");
+    S4D_DCHECK(t >= now_) << "scheduling into the past: " << t << " < "
+                          << now_;
     std::uint32_t slot;
     if (free_slots_.empty()) {
       slot = static_cast<std::uint32_t>(slot_count_);
-      assert(slot_count_ < kSlotMask && "event slab exhausted");
+      S4D_CHECK(slot_count_ < kSlotMask) << "event slab exhausted";
       if ((slot_count_ & kChunkMask) == 0) {
         chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
       }
@@ -71,6 +72,7 @@ class Engine {
     // Wraps after ~10^12 schedulings. FIFO tie-breaking and stale-entry
     // detection both compare generations, so a wrap is only observable if
     // events separated by a full 2^40 schedulings coexist.
+    if (gen == kMaxGeneration) generation_wrapped_ = true;
     next_generation_ = gen == kMaxGeneration ? 1 : gen + 1;
     Slot& s = SlotRef(slot);
     s.generation = gen;
@@ -88,13 +90,14 @@ class Engine {
       HeapPush(t, id);
     }
     ++live_events_;
+    MaybeAudit();
     return id;
   }
 
   // Schedules `fn` after a non-negative delay from now.
   template <typename F>
   EventId ScheduleAfter(SimTime delay, F&& fn) {
-    assert(delay >= 0);
+    S4D_DCHECK(delay >= 0) << "negative delay " << delay;
     return ScheduleAt(now_ + delay, std::forward<F>(fn));
   }
 
@@ -123,6 +126,7 @@ class Engine {
         ring_head_ = 0;
       }
     }
+    MaybeAudit();
     return true;
   }
 
@@ -193,11 +197,70 @@ class Engine {
   // Test-only: jumps the generation counter (e.g. near kMaxGeneration to
   // exercise wraparound).
   void set_next_generation_for_test(std::uint64_t gen) {
-    assert(gen >= 1 && gen <= kMaxGeneration);
+    S4D_CHECK(gen >= 1 && gen <= kMaxGeneration);
     next_generation_ = gen;
   }
 
+  // S4D_CHECKs the queue structures: the heap property over (time, id)
+  // keys with no ripe entry below now(), slab slot liveness consistent
+  // with the live-event count and the free list, and same-time ring FIFO
+  // order (monotonic generations, skipped once the generation counter has
+  // wrapped). O(slots + heap + ring); paranoid builds run it every 256
+  // schedule/cancel operations, tests call it directly.
+  void AuditInvariants() const {
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+      S4D_CHECK(!Before(heap_[i], heap_[(i - 1) / 2]))
+          << "heap property violated at index " << i;
+    }
+    if (!heap_.empty()) {
+      S4D_CHECK(heap_.front().time >= now_)
+          << "heap top at " << heap_.front().time
+          << " is in the past of now=" << now_;
+    }
+    std::size_t live = 0;
+    for (std::uint32_t slot = 0; slot < slot_count_; ++slot) {
+      const Slot& s = chunks_[slot >> kChunkShift][slot & kChunkMask];
+      if (s.generation != 0) {
+        S4D_CHECK(s.generation <= kMaxGeneration);
+        ++live;
+      }
+    }
+    S4D_CHECK(live == live_events_)
+        << live << " live slab slots but live_events_=" << live_events_;
+    for (const std::uint32_t slot : free_slots_) {
+      S4D_CHECK(slot < slot_count_);
+      S4D_CHECK(chunks_[slot >> kChunkShift][slot & kChunkMask].generation ==
+                0)
+          << "free-listed slot " << slot << " still holds a live generation";
+    }
+    S4D_CHECK(free_slots_.size() + live_events_ <= slot_count_)
+        << free_slots_.size() << " free + " << live_events_
+        << " live exceeds " << slot_count_ << " slots";
+    S4D_CHECK(ring_head_ <= ring_.size());
+    if (!generation_wrapped_) {
+      std::uint64_t prev_gen = 0;
+      for (std::size_t i = ring_head_; i < ring_.size(); ++i) {
+        const std::uint64_t gen = ring_[i] >> kSlotBits;
+        S4D_CHECK(gen > prev_gen)
+            << "ring FIFO order violated at index " << i;
+        prev_gen = gen;
+      }
+    }
+  }
+
  private:
+  // Paranoid-build hook: the audit walks the whole slab, so stride it to
+  // keep event-heavy suites from going quadratic (the tick is
+  // deterministic).
+#ifdef S4D_PARANOID
+  void MaybeAudit() const {
+    if ((++audit_tick_ & 255) == 0) AuditInvariants();
+  }
+  mutable std::uint64_t audit_tick_ = 0;
+#else
+  void MaybeAudit() const {}
+#endif
+
   // 4096 slots x 64 bytes = 256 KiB per chunk.
   static constexpr std::uint32_t kChunkShift = 12;
   static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
@@ -254,12 +317,13 @@ class Engine {
     // address stable even if the callback grows the slab.
     s.generation = 0;
     --live_events_;
-    assert(t >= now_);
+    S4D_DCHECK(t >= now_) << "firing at " << t << " before now=" << now_;
     now_ = t;
     ++events_fired_;
     s.fn();
     s.fn = InlineCallback();
     free_slots_.push_back(slot);
+    MaybeAudit();
     return true;
   }
 
@@ -309,6 +373,9 @@ class Engine {
 
   SimTime now_ = 0;
   std::uint64_t next_generation_ = 1;
+  // Set once the generation counter wraps; relaxes the ring-FIFO audit,
+  // whose monotonicity argument only holds pre-wrap.
+  bool generation_wrapped_ = false;
   std::uint64_t events_fired_ = 0;
   std::size_t live_events_ = 0;
   std::size_t slot_count_ = 0;
@@ -327,15 +394,15 @@ class CompletionJoin {
  public:
   CompletionJoin(int expected, std::function<void(SimTime last)> done)
       : remaining_(expected), done_(std::move(done)) {
-    assert(expected > 0);
+    S4D_CHECK(expected > 0) << "join expects " << expected << " arrivals";
   }
 
   // Records one arrival at time `t`; fires the callback on the last one.
   // Arriving after the join has fired is a bug in the caller's completion
-  // accounting and asserts.
+  // accounting and aborts.
   void Arrive(SimTime t) {
-    assert(remaining_ > 0 &&
-           "CompletionJoin::Arrive after the join already fired");
+    S4D_CHECK(remaining_ > 0)
+        << "CompletionJoin::Arrive after the join already fired";
     last_ = std::max(last_, t);
     if (--remaining_ == 0) {
       // Move out and clear *before* invoking: the callback may destroy the

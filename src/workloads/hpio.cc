@@ -1,15 +1,18 @@
 #include "workloads/hpio.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace s4d::workloads {
 
 HpioWorkload::HpioWorkload(HpioConfig config) : config_(std::move(config)) {
-  assert(config_.ranks >= 1);
-  assert(config_.region_count >= 1);
-  assert(config_.region_size >= 1);
-  assert(config_.region_spacing >= 0);
+  S4D_CHECK(config_.ranks >= 1) << "HPIO needs at least one rank";
+  S4D_CHECK(config_.region_count >= 1) << "HPIO needs at least one region";
+  S4D_CHECK(config_.region_size >= 1)
+      << "non-positive region size " << config_.region_size;
+  S4D_CHECK(config_.region_spacing >= 0)
+      << "negative region spacing " << config_.region_spacing;
   cursor_.assign(static_cast<std::size_t>(config_.ranks), 0);
 }
 
@@ -19,7 +22,7 @@ byte_count HpioWorkload::OffsetFor(int rank, std::int64_t region) const {
 }
 
 std::optional<Request> HpioWorkload::Next(int rank) {
-  assert(rank >= 0 && rank < config_.ranks);
+  S4D_DCHECK(rank >= 0 && rank < config_.ranks) << "rank " << rank;
   std::int64_t& cursor = cursor_[static_cast<std::size_t>(rank)];
   if (cursor >= config_.region_count) return std::nullopt;
   Request req;

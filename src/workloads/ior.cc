@@ -1,18 +1,22 @@
 #include "workloads/ior.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+
+#include "common/check.h"
 
 namespace s4d::workloads {
 
 IorWorkload::IorWorkload(IorConfig config) : config_(std::move(config)) {
-  assert(config_.ranks >= 1);
-  assert(config_.request_size >= 1);
+  S4D_CHECK(config_.ranks >= 1) << "IOR needs at least one rank";
+  S4D_CHECK(config_.request_size >= 1)
+      << "non-positive request size " << config_.request_size;
   partition_size_ = config_.file_size / config_.ranks;
   blocks_per_rank_ = partition_size_ / config_.request_size;
-  assert(blocks_per_rank_ >= 1 &&
-         "partition smaller than one request; shrink ranks or request size");
+  S4D_CHECK(blocks_per_rank_ >= 1)
+      << "partition (" << partition_size_ << " bytes) smaller than one "
+      << config_.request_size
+      << "-byte request; shrink ranks or request size";
   cursor_.assign(static_cast<std::size_t>(config_.ranks), 0);
 
   if (config_.random) {
@@ -38,7 +42,7 @@ byte_count IorWorkload::OffsetFor(int rank, std::int64_t index) const {
 }
 
 std::optional<Request> IorWorkload::Next(int rank) {
-  assert(rank >= 0 && rank < config_.ranks);
+  S4D_DCHECK(rank >= 0 && rank < config_.ranks) << "rank " << rank;
   std::int64_t& cursor = cursor_[static_cast<std::size_t>(rank)];
   if (cursor >= blocks_per_rank_) return std::nullopt;
   Request req;

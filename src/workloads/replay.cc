@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <charconv>
 #include <sstream>
+
+#include "common/check.h"
 
 namespace s4d::workloads {
 
@@ -12,7 +13,8 @@ ReplayWorkload::ReplayWorkload(std::string file,
                                std::vector<ReplayEntry> entries)
     : file_(std::move(file)), entries_(std::move(entries)) {
   for (const ReplayEntry& entry : entries_) {
-    assert(entry.rank >= 0);
+    S4D_CHECK(entry.rank >= 0)
+        << "replay entry with negative rank " << entry.rank;
     ranks_ = std::max(ranks_, entry.rank + 1);
     total_bytes_ += entry.request.size;
   }
@@ -25,7 +27,7 @@ ReplayWorkload::ReplayWorkload(std::string file,
 }
 
 std::optional<Request> ReplayWorkload::Next(int rank) {
-  assert(rank >= 0 && rank < ranks_);
+  S4D_DCHECK(rank >= 0 && rank < ranks_) << "rank " << rank;
   auto& cursor = cursor_[static_cast<std::size_t>(rank)];
   const auto& list = per_rank_[static_cast<std::size_t>(rank)];
   if (cursor >= list.size()) return std::nullopt;

@@ -1,14 +1,15 @@
 #include "workloads/tile_io.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace s4d::workloads {
 
 TileIoWorkload::TileIoWorkload(TileIoConfig config)
     : config_(std::move(config)) {
-  assert(config_.ranks >= 1);
+  S4D_CHECK(config_.ranks >= 1) << "tile workload needs at least one rank";
   // Near-square process grid (mpi-tile-io takes nr x nc; the paper varies
   // only the total process count, so factor it ourselves).
   grid_cols_ = static_cast<int>(std::sqrt(static_cast<double>(config_.ranks)));
@@ -31,7 +32,7 @@ byte_count TileIoWorkload::RowOffset(int rank, int tile_row) const {
 }
 
 std::optional<Request> TileIoWorkload::Next(int rank) {
-  assert(rank >= 0 && rank < config_.ranks);
+  S4D_DCHECK(rank >= 0 && rank < config_.ranks) << "rank " << rank;
   int& cursor = cursor_[static_cast<std::size_t>(rank)];
   if (cursor >= config_.elements_y) return std::nullopt;
   Request req;

@@ -1,0 +1,70 @@
+// S4D_CHECK / S4D_DCHECK contract tests: failures abort with file:line and
+// the streamed message; successes evaluate the condition exactly once and
+// never touch the stream operands.
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+TEST(CheckTest, PassingCheckHasNoEffect) {
+  int evaluations = 0;
+  S4D_CHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckTest, PassingCheckDoesNotEvaluateStream) {
+  int stream_touches = 0;
+  auto touch = [&] {
+    ++stream_touches;
+    return "unused";
+  };
+  S4D_CHECK(1 + 1 == 2) << touch();
+  EXPECT_EQ(stream_touches, 0);
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithConditionText) {
+  EXPECT_DEATH(S4D_CHECK(2 + 2 == 5), "S4D_CHECK\\(2 \\+ 2 == 5\\) failed");
+}
+
+TEST(CheckDeathTest, FailingCheckIncludesStreamedMessage) {
+  const int got = 41;
+  EXPECT_DEATH(S4D_CHECK(got == 42) << "expected the answer, got " << got,
+               "expected the answer, got 41");
+}
+
+TEST(CheckDeathTest, FailureReportsFileAndLine) {
+  EXPECT_DEATH(S4D_CHECK(false), "test_check\\.cc:[0-9]+");
+}
+
+TEST(CheckTest, DcheckMatchesBuildType) {
+  int evaluations = 0;
+  auto count_and_fail = [&] {
+    ++evaluations;
+    return false;
+  };
+#ifdef NDEBUG
+  // Release: the condition is parsed but never evaluated and never fires.
+  S4D_DCHECK(count_and_fail()) << "must not fire in NDEBUG builds";
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_DEATH(S4D_DCHECK(count_and_fail()) << "debug dcheck fired",
+               "debug dcheck fired");
+#endif
+}
+
+TEST(CheckTest, WorksAsSoleStatementInIfElse) {
+  // The ternary form must not break dangling-else parsing.
+  if (true)
+    S4D_CHECK(true);
+  else
+    S4D_CHECK(false);
+  SUCCEED();
+}
+
+}  // namespace

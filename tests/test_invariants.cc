@@ -1,0 +1,133 @@
+// Proves the AuditInvariants() walks actually catch corruption: test peers
+// reach into DataMappingTable / CacheSpaceAllocator, break a representation
+// invariant directly, and the audit must abort. Healthy-state audits after
+// real mutation sequences must pass.
+#include <gtest/gtest.h>
+
+#include "core/cache_space.h"
+#include "core/dmt.h"
+#include "sim/engine.h"
+
+namespace s4d::core {
+
+// Friends of the audited classes (declared in their headers); everything
+// here exists to corrupt private state on purpose.
+struct DmtTestPeer {
+  static void StretchFirstExtent(DataMappingTable& dmt, byte_count delta) {
+    // Makes the first extent overlap its successor (or disagree with the
+    // mapped-bytes counter when there is no successor).
+    dmt.files_.at(0).begin()->second.end += delta;
+  }
+  static void SkewMappedBytes(DataMappingTable& dmt, byte_count delta) {
+    dmt.mapped_bytes_ += delta;
+  }
+  static void DropLruEntry(DataMappingTable& dmt) {
+    dmt.lru_index_.erase(dmt.lru_index_.begin());
+  }
+};
+
+struct CacheSpaceTestPeer {
+  static void SkewFreeBytes(CacheSpaceAllocator& space, byte_count delta) {
+    space.free_bytes_ += delta;
+  }
+  static void OverlapFreeExtents(CacheSpaceAllocator& space) {
+    // Two overlapping free extents — a structural double free.
+    space.free_.clear();
+    space.free_.emplace(0, 64);
+    space.free_.emplace(32, 128);
+  }
+};
+
+namespace {
+
+DataMappingTable MakeBusyDmt() {
+  DataMappingTable dmt;
+  dmt.Insert("a.dat", 0, 100, 0, false);
+  dmt.Insert("a.dat", 200, 50, 100, true);
+  dmt.Insert("b.dat", 0, 4096, 150, false);
+  dmt.Touch("a.dat", 0, 100);
+  dmt.SetDirty("b.dat", 0, 1024, true);
+  dmt.Invalidate("a.dat", 220, 10);
+  return dmt;
+}
+
+TEST(DmtAuditTest, HealthyTablePasses) {
+  DataMappingTable dmt = MakeBusyDmt();
+  dmt.AuditInvariants();  // must not abort
+  EXPECT_GT(dmt.entry_count(), 0u);
+}
+
+TEST(DmtAuditDeathTest, CatchesOverlappingExtents) {
+  DataMappingTable dmt = MakeBusyDmt();
+  DmtTestPeer::StretchFirstExtent(dmt, 150);  // first extent now overlaps
+  EXPECT_DEATH(dmt.AuditInvariants(), "S4D_CHECK");
+}
+
+TEST(DmtAuditDeathTest, CatchesMappedBytesMiscount) {
+  DataMappingTable dmt = MakeBusyDmt();
+  DmtTestPeer::SkewMappedBytes(dmt, 7);
+  EXPECT_DEATH(dmt.AuditInvariants(), "mapped");
+}
+
+TEST(DmtAuditDeathTest, CatchesBrokenLruIndex) {
+  DataMappingTable dmt = MakeBusyDmt();
+  DmtTestPeer::DropLruEntry(dmt);
+  EXPECT_DEATH(dmt.AuditInvariants(), "S4D_CHECK");
+}
+
+CacheSpaceAllocator MakeBusySpace() {
+  CacheSpaceAllocator space(1 << 20, 4096);
+  auto a = space.Allocate(10000);
+  auto b = space.Allocate(5000);
+  auto c = space.Allocate(60000);
+  EXPECT_TRUE(a && b && c);
+  space.Free(*b, 5000);
+  space.Free(*a + 1000, 2000);  // partial free inside an allocation
+  return space;
+}
+
+TEST(CacheSpaceAuditTest, HealthyAllocatorPasses) {
+  CacheSpaceAllocator space = MakeBusySpace();
+  space.AuditInvariants();  // must not abort
+  EXPECT_EQ(space.used_bytes() + space.free_bytes(), space.capacity());
+}
+
+TEST(CacheSpaceAuditTest, IsAllocatedTracksFreeList) {
+  CacheSpaceAllocator space(1 << 16);
+  const auto off = space.Allocate(4096);
+  ASSERT_TRUE(off.has_value());
+  EXPECT_TRUE(space.IsAllocated(*off, 4096));
+  EXPECT_TRUE(space.IsAllocated(*off + 100, 1000));  // sub-range
+  EXPECT_FALSE(space.IsAllocated(*off, 4097));       // spills into free space
+  space.Free(*off, 4096);
+  EXPECT_FALSE(space.IsAllocated(*off, 1));
+}
+
+TEST(CacheSpaceAuditDeathTest, CatchesFreeBytesMiscount) {
+  CacheSpaceAllocator space = MakeBusySpace();
+  CacheSpaceTestPeer::SkewFreeBytes(space, 1);
+  EXPECT_DEATH(space.AuditInvariants(), "free_bytes");
+}
+
+TEST(CacheSpaceAuditDeathTest, CatchesOverlappingFreeExtents) {
+  CacheSpaceAllocator space(1 << 20);
+  CacheSpaceTestPeer::OverlapFreeExtents(space);
+  EXPECT_DEATH(space.AuditInvariants(), "disjoint");
+}
+
+TEST(EngineAuditTest, HealthyEnginePasses) {
+  sim::Engine engine;
+  for (int i = 0; i < 64; ++i) {
+    engine.ScheduleAfter(1000 * (64 - i), [] {});
+  }
+  engine.AuditInvariants();
+  int steps = 0;
+  while (engine.Step()) {
+    ++steps;
+    engine.AuditInvariants();
+  }
+  EXPECT_EQ(steps, 64);
+}
+
+}  // namespace
+}  // namespace s4d::core

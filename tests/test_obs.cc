@@ -128,6 +128,7 @@ TEST(Tracer, SpanNestingLinksParents) {
   const SpanId child = t.Begin(t.Lane("CPFS/server0"), "write", "pfs", 1200,
                                root);
   const SpanId marker = t.Instant(lane, "note", "s4d", 1500, root);
+  EXPECT_NE(marker, kNoSpan);
   t.End(child, 1800);
   t.End(root, 2000);
 

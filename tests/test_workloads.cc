@@ -150,7 +150,9 @@ TEST(Hpio, PerRankStrideIsConstant) {
   while (auto req = wl.Next(5)) {
     if (last >= 0) {
       const byte_count s = req->offset - last;
-      if (stride >= 0) EXPECT_EQ(s, stride);
+      if (stride >= 0) {
+        EXPECT_EQ(s, stride);
+      }
       stride = s;
     }
     last = req->offset;
