@@ -214,4 +214,36 @@ SimTime ConfigParser::DurationOr(const std::string& section,
   return GetDuration(section, key).value_or(fallback);
 }
 
+Status ConfigParser::ValidateKnownKeys(
+    const std::map<std::string, std::vector<std::string>>& schema) const {
+  for (const auto& [full_key, value] : values_) {
+    const auto dot = full_key.find('.');
+    const std::string section =
+        dot == std::string::npos ? "" : full_key.substr(0, dot);
+    const std::string key =
+        dot == std::string::npos ? full_key : full_key.substr(dot + 1);
+    const auto sit = schema.find(section);
+    if (sit == schema.end()) {
+      return Status::InvalidArgument("unknown config section [" + section +
+                                     "]");
+    }
+    bool known = false;
+    for (const std::string& pattern : sit->second) {
+      if (!pattern.empty() && pattern.back() == '*') {
+        known = key.size() >= pattern.size() - 1 &&
+                key.compare(0, pattern.size() - 1, pattern, 0,
+                            pattern.size() - 1) == 0;
+      } else {
+        known = key == pattern;
+      }
+      if (known) break;
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown key '" + key +
+                                     "' in section [" + section + "]");
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace s4d

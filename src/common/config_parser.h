@@ -14,6 +14,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/sim_time.h"
 #include "common/status.h"
@@ -66,6 +67,17 @@ class ConfigParser {
                      SimTime fallback) const;
 
   std::size_t entry_count() const { return values_.size(); }
+
+  // All parsed entries, keyed "section.key" ("" section = top level).
+  const std::map<std::string, std::string>& entries() const { return values_; }
+
+  // Schema check: every parsed entry must appear in `schema` (section ->
+  // allowed keys; a key ending in '*' matches any key with that prefix,
+  // e.g. "fault*" for fault1..faultN). Returns InvalidArgument naming the
+  // first unknown section or key — a typo like `evction` fails loudly
+  // instead of being silently ignored.
+  Status ValidateKnownKeys(
+      const std::map<std::string, std::vector<std::string>>& schema) const;
 
  private:
   // key = "section.key" (section may be empty for top-level entries)

@@ -49,6 +49,23 @@ class CacheSpaceAllocator {
   byte_count largest_free_extent() const;
   std::size_t free_extent_count() const { return free_.size(); }
 
+  // Fraction of capacity currently allocated, in [0, 1].
+  double occupancy() const {
+    return capacity_ > 0
+               ? static_cast<double>(used_bytes()) /
+                     static_cast<double>(capacity_)
+               : 0.0;
+  }
+  // External fragmentation of the free pool: 1 - largest_free/free_bytes.
+  // 0 when the free space is empty or one contiguous extent; approaches 1
+  // as the free pool shatters into small extents.
+  double fragmentation() const {
+    return free_bytes_ > 0
+               ? 1.0 - static_cast<double>(largest_free_extent()) /
+                           static_cast<double>(free_bytes_)
+               : 0.0;
+  }
+
   // S4D_CHECKs the free-list invariants: extents inside [0, capacity),
   // positive length, sorted, pairwise disjoint with no coalescible
   // neighbours, and the free_bytes counter equal to the recomputed sum (so

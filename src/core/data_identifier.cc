@@ -74,6 +74,7 @@ bool DataIdentifier::Identify(const std::string& file, int rank,
   const double scale = health_probe_ ? health_probe_() : 1.0;
   last_health_scale_ = scale;
   last_benefit_ = model_.Benefit(kind, distance, offset, size, scale);
+  last_dserver_cost_ = model_.DServerCost(distance, offset, size);
   bool critical = last_benefit_ > 0;
   if (critical && unhealthy_threshold_ > 1.0 && scale >= unhealthy_threshold_) {
     critical = false;
@@ -82,6 +83,14 @@ bool DataIdentifier::Identify(const std::string& file, int rank,
              model_.IsCritical(kind, distance, offset, size)) {
     // Would have been admitted against the healthy profile.
     ++stats_.health_rejections;
+  }
+  // Policy subsystem hook: the admission filter sees every request (with
+  // the model's post-health verdict) and may override it — ghost-assisted
+  // admission raises it, feedback thresholds or pressure vetoes lower it.
+  if (admission_filter_) {
+    const AdmissionContext ctx{file,     kind,          offset, size,
+                               distance, last_benefit_, critical};
+    critical = admission_filter_(ctx);
   }
   if (critical) {
     ++stats_.critical;

@@ -27,6 +27,19 @@
 
 namespace s4d::core {
 
+// Everything the Identifier knows about a request at decision time; handed
+// to the pluggable admission filter (policy subsystem). `model_critical` is
+// the paper's verdict (B > 0) after the health veto.
+struct AdmissionContext {
+  const std::string& file;
+  device::IoKind kind;
+  byte_count offset;
+  byte_count size;
+  byte_count distance;  // signed stream distance d
+  SimTime benefit;      // health-scaled B
+  bool model_critical;
+};
+
 struct IdentifierStats {
   std::int64_t requests = 0;
   std::int64_t critical = 0;
@@ -67,9 +80,21 @@ class DataIdentifier {
     unhealthy_threshold_ = factor;
   }
 
+  // --- pluggable admission (policy subsystem) ---------------------------
+  // The filter runs after the health veto with the full decision context
+  // and returns the final verdict. Null (the default) keeps the paper's
+  // B > 0 rule byte-identically.
+  using AdmissionFilter = std::function<bool(const AdmissionContext&)>;
+  void SetAdmissionFilter(AdmissionFilter filter) {
+    admission_filter_ = std::move(filter);
+  }
+
   // Benefit B computed for the most recent Identify() call (already scaled
   // by the health factor) — the per-decision value the tracer records.
   SimTime last_benefit() const { return last_benefit_; }
+  // Predicted DServer cost T_D for the most recent Identify() call — the
+  // baseline against which the feedback controller measures realized gain.
+  SimTime last_dserver_cost() const { return last_dserver_cost_; }
   double last_health_scale() const { return last_health_scale_; }
 
   const IdentifierStats& stats() const { return stats_; }
@@ -99,8 +124,10 @@ class DataIdentifier {
   std::uint64_t tail_seq_ = 0;
   IdentifierStats stats_;
   std::function<double()> health_probe_;
+  AdmissionFilter admission_filter_;
   double unhealthy_threshold_ = 2.0;
   SimTime last_benefit_ = 0;
+  SimTime last_dserver_cost_ = 0;
   double last_health_scale_ = 1.0;
 
   static constexpr std::size_t kMaxTailsPerFile = 512;

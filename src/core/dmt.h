@@ -111,6 +111,15 @@ class DataMappingTable {
   // nullopt when every mapping is dirty (or the table is empty).
   std::optional<RemovedExtent> EvictLruClean();
 
+  // Removes and returns the first *clean* mapping overlapping
+  // [begin, end) of `file` (the whole mapping, not clipped to the range),
+  // or nullopt when no clean mapping overlaps. Lets an external eviction
+  // policy nominate a victim range and have it validated against the live
+  // table in one step.
+  std::optional<RemovedExtent> EvictCleanOverlapping(const std::string& file,
+                                                     byte_count begin,
+                                                     byte_count end);
+
   // Snapshots up to `max_ranges` dirty extents (least recently used first).
   std::vector<DirtyRange> CollectDirty(std::size_t max_ranges) const;
 

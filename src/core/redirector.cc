@@ -27,22 +27,23 @@ IoSegment DServerSegment(byte_count orig_offset, byte_count size) {
 
 }  // namespace
 
-void Redirector::Release(const RemovedExtent& extent) {
+void Redirector::Release(const RemovedExtent& extent, bool evicted) {
   if (on_release_) {
     on_release_(extent.file, extent.cache_offset, extent.length());
   }
+  if (removal_observer_) removal_observer_(extent, evicted);
   space_.Free(extent.cache_offset, extent.length());
 }
 
 std::optional<byte_count> Redirector::AllocateCacheSpace(byte_count size) {
   // Algorithm 1: first look for free space (line 4); if none, reclaim clean
-  // space chosen by LRU (line 9) until the allocation fits or nothing
-  // clean remains.
+  // space chosen by the eviction policy (line 9; clean-LRU unless a policy
+  // hook is installed) until the allocation fits or nothing clean remains.
   while (true) {
     if (auto offset = space_.Allocate(size)) return offset;
-    auto victim = dmt_.EvictLruClean();
+    auto victim = victim_provider_ ? victim_provider_() : dmt_.EvictLruClean();
     if (!victim) return std::nullopt;
-    Release(*victim);
+    Release(*victim, /*evicted=*/true);
     ++stats_.evictions;
   }
 }
@@ -51,7 +52,7 @@ std::vector<RemovedExtent> Redirector::InvalidateAndRelease(
     const std::string& file, byte_count offset, byte_count size) {
   auto removed = dmt_.Invalidate(file, offset, size);
   for (const RemovedExtent& ext : removed) {
-    Release(ext);
+    Release(ext, /*evicted=*/false);
     ++stats_.invalidated_extents;
   }
   return removed;
@@ -178,7 +179,7 @@ RoutingPlan Redirector::PlanWrite(const std::string& file, byte_count offset,
   // an old dirty extent over this write later would corrupt the file.
   const auto removed = dmt_.Invalidate(file, offset, size);
   for (const RemovedExtent& ext : removed) {
-    Release(ext);
+    Release(ext, /*evicted=*/false);
     ++stats_.invalidated_extents;
     plan.dmt_mutated = true;
   }

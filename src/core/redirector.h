@@ -126,6 +126,21 @@ class Redirector {
         policy_(policy),
         on_release_(std::move(on_release)) {}
 
+  // --- pluggable eviction (policy subsystem) ----------------------------
+  // `provider` replaces the hard-wired clean-LRU victim selection in the
+  // allocation loop: it must remove and return one clean mapping from the
+  // DMT (or nullopt when none remains). `observer` fires whenever a
+  // mapping's cache extent is released, with `evicted` distinguishing
+  // capacity eviction from invalidation. Null hooks restore the paper's
+  // behaviour exactly.
+  using VictimProvider = std::function<std::optional<RemovedExtent>()>;
+  using RemovalObserver =
+      std::function<void(const RemovedExtent&, bool evicted)>;
+  void SetEvictionHooks(VictimProvider provider, RemovalObserver observer) {
+    victim_provider_ = std::move(provider);
+    removal_observer_ = std::move(observer);
+  }
+
   // `critical` is the Data Identifier's verdict for this request (ignored
   // under kAlways / kNever policies).
   RoutingPlan PlanWrite(const std::string& file, byte_count offset,
@@ -178,7 +193,7 @@ class Redirector {
     return false;
   }
 
-  void Release(const RemovedExtent& extent);
+  void Release(const RemovedExtent& extent, bool evicted);
   RoutingPlan PlanDegradedWrite(const std::string& file, byte_count offset,
                                 byte_count size);
   RoutingPlan PlanDegradedRead(const std::string& file, byte_count offset,
@@ -189,6 +204,8 @@ class Redirector {
   CacheSpaceAllocator& space_;
   AdmissionPolicy policy_;
   ReleaseHook on_release_;
+  VictimProvider victim_provider_;
+  RemovalObserver removal_observer_;
   std::function<bool()> cache_healthy_;
   RedirectorStats stats_;
 };

@@ -69,6 +69,16 @@ double S4DCache::CacheTierSlowdown() const {
   return worst;
 }
 
+double S4DCache::CacheTierMeanQueueDepth() const {
+  if (cservers_.server_count() == 0) return 0.0;
+  std::size_t depth = 0;
+  for (int i = 0; i < cservers_.server_count(); ++i) {
+    depth += cservers_.server(i).queue_depth();
+  }
+  return static_cast<double>(depth) /
+         static_cast<double>(cservers_.server_count());
+}
+
 void S4DCache::SetupObservability() {
   obs_ = config_.obs;
   if (obs_ == nullptr) return;
@@ -89,6 +99,9 @@ void S4DCache::SetupObservability() {
                [this] { return static_cast<double>(dmt_.dirty_bytes()); });
   m.SetGaugeFn("s4d.cache_used_bytes",
                [this] { return static_cast<double>(space_.used_bytes()); });
+  m.SetGaugeFn("s4d.cache_occupancy", [this] { return space_.occupancy(); });
+  m.SetGaugeFn("s4d.cache_fragmentation",
+               [this] { return space_.fragmentation(); });
   m.SetGaugeFn("s4d.cache_tier_slowdown",
                [this] { return CacheTierSlowdown(); });
   m.SetGaugeFn("s4d.read_hit_ratio", [this] {
@@ -209,12 +222,29 @@ void S4DCache::Execute(device::IoKind kind, const mpiio::FileRequest& request,
     mpiio::IoCompletion done;
     SimTime issued_at = 0;
     obs::SpanId span = obs::kNoSpan;
+    // Decision/outcome record for the policy observer; only filled in when
+    // an observer is installed.
+    std::optional<RequestOutcome> outcome;
   };
   auto join = std::make_shared<ExecJoin>();
   join->remaining = static_cast<int>(plan.segments.size());
   join->done = std::move(done);
   join->issued_at = issued_at;
   join->span = span;
+  if (request_observer_) {
+    RequestOutcome outcome;
+    outcome.file = request.file;
+    outcome.kind = kind;
+    outcome.offset = request.offset;
+    outcome.size = request.size;
+    outcome.benefit = identifier_.last_benefit();
+    outcome.predicted_dserver = identifier_.last_dserver_cost();
+    outcome.admitted = plan.admitted;
+    outcome.cache_bytes = c_bytes;
+    outcome.dserver_bytes = d_bytes;
+    outcome.issued_at = issued_at;
+    join->outcome = std::move(outcome);
+  }
   auto arrive = [this, join, kind](SimTime t, bool ok) {
     join->last = std::max(join->last, t);
     if (!ok) join->failed = true;
@@ -228,6 +258,10 @@ void S4DCache::Execute(device::IoKind kind, const mpiio::FileRequest& request,
         obs_->tracer.End(join->span, join->last);
         if (join->failed) obs_->tracer.AddArg(join->span, "failed", 1);
       }
+    }
+    if (join->outcome && request_observer_) {
+      join->outcome->latency = join->last - join->issued_at;
+      request_observer_(*join->outcome);
     }
     if (join->done) join->done(join->last);
   };
@@ -500,6 +534,10 @@ void S4DCache::AuditInvariants(bool expect_quiescent) const {
   S4D_CHECK(ident.cdt_inserts <= ident.critical)
       << ident.cdt_inserts << " CDT inserts of " << ident.critical
       << " critical decisions";
+
+  // Attached policy state (ghost caches, recency lists, controller
+  // counters) audits together with the core structures.
+  if (extra_audit_) extra_audit_();
 }
 
 }  // namespace s4d::core

@@ -97,6 +97,23 @@ struct S4DCounters {
   byte_count lost_dirty_bytes = 0;         // the dirty-data-loss window
 };
 
+// Per-request completion record handed to the policy subsystem's observer:
+// everything needed to compare the cost model's promise against what the
+// routed request actually experienced.
+struct RequestOutcome {
+  std::string file;
+  device::IoKind kind = device::IoKind::kRead;
+  byte_count offset = 0;
+  byte_count size = 0;
+  SimTime benefit = 0;            // health-scaled B at decision time
+  SimTime predicted_dserver = 0;  // model's T_D at decision time
+  bool admitted = false;          // the plan created a new mapping
+  byte_count cache_bytes = 0;
+  byte_count dserver_bytes = 0;
+  SimTime issued_at = 0;
+  SimTime latency = 0;
+};
+
 class S4DCache final : public mpiio::IoDispatch {
  public:
   // `dmt_store` may be null: the DMT is then volatile (still exercised, not
@@ -130,12 +147,17 @@ class S4DCache final : public mpiio::IoDispatch {
   CriticalDataTable& cdt() { return cdt_; }
   CacheSpaceAllocator& cache_space() { return space_; }
   Rebuilder& rebuilder() { return rebuilder_; }
+  Redirector& redirector() { return redirector_; }
+  DataIdentifier& identifier() { return identifier_; }
   const CostModel& cost_model() const { return cost_model_; }
   const S4DConfig& config() const { return config_; }
 
   std::string CacheFileName(const std::string& file) const {
     return file + config_.cache_file_suffix;
   }
+
+  // Current simulated time (the engine the cache runs on).
+  SimTime now() const { return engine_.now(); }
 
   // --- fault handling ----------------------------------------------------
   // Reports every original-file range whose only up-to-date copy was lost
@@ -156,6 +178,25 @@ class S4DCache final : public mpiio::IoDispatch {
   // healthy). Fed into the Data Identifier so degraded SSDs stop
   // attracting admissions (health-aware admission, ROADMAP).
   double CacheTierSlowdown() const;
+
+  // Mean per-server queue depth across the cache tier right now — the
+  // pressure signal the policy subsystem's LBICA-style admission veto
+  // consults.
+  double CacheTierMeanQueueDepth() const;
+
+  // --- policy subsystem hooks --------------------------------------------
+  // Fires once per foreground request, at completion time, with the full
+  // decision/outcome record. Null (the default) costs nothing.
+  using RequestObserver = std::function<void(const RequestOutcome&)>;
+  void SetRequestObserver(RequestObserver observer) {
+    request_observer_ = std::move(observer);
+  }
+
+  // Extra audit run at the end of AuditInvariants() — lets an attached
+  // policy engine's invariants ride the paranoid-build and test audits.
+  void SetExtraAudit(std::function<void()> audit) {
+    extra_audit_ = std::move(audit);
+  }
 
   // Called (by the FaultInjector) once the last down CServer restarted:
   // re-issues reads queued in kQueue mode and runs the Rebuilder's
@@ -237,6 +278,8 @@ class S4DCache final : public mpiio::IoDispatch {
   std::vector<PendingRead> queued_reads_;
   std::uint64_t next_pending_id_ = 1;
   DirtyLossHook dirty_loss_hook_;
+  RequestObserver request_observer_;
+  std::function<void()> extra_audit_;
 
   // Observability (null = not observed). Handles resolved once.
   obs::Observability* obs_ = nullptr;

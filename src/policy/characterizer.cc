@@ -1,0 +1,114 @@
+#include "policy/characterizer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace s4d::policy {
+
+const char* WorkloadPhaseName(WorkloadPhase phase) {
+  switch (phase) {
+    case WorkloadPhase::kUnknown: return "unknown";
+    case WorkloadPhase::kSequential: return "sequential";
+    case WorkloadPhase::kRandom: return "random";
+    case WorkloadPhase::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+namespace {
+
+// Integer floor(log2(n)) for n >= 1; keeps the reuse summary free of
+// floating-point accumulation order concerns.
+std::int64_t FloorLog2(std::int64_t n) {
+  std::int64_t bits = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+void WorkloadCharacterizer::Observe(const std::string& file,
+                                    device::IoKind kind, byte_count offset,
+                                    byte_count size, byte_count distance) {
+  ++observed_;
+  ++win_requests_;
+  if (kind == device::IoKind::kRead) ++win_reads_;
+  const byte_count magnitude = distance < 0 ? -distance : distance;
+  if (magnitude <= config_.seq_distance_max) ++win_sequential_;
+
+  // Reuse sketch: first block the request touches, at sketch granularity.
+  if (config_.reuse_max_blocks > 0 && config_.reuse_block > 0 && size > 0) {
+    const BlockKey key{file, offset / config_.reuse_block};
+    auto it = last_seen_.find(key);
+    if (it != last_seen_.end()) {
+      ++win_reuse_hits_;
+      win_reuse_log2_sum_ += FloorLog2(std::max<std::int64_t>(
+          observed_ - it->second, 1));
+      by_age_.erase(it->second);
+      it->second = observed_;
+    } else {
+      last_seen_[key] = observed_;
+      while (last_seen_.size() > config_.reuse_max_blocks) {
+        const auto oldest = by_age_.begin();
+        last_seen_.erase(oldest->second);
+        by_age_.erase(oldest);
+      }
+    }
+    by_age_[observed_] = key;
+  }
+
+  if (win_requests_ < config_.window_requests) return;
+
+  WindowSummary summary;
+  summary.index = windows_closed_;
+  summary.requests = win_requests_;
+  const auto total = static_cast<double>(win_requests_);
+  summary.seq_fraction = static_cast<double>(win_sequential_) / total;
+  summary.read_fraction = static_cast<double>(win_reads_) / total;
+  summary.reuse_fraction = static_cast<double>(win_reuse_hits_) / total;
+  summary.mean_reuse_log2 =
+      win_reuse_hits_ > 0
+          ? static_cast<double>(win_reuse_log2_sum_) /
+                static_cast<double>(win_reuse_hits_)
+          : 0.0;
+  if (summary.seq_fraction >= config_.seq_high) {
+    summary.phase = WorkloadPhase::kSequential;
+  } else if (summary.seq_fraction <= config_.seq_low) {
+    summary.phase = WorkloadPhase::kRandom;
+  } else {
+    summary.phase = WorkloadPhase::kMixed;
+  }
+  last_ = summary;
+  ++windows_closed_;
+  win_requests_ = 0;
+  win_sequential_ = 0;
+  win_reads_ = 0;
+  win_reuse_hits_ = 0;
+  win_reuse_log2_sum_ = 0;
+  if (on_window_) on_window_(summary);
+}
+
+void WorkloadCharacterizer::AuditInvariants() const {
+  S4D_CHECK(last_seen_.size() == by_age_.size())
+      << "characterizer sketch maps diverged: " << last_seen_.size()
+      << " != " << by_age_.size();
+  S4D_CHECK(config_.reuse_max_blocks == 0 ||
+            last_seen_.size() <= config_.reuse_max_blocks)
+      << "characterizer sketch over bound: " << last_seen_.size();
+  S4D_CHECK(win_requests_ >= 0 && win_requests_ < config_.window_requests)
+      << "characterizer window accumulator out of range: " << win_requests_;
+  S4D_CHECK(win_sequential_ <= win_requests_ && win_reads_ <= win_requests_ &&
+            win_reuse_hits_ <= win_requests_)
+      << "characterizer window counters exceed requests";
+  for (const auto& [age, key] : by_age_) {
+    const auto it = last_seen_.find(key);
+    S4D_CHECK(it != last_seen_.end() && it->second == age)
+        << "characterizer sketch inconsistent at age " << age;
+  }
+}
+
+}  // namespace s4d::policy

@@ -1,0 +1,101 @@
+// Online workload characterization (ReCA-style): classify the live request
+// stream per fixed-size window and expose phase boundaries.
+//
+// Each window of `window_requests` requests is summarized by
+//   * sequential fraction  — requests whose stream distance (the Data
+//     Identifier's signed d) is within `seq_distance_max` of a known tail,
+//   * read fraction,
+//   * reuse fraction + mean log2 reuse distance — from a bounded sketch of
+//     recently touched blocks (block id -> last-seen request index).
+// The phase is kSequential / kRandom / kMixed by thresholds on the
+// sequential fraction. The PolicyEngine subscribes to window closes and may
+// switch eviction policy when the phase changes (ReCA's reconfiguration
+// step, applied to the eviction axis).
+//
+// The sketch is bounded and FIFO-evicted; all state is std::map-ordered and
+// seeded by nothing — same request stream, same summaries, every run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/units.h"
+#include "device/device_model.h"
+
+namespace s4d::policy {
+
+enum class WorkloadPhase : std::uint8_t { kUnknown, kSequential, kRandom, kMixed };
+
+const char* WorkloadPhaseName(WorkloadPhase phase);
+
+struct CharacterizerConfig {
+  std::int64_t window_requests = 256;
+  // |distance| at or below this counts as a stream continuation. Defaults
+  // to the per-request span server-side readahead absorbs comfortably.
+  byte_count seq_distance_max = 1 * MiB;
+  double seq_high = 0.7;  // sequential fraction >= high  -> kSequential
+  double seq_low = 0.3;   // sequential fraction <= low   -> kRandom
+  // Reuse-distance sketch bounds.
+  std::size_t reuse_max_blocks = 4096;
+  byte_count reuse_block = 64 * KiB;
+};
+
+struct WindowSummary {
+  std::int64_t index = 0;  // 0-based window number
+  std::int64_t requests = 0;
+  double seq_fraction = 0.0;
+  double read_fraction = 0.0;
+  double reuse_fraction = 0.0;       // requests touching a sketched block
+  double mean_reuse_log2 = 0.0;      // mean log2(reuse distance in requests)
+  WorkloadPhase phase = WorkloadPhase::kUnknown;
+};
+
+class WorkloadCharacterizer {
+ public:
+  explicit WorkloadCharacterizer(CharacterizerConfig config)
+      : config_(config) {}
+
+  using WindowCallback = std::function<void(const WindowSummary&)>;
+  void SetWindowCallback(WindowCallback cb) { on_window_ = std::move(cb); }
+
+  // One request as the Identifier saw it; `distance` is the signed stream
+  // distance it computed. Closes the window (invoking the callback) every
+  // `window_requests` observations.
+  void Observe(const std::string& file, device::IoKind kind, byte_count offset,
+               byte_count size, byte_count distance);
+
+  const CharacterizerConfig& config() const { return config_; }
+  WorkloadPhase phase() const { return last_.phase; }
+  const WindowSummary& last_window() const { return last_; }
+  std::int64_t windows_closed() const { return windows_closed_; }
+  std::int64_t observed() const { return observed_; }
+
+  // S4D_CHECKs sketch bounds and counter consistency.
+  void AuditInvariants() const;
+
+ private:
+  CharacterizerConfig config_;
+  WindowCallback on_window_;
+
+  // Current-window accumulators.
+  std::int64_t win_requests_ = 0;
+  std::int64_t win_sequential_ = 0;
+  std::int64_t win_reads_ = 0;
+  std::int64_t win_reuse_hits_ = 0;
+  std::int64_t win_reuse_log2_sum_ = 0;
+
+  // Reuse sketch: (file, block) -> last-seen request index, FIFO-bounded
+  // via the companion recency map.
+  using BlockKey = std::pair<std::string, std::int64_t>;
+  std::map<BlockKey, std::int64_t> last_seen_;
+  std::map<std::int64_t, BlockKey> by_age_;  // last-seen index -> block
+
+  std::int64_t observed_ = 0;
+  std::int64_t windows_closed_ = 0;
+  WindowSummary last_;
+};
+
+}  // namespace s4d::policy

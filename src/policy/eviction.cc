@@ -1,0 +1,280 @@
+#include "policy/eviction.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace s4d::policy {
+
+// --- GhostCache ------------------------------------------------------------
+
+void GhostCache::Erase(const std::string& file, byte_count begin) {
+  auto fit = ranges_.find(file);
+  S4D_DCHECK(fit != ranges_.end());
+  auto rit = fit->second.find(begin);
+  S4D_DCHECK(rit != fit->second.end());
+  fifo_.erase(rit->second.seq);
+  fit->second.erase(rit);
+  if (fit->second.empty()) ranges_.erase(fit);
+}
+
+void GhostCache::Insert(const std::string& file, byte_count begin,
+                        byte_count end) {
+  if (capacity_ == 0 || begin >= end) return;
+  // Absorb overlapping remembered ranges so per-file ranges stay disjoint
+  // (re-evicting a range refreshes its FIFO position).
+  auto& file_ranges = ranges_[file];
+  auto it = file_ranges.upper_bound(begin);
+  if (it != file_ranges.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > begin) it = prev;
+  }
+  while (it != file_ranges.end() && it->first < end) {
+    begin = std::min(begin, it->first);
+    end = std::max(end, it->second.end);
+    fifo_.erase(it->second.seq);
+    it = file_ranges.erase(it);
+  }
+  const std::uint64_t seq = next_seq_++;
+  file_ranges[begin] = Range{end, seq};
+  fifo_[seq] = {file, begin};
+  ++insertions_;
+  while (fifo_.size() > capacity_) {
+    const auto& [old_file, old_begin] = fifo_.begin()->second;
+    Erase(old_file, old_begin);
+  }
+}
+
+bool GhostCache::Contains(const std::string& file, byte_count begin,
+                          byte_count end) const {
+  const auto fit = ranges_.find(file);
+  if (fit == ranges_.end()) return false;
+  auto it = fit->second.upper_bound(begin);
+  if (it != fit->second.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > begin) return true;
+  }
+  return it != fit->second.end() && it->first < end;
+}
+
+bool GhostCache::Probe(const std::string& file, byte_count begin,
+                       byte_count end) {
+  auto fit = ranges_.find(file);
+  if (fit == ranges_.end()) return false;
+  auto it = fit->second.upper_bound(begin);
+  if (it != fit->second.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > begin) it = prev;
+  }
+  bool hit = false;
+  while (it != fit->second.end() && it->first < end) {
+    fifo_.erase(it->second.seq);
+    it = fit->second.erase(it);
+    hit = true;
+  }
+  if (fit->second.empty()) ranges_.erase(fit);
+  if (hit) ++hits_;
+  return hit;
+}
+
+void GhostCache::AuditInvariants() const {
+  S4D_CHECK(fifo_.size() <= capacity_ || capacity_ == 0)
+      << "ghost cache over capacity: " << fifo_.size() << " > " << capacity_;
+  std::size_t counted = 0;
+  for (const auto& [file, file_ranges] : ranges_) {
+    byte_count last_end = 0;
+    bool first = true;
+    for (const auto& [begin, range] : file_ranges) {
+      S4D_CHECK(range.end > begin)
+          << "ghost range empty: " << file << " [" << begin << ", "
+          << range.end << ")";
+      S4D_CHECK(first || begin >= last_end)
+          << "ghost ranges overlap in " << file << " at " << begin;
+      first = false;
+      last_end = range.end;
+      const auto fit = fifo_.find(range.seq);
+      S4D_CHECK(fit != fifo_.end() && fit->second.first == file &&
+                fit->second.second == begin)
+          << "ghost FIFO missing entry for " << file << " @" << begin;
+      ++counted;
+    }
+  }
+  S4D_CHECK(counted == fifo_.size())
+      << "ghost FIFO size " << fifo_.size() << " != indexed " << counted;
+}
+
+// --- ArcPolicy -------------------------------------------------------------
+
+void ArcPolicy::Unlink(const std::string& file, const Item& item) {
+  (item.list == List::kT1 ? lru_t1_ : lru_t2_).erase(item.seq);
+  auto fit = index_.find(file);
+  S4D_DCHECK(fit != index_.end());
+  fit->second.erase(item.begin);
+  if (fit->second.empty()) index_.erase(fit);
+}
+
+void ArcPolicy::PushMru(const std::string& file, byte_count begin,
+                        byte_count end, List list) {
+  const std::uint64_t seq = next_seq_++;
+  (list == List::kT1 ? lru_t1_ : lru_t2_)[seq] = Ref{file, begin};
+  index_[file][begin] = Item{begin, end, list, seq};
+}
+
+void ArcPolicy::OnAdmit(const std::string& file, byte_count begin,
+                        byte_count size) {
+  const byte_count end = begin + size;
+  // A re-admitted begin replaces its previous tracking entry.
+  if (auto fit = index_.find(file); fit != index_.end()) {
+    if (auto iit = fit->second.find(begin); iit != fit->second.end()) {
+      Unlink(file, iit->second);
+    }
+  }
+  // ARC adaptation: a ghost hit in B1 says T1 was evicted too eagerly
+  // (grow p); a hit in B2 says T2 was (shrink p). The step is the classic
+  // |other| / |own| ratio, at least 1.
+  const auto b1 = static_cast<std::int64_t>(ghost_b1_.size());
+  const auto b2 = static_cast<std::int64_t>(ghost_b2_.size());
+  const bool in_b1 = ghost_b1_.Probe(file, begin, end);
+  const bool in_b2 = !in_b1 && ghost_b2_.Probe(file, begin, end);
+  const auto tracked = static_cast<std::int64_t>(lru_t1_.size() + lru_t2_.size());
+  if (in_b1) {
+    p_ = std::min(p_ + std::max<std::int64_t>(b1 > 0 ? b2 / b1 : 1, 1),
+                  tracked + 1);
+    PushMru(file, begin, end, List::kT2);
+  } else if (in_b2) {
+    p_ = std::max<std::int64_t>(
+        p_ - std::max<std::int64_t>(b2 > 0 ? b1 / b2 : 1, 1), 0);
+    PushMru(file, begin, end, List::kT2);
+  } else {
+    PushMru(file, begin, end, List::kT1);
+  }
+}
+
+void ArcPolicy::OnAccess(const std::string& file, byte_count begin,
+                         byte_count size) {
+  const byte_count end = begin + size;
+  auto fit = index_.find(file);
+  if (fit == index_.end()) return;
+  auto it = fit->second.upper_bound(begin);
+  if (it != fit->second.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > begin) it = prev;
+  }
+  // Collect overlapped keys first: promotion re-inserts into the same map.
+  std::vector<Item> touched;
+  while (it != fit->second.end() && it->second.begin < end) {
+    touched.push_back(it->second);
+    ++it;
+  }
+  for (const Item& item : touched) {
+    Unlink(file, item);
+    if (item.list == List::kT1) ++promotions_;
+    // A second touch is frequency evidence: T1 -> T2; a T2 touch refreshes.
+    PushMru(file, item.begin, item.end, List::kT2);
+  }
+}
+
+void ArcPolicy::OnRemoved(const core::RemovedExtent& extent, bool evicted) {
+  auto fit = index_.find(extent.file);
+  if (fit == index_.end()) return;
+  auto it = fit->second.upper_bound(extent.orig_begin);
+  if (it != fit->second.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > extent.orig_begin) it = prev;
+  }
+  std::vector<Item> touched;
+  while (it != fit->second.end() && it->second.begin < extent.orig_end) {
+    touched.push_back(it->second);
+    ++it;
+  }
+  for (const Item& item : touched) {
+    Unlink(extent.file, item);
+    // Capacity evictions feed the ghost lists that steer p; invalidated
+    // data was superseded and must not look like a missed reuse.
+    if (evicted) {
+      (item.list == List::kT1 ? ghost_b1_ : ghost_b2_)
+          .Insert(extent.file, item.begin, item.end);
+    }
+  }
+}
+
+std::optional<core::RemovedExtent> ArcPolicy::SelectVictim(
+    core::DataMappingTable& dmt) {
+  // Bounded scan: each iteration either evicts, drops a stale candidate, or
+  // defers a dirty-only one to MRU, so the loop terminates.
+  auto attempts = static_cast<std::int64_t>(lru_t1_.size() + lru_t2_.size());
+  while (attempts-- > 0) {
+    const auto t1 = static_cast<std::int64_t>(lru_t1_.size());
+    const bool use_t1 = t1 > 0 && (t1 > p_ || lru_t2_.empty());
+    auto& list = use_t1 ? lru_t1_ : lru_t2_;
+    if (list.empty()) break;
+    const Ref ref = list.begin()->second;
+    const auto fit = index_.find(ref.file);
+    S4D_DCHECK(fit != index_.end());
+    const Item item = fit->second.at(ref.begin);
+    if (auto ext = dmt.EvictCleanOverlapping(ref.file, item.begin, item.end)) {
+      // Bookkeeping happens in OnRemoved when the Redirector releases the
+      // extent — including the move of this candidate into its ghost list.
+      return ext;
+    }
+    ++stale_candidates_;
+    const core::DmtLookup lookup =
+        dmt.Lookup(ref.file, item.begin, item.end - item.begin);
+    Unlink(ref.file, item);
+    if (!lookup.mapped.empty()) {
+      // Still mapped but nothing clean: dirty data awaiting flush. Re-queue
+      // at MRU so the next pass retries it after other candidates.
+      PushMru(ref.file, item.begin, item.end, item.list);
+    }
+  }
+  // Lists drained (or everything tracked is dirty): fall back to clean-LRU
+  // so ARC never finds fewer victims than the paper's policy would.
+  return dmt.EvictLruClean();
+}
+
+void ArcPolicy::AuditInvariants() const {
+  ghost_b1_.AuditInvariants();
+  ghost_b2_.AuditInvariants();
+  S4D_CHECK(p_ >= 0) << "ARC target p negative: " << p_;
+  std::size_t indexed = 0;
+  for (const auto& [file, items] : index_) {
+    for (const auto& [begin, item] : items) {
+      S4D_CHECK(item.begin == begin && item.end > item.begin)
+          << "ARC item malformed: " << file << " @" << begin;
+      const auto& list = item.list == List::kT1 ? lru_t1_ : lru_t2_;
+      const auto lit = list.find(item.seq);
+      S4D_CHECK(lit != list.end() && lit->second.file == file &&
+                lit->second.begin == begin)
+          << "ARC recency list missing " << file << " @" << begin;
+      ++indexed;
+    }
+  }
+  S4D_CHECK(indexed == lru_t1_.size() + lru_t2_.size())
+      << "ARC index size " << indexed << " != lists "
+      << lru_t1_.size() + lru_t2_.size();
+}
+
+// --- factory ---------------------------------------------------------------
+
+const char* EvictionKindName(EvictionKind kind) {
+  switch (kind) {
+    case EvictionKind::kLru: return "lru";
+    case EvictionKind::kArc: return "arc";
+    case EvictionKind::kSelectiveLru: return "selective-lru";
+  }
+  return "?";
+}
+
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionKind kind,
+                                                   std::size_t ghost_capacity) {
+  switch (kind) {
+    case EvictionKind::kLru: return std::make_unique<LruPolicy>();
+    case EvictionKind::kArc: return std::make_unique<ArcPolicy>(ghost_capacity);
+    case EvictionKind::kSelectiveLru:
+      return std::make_unique<SelectiveLruPolicy>(ghost_capacity);
+  }
+  return std::make_unique<LruPolicy>();
+}
+
+}  // namespace s4d::policy

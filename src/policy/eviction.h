@@ -1,0 +1,251 @@
+// Pluggable eviction policies over the DataMappingTable.
+//
+// The Redirector's allocation loop (Algorithm 1 lines 4-10) historically
+// hard-wired clean-LRU victim selection. The policy subsystem turns the
+// victim choice into a strategy object:
+//
+//   LruPolicy          — the paper's behaviour, extracted verbatim: delegate
+//                        to DataMappingTable::EvictLruClean(). Byte-identical
+//                        to the pre-policy code path.
+//   SelectiveLruPolicy — LRU selection plus a bounded *ghost cache* of
+//                        recently evicted ranges. A request overlapping a
+//                        ghost entry "would have hit" had we kept it; the
+//                        PolicyEngine feeds that signal back into admission
+//                        (ghost-assisted admission) and the adaptation loop.
+//   ArcPolicy          — ARC (Megiddo & Modha) adapted to variable-size
+//                        extents: T1 (seen once) / T2 (seen again) recency
+//                        lists over admitted ranges with ghost lists B1/B2
+//                        steering the adaptation parameter p. Because DMT
+//                        extents split and merge underneath the policy, a
+//                        victim candidate is validated at selection time
+//                        (EvictCleanOverlapping) and stale candidates are
+//                        dropped; when the lists drain the policy falls back
+//                        to clean-LRU, so it can never fail to find a victim
+//                        that LRU would have found.
+//
+// All bookkeeping is in-memory, deterministic (std::map iteration only) and
+// audit-clean: AuditInvariants() S4D_CHECKs the representation invariants,
+// and the S4DCache cross-structure audit runs it via the extra-audit hook.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/units.h"
+#include "core/dmt.h"
+
+namespace s4d::policy {
+
+// Bounded FIFO set of recently evicted (file, byte-range) extents. Ranges
+// per file are kept disjoint: inserting an overlapping range first absorbs
+// the overlap, so probes and audits stay simple.
+class GhostCache {
+ public:
+  explicit GhostCache(std::size_t capacity) : capacity_(capacity) {}
+
+  void Insert(const std::string& file, byte_count begin, byte_count end);
+
+  // True iff [begin, end) overlaps a remembered range; a hit *consumes*
+  // every overlapped range (each ghost entry answers at most once).
+  bool Probe(const std::string& file, byte_count begin, byte_count end);
+
+  // Non-consuming overlap test.
+  bool Contains(const std::string& file, byte_count begin,
+                byte_count end) const;
+
+  std::size_t size() const { return fifo_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::int64_t insertions() const { return insertions_; }
+  std::int64_t hits() const { return hits_; }
+
+  // S4D_CHECKs: per-file ranges sorted, disjoint, positive length; the FIFO
+  // order and the range maps index exactly the same entries; size within
+  // capacity. O(entries).
+  void AuditInvariants() const;
+
+ private:
+  struct Range {
+    byte_count end = 0;
+    std::uint64_t seq = 0;
+  };
+  void Erase(const std::string& file, byte_count begin);
+
+  std::size_t capacity_;
+  // file -> begin -> (end, seq); seq keys the FIFO eviction order.
+  std::map<std::string, std::map<byte_count, Range>> ranges_;
+  std::map<std::uint64_t, std::pair<std::string, byte_count>> fifo_;
+  std::uint64_t next_seq_ = 1;
+  std::int64_t insertions_ = 0;
+  std::int64_t hits_ = 0;
+};
+
+// Strategy interface consulted by the Redirector's allocation loop. The
+// notification hooks keep policy bookkeeping in sync with the DMT: the
+// PolicyEngine wires OnAdmit/OnAccess from the admission path and OnRemoved
+// from the Redirector's release hook.
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  // A new mapping for [begin, begin+size) of `file` was created.
+  virtual void OnAdmit(const std::string& file, byte_count begin,
+                       byte_count size) {
+    (void)file;
+    (void)begin;
+    (void)size;
+  }
+  // A request touched [begin, begin+size) of `file` (hit or admission).
+  virtual void OnAccess(const std::string& file, byte_count begin,
+                        byte_count size) {
+    (void)file;
+    (void)begin;
+    (void)size;
+  }
+  // A mapping was removed; `evicted` distinguishes capacity eviction from
+  // invalidation (overwrite/wipe), which must not populate ghost lists.
+  virtual void OnRemoved(const core::RemovedExtent& extent, bool evicted) {
+    (void)extent;
+    (void)evicted;
+  }
+
+  // Selects, removes, and returns one clean victim mapping (nullopt when
+  // nothing clean remains). Called in a loop until the allocation fits.
+  virtual std::optional<core::RemovedExtent> SelectVictim(
+      core::DataMappingTable& dmt) = 0;
+
+  // Would a request over [begin, end) have hit recently evicted data?
+  // Consuming probe; the base policy has no ghost state and says no.
+  virtual bool GhostProbe(const std::string& file, byte_count begin,
+                          byte_count end) {
+    (void)file;
+    (void)begin;
+    (void)end;
+    return false;
+  }
+
+  virtual std::int64_t ghost_hits() const { return 0; }
+  virtual std::size_t ghost_size() const { return 0; }
+
+  virtual void AuditInvariants() const {}
+};
+
+// The paper's behaviour: clean-LRU, straight from the DMT's recency index.
+class LruPolicy final : public EvictionPolicy {
+ public:
+  const char* name() const override { return "lru"; }
+  std::optional<core::RemovedExtent> SelectVictim(
+      core::DataMappingTable& dmt) override {
+    return dmt.EvictLruClean();
+  }
+};
+
+// Clean-LRU selection + ghost cache of evicted ranges. The ghost hit count
+// is the "would have hit" evidence the AdmissionController consumes.
+class SelectiveLruPolicy final : public EvictionPolicy {
+ public:
+  explicit SelectiveLruPolicy(std::size_t ghost_capacity)
+      : ghost_(ghost_capacity) {}
+
+  const char* name() const override { return "selective-lru"; }
+  void OnRemoved(const core::RemovedExtent& extent, bool evicted) override {
+    if (evicted) ghost_.Insert(extent.file, extent.orig_begin, extent.orig_end);
+  }
+  std::optional<core::RemovedExtent> SelectVictim(
+      core::DataMappingTable& dmt) override {
+    return dmt.EvictLruClean();
+  }
+  bool GhostProbe(const std::string& file, byte_count begin,
+                  byte_count end) override {
+    return ghost_.Probe(file, begin, end);
+  }
+  std::int64_t ghost_hits() const override { return ghost_.hits(); }
+  std::size_t ghost_size() const override { return ghost_.size(); }
+  void AuditInvariants() const override { ghost_.AuditInvariants(); }
+
+  const GhostCache& ghost() const { return ghost_; }
+
+ private:
+  GhostCache ghost_;
+};
+
+// ARC over admitted ranges. Tracked at admission granularity: a range keeps
+// its identity while the DMT may split the underlying extents; selection
+// validates candidates against the live table and skips stale ones.
+class ArcPolicy final : public EvictionPolicy {
+ public:
+  explicit ArcPolicy(std::size_t ghost_capacity)
+      : ghost_b1_(ghost_capacity), ghost_b2_(ghost_capacity) {}
+
+  const char* name() const override { return "arc"; }
+  void OnAdmit(const std::string& file, byte_count begin,
+               byte_count size) override;
+  void OnAccess(const std::string& file, byte_count begin,
+                byte_count size) override;
+  void OnRemoved(const core::RemovedExtent& extent, bool evicted) override;
+  std::optional<core::RemovedExtent> SelectVictim(
+      core::DataMappingTable& dmt) override;
+  bool GhostProbe(const std::string& file, byte_count begin,
+                  byte_count end) override {
+    // Non-consuming peek: OnAdmit later runs the *consuming* probes that
+    // drive the p adaptation, so an admission-time peek must not eat them.
+    return ghost_b1_.Contains(file, begin, end) ||
+           ghost_b2_.Contains(file, begin, end);
+  }
+  std::int64_t ghost_hits() const override {
+    return ghost_b1_.hits() + ghost_b2_.hits();
+  }
+  std::size_t ghost_size() const override {
+    return ghost_b1_.size() + ghost_b2_.size();
+  }
+  void AuditInvariants() const override;
+
+  // Introspection for tests/metrics.
+  std::size_t t1_size() const { return lru_t1_.size(); }
+  std::size_t t2_size() const { return lru_t2_.size(); }
+  std::int64_t target_p() const { return p_; }
+  std::int64_t promotions() const { return promotions_; }
+  std::int64_t stale_candidates() const { return stale_candidates_; }
+
+ private:
+  enum class List : std::uint8_t { kT1, kT2 };
+  struct Item {
+    byte_count begin = 0;
+    byte_count end = 0;
+    List list = List::kT1;
+    std::uint64_t seq = 0;
+  };
+  struct Ref {
+    std::string file;
+    byte_count begin = 0;
+  };
+
+  // Detaches the index entry at (file, begin) from its recency list.
+  void Unlink(const std::string& file, const Item& item);
+  void PushMru(const std::string& file, byte_count begin, byte_count end,
+               List list);
+
+  // Recency lists: seq -> ref, oldest first. Index: file -> begin -> item.
+  std::map<std::uint64_t, Ref> lru_t1_;
+  std::map<std::uint64_t, Ref> lru_t2_;
+  std::map<std::string, std::map<byte_count, Item>> index_;
+  GhostCache ghost_b1_;  // evicted from T1 (recency ghosts)
+  GhostCache ghost_b2_;  // evicted from T2 (frequency ghosts)
+  std::uint64_t next_seq_ = 1;
+  std::int64_t p_ = 0;  // target size of T1, in tracked ranges
+  std::int64_t promotions_ = 0;
+  std::int64_t stale_candidates_ = 0;
+};
+
+enum class EvictionKind { kLru, kArc, kSelectiveLru };
+
+const char* EvictionKindName(EvictionKind kind);
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionKind kind,
+                                                   std::size_t ghost_capacity);
+
+}  // namespace s4d::policy

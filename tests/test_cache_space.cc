@@ -81,6 +81,29 @@ TEST(CacheSpace, FragmentationBlocksLargeAllocation) {
   EXPECT_EQ(alloc.Allocate(150), std::nullopt);
 }
 
+TEST(CacheSpace, OccupancyAndFragmentationGauges) {
+  CacheSpaceAllocator alloc(400);
+  EXPECT_DOUBLE_EQ(alloc.occupancy(), 0.0);
+  EXPECT_DOUBLE_EQ(alloc.fragmentation(), 0.0) << "one free run = no frag";
+  ASSERT_EQ(alloc.Allocate(100), 0);
+  EXPECT_DOUBLE_EQ(alloc.occupancy(), 0.25);
+  EXPECT_DOUBLE_EQ(alloc.fragmentation(), 0.0) << "free space still one run";
+  ASSERT_EQ(alloc.Allocate(100), 100);
+  ASSERT_EQ(alloc.Allocate(100), 200);
+  ASSERT_EQ(alloc.Allocate(100), 300);
+  EXPECT_DOUBLE_EQ(alloc.occupancy(), 1.0);
+  EXPECT_DOUBLE_EQ(alloc.fragmentation(), 0.0) << "no free space = no frag";
+  alloc.Free(0, 100);
+  alloc.Free(200, 100);
+  // 200 free in two 100-byte runs: half the free space is unreachable by
+  // the largest contiguous allocation.
+  EXPECT_DOUBLE_EQ(alloc.occupancy(), 0.5);
+  EXPECT_DOUBLE_EQ(alloc.fragmentation(), 0.5);
+  CacheSpaceAllocator empty(0);
+  EXPECT_DOUBLE_EQ(empty.occupancy(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.fragmentation(), 0.0);
+}
+
 TEST(CacheSpace, SpreadModeRotatesAcrossStripes) {
   // 4 stripes of 100; small allocations must land in distinct stripes.
   CacheSpaceAllocator alloc(400, /*spread_granularity=*/100);

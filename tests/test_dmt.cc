@@ -114,6 +114,36 @@ TEST(Dmt, EvictSkipsDirty) {
   EXPECT_EQ(dmt.EvictLruClean(), std::nullopt) << "only dirty data remains";
 }
 
+TEST(Dmt, EvictCleanOverlappingPicksOnlyInRange) {
+  DataMappingTable dmt;
+  dmt.Insert("f", 0, 100, 0, false);
+  dmt.Insert("f", 200, 100, 100, false);
+  dmt.Insert("g", 0, 100, 200, false);
+  EXPECT_EQ(dmt.EvictCleanOverlapping("f", 100, 200), std::nullopt)
+      << "gap between extents must not match";
+  const auto victim = dmt.EvictCleanOverlapping("f", 250, 260);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->orig_begin, 200);
+  EXPECT_EQ(victim->orig_end, 300);
+  EXPECT_EQ(dmt.mapped_bytes(), 200);
+  EXPECT_TRUE(dmt.Lookup("f", 200, 100).fully_unmapped());
+  EXPECT_TRUE(dmt.Lookup("g", 0, 100).fully_mapped()) << "other file intact";
+}
+
+TEST(Dmt, EvictCleanOverlappingSkipsDirty) {
+  DataMappingTable dmt;
+  dmt.Insert("f", 0, 100, 0, true);
+  dmt.Insert("f", 100, 25, 200, false);
+  const auto victim = dmt.EvictCleanOverlapping("f", 0, 125);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->orig_begin, 100);
+  EXPECT_EQ(victim->orig_end, 125);
+  EXPECT_FALSE(victim->dirty);
+  EXPECT_EQ(dmt.EvictCleanOverlapping("f", 0, 125), std::nullopt)
+      << "only dirty extents remain in range";
+  EXPECT_EQ(dmt.dirty_bytes(), dmt.mapped_bytes());
+}
+
 TEST(Dmt, CollectDirtyReturnsSnapshotsWithVersions) {
   DataMappingTable dmt;
   dmt.Insert("f", 0, 100, 500, true);

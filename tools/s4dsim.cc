@@ -74,6 +74,7 @@
 #include "harness/testbed.h"
 #include "obs/observability.h"
 #include "obs/sampler.h"
+#include "policy/policy_engine.h"
 #include "trace/trace.h"
 #include <fstream>
 #include <sstream>
@@ -107,6 +108,53 @@ random = true
 kind = write
 repeat = 1
 )";
+
+// Every key s4dsim understands, by section. ValidateKnownKeys rejects any
+// config entry outside this schema, so a typo ("evction = arc") fails the
+// run loudly instead of silently running the default.
+Status ValidateConfig(const ConfigParser& config) {
+  static const std::map<std::string, std::vector<std::string>> kSchema = {
+      {"cluster", {"dservers", "cservers", "stripe", "verify_content"}},
+      {"middleware",
+       {"type", "cache_capacity", "policy", "rebuild_interval",
+        "metadata_overhead", "dmt_update_latency", "degraded_reads",
+        "io_timeout", "cache_unhealthy_degrade"}},
+      {"workload",
+       {"type", "kind", "ranks", "region_count", "region_size",
+        "region_spacing", "trace", "file", "elements_x", "elements_y",
+        "element_size", "file_size", "request_size", "random", "seed",
+        "repeat"}},
+      {"faults", {"fault*", "queue_stale_timeout"}},
+      {"obs", {"trace_out", "metrics_out", "sample_interval"}},
+      {"policy",
+       {"mode", "eviction", "admission", "destage", "ghost_capacity",
+        "window_requests", "seq_distance_max", "ewma_alpha", "threshold_step",
+        "threshold_max", "pressure_max_queue"}},
+  };
+  return config.ValidateKnownKeys(kSchema);
+}
+
+// Builds the policy engine for a parsed [policy] section, or null for
+// paper-default (no engine, no hooks — the byte-identical legacy path).
+// Exits on configuration errors.
+std::unique_ptr<policy::PolicyEngine> MakePolicyEngine(
+    const ConfigParser& config, core::S4DCache* s4d, obs::Observability* obs) {
+  auto parsed = policy::ParsePolicyConfig(config);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "policy config error: %s\n",
+                 parsed.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (parsed->mode == policy::PolicyMode::kPaperDefault) return nullptr;
+  if (s4d == nullptr) {
+    std::fprintf(stderr,
+                 "policy config error: [policy] needs middleware.type = s4d\n");
+    std::exit(1);
+  }
+  auto engine = std::make_unique<policy::PolicyEngine>(*parsed);
+  engine->Attach(*s4d, obs);
+  return engine;
+}
 
 std::unique_ptr<workloads::Workload> MakeWorkload(const ConfigParser& config) {
   const std::string type = config.StringOr("workload", "type", "ior");
@@ -232,6 +280,9 @@ int Run(const ConfigParser& config) {
     std::fprintf(stderr, "unknown middleware type: %s\n", mw_type.c_str());
     return 1;
   }
+
+  auto policy_engine =
+      MakePolicyEngine(config, s4d.get(), observed ? &obs : nullptr);
 
   harness::ContentChecker checker;
   harness::DriverOptions run_options;
@@ -370,6 +421,19 @@ int Run(const ConfigParser& config) {
                 FormatBytes(s4d->cache_space().capacity()).c_str(),
                 s4d->dmt().entry_count(),
                 FormatBytes(s4d->dmt().dirty_bytes()).c_str());
+    if (policy_engine) {
+      const auto& as = policy_engine->admission().stats();
+      std::printf(
+          "policy: %s/%s eviction, %lld admits (%lld ghost), %lld threshold "
+          "rejects, %lld pressure vetoes, %lld switches\n",
+          policy::PolicyModeName(policy_engine->config().mode),
+          policy::EvictionKindName(policy_engine->eviction_kind()),
+          static_cast<long long>(as.admits),
+          static_cast<long long>(as.ghost_admits),
+          static_cast<long long>(as.threshold_rejects),
+          static_cast<long long>(as.pressure_vetoes),
+          static_cast<long long>(policy_engine->stats().policy_switches));
+    }
   }
 
   if (!schedule->empty()) {
@@ -527,6 +591,8 @@ SeedMetrics RunOneSeed(const ConfigParser& base, std::uint64_t seed) {
     std::exit(1);
   }
 
+  auto policy_engine = MakePolicyEngine(config, s4d.get(), nullptr);
+
   fault::FaultInjector injector(bed.engine(), bed.dservers(), bed.cservers(),
                                 s4d.get());
   if (!schedule->empty()) injector.Arm(*schedule);
@@ -648,6 +714,11 @@ int main(int argc, char** argv) {
     const Status status = config.ParseFile(config_path);
     if (!status.ok()) {
       std::fprintf(stderr, "config error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    const Status known = ValidateConfig(config);
+    if (!known.ok()) {
+      std::fprintf(stderr, "config error: %s\n", known.ToString().c_str());
       return 1;
     }
   } else {
