@@ -1,0 +1,182 @@
+// Trace-replay frontend benchmark (src/tracein):
+//
+// 1. Loader throughput: parse a synthetic MSR-style CSV and its binary
+//    re-encoding (wall-clock rows/sec; reported, not gated — host noise).
+// 2. Open-loop replay: the same trace replayed at time scales 1.0 / 0.5 /
+//    0.25 against the S4D middleware. Faster replay raises arrival
+//    pressure, so throughput climbs while queueing shows up as latency —
+//    the simulated MB/s is deterministic and CI-gated.
+// 3. Closed-loop what-if scaling: TraceScaler clones the captured streams
+//    1x / 4x / 8x and replays with think time, the capture-once /
+//    replay-bigger loop from EXPERIMENTS.md.
+//
+// The trace is synthesized in-process (same shape as
+// examples/traces/msr_sample.csv, scaled up) so the bench needs no data
+// files and every run sees identical input.
+#include "bench_common.h"
+
+#include <sstream>
+
+#include "common/table_printer.h"
+#include "tracein/loader.h"
+#include "tracein/replayer.h"
+#include "tracein/scaler.h"
+
+namespace s4d::bench {
+namespace {
+
+// MSR-style rows: `streams` hostname.disk pairs, `steps` requests each at
+// one request per 250 us, 2/3 writes into a private 8 MiB region then 1/3
+// reads of the written extents. Offsets and sizes are pure functions of
+// (stream, step) — byte-identical input on every host.
+std::string MakeMsrCsv(int streams, int steps) {
+  constexpr std::int64_t kBaseTick = 128166372003061310;  // 100 ns ticks
+  constexpr byte_count kSizes[] = {4 * KiB, 8 * KiB, 16 * KiB, 32 * KiB,
+                                   64 * KiB};
+  const int writes = steps * 2 / 3;
+  std::ostringstream out;
+  out << "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n";
+  for (int step = 0; step < steps; ++step) {
+    for (int s = 0; s < streams; ++s) {
+      const std::int64_t k = static_cast<std::int64_t>(step) * streams + s;
+      const int slot = step < writes ? step : (step - writes) % writes;
+      const byte_count offset =
+          static_cast<byte_count>(s) * (8 * MiB) +
+          static_cast<byte_count>(slot) * (64 * KiB);
+      out << (kBaseTick + k * 2500) << ",host" << (s / 4) << ',' << (s % 4)
+          << ',' << (step < writes ? "Write" : "Read") << ',' << offset << ','
+          << kSizes[slot % 5] << ',' << (1000 + k % 997) << '\n';
+    }
+  }
+  return out.str();
+}
+
+void BenchLoader(const std::string& csv, BenchReporter& report) {
+  std::printf("--- 1. Loader: parse throughput (wall clock) ---\n");
+  auto parsed = tracein::TraceLoader::Parse(csv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 parsed.status().ToString().c_str());
+    std::exit(1);
+  }
+  const std::string binary = tracein::TraceLoader::ToBinary(*parsed);
+  const double rows = static_cast<double>(parsed->records.size());
+
+  struct Case {
+    const char* format;
+    const std::string* data;
+  };
+  for (const Case& c : {Case{"msr-csv", &csv}, Case{"binary", &binary}}) {
+    const auto start = std::chrono::steady_clock::now();
+    int reps = 0;
+    std::size_t total = 0;
+    for (; reps < 50; ++reps) {
+      auto trace = tracein::TraceLoader::Parse(*c.data);
+      total += trace->records.size();
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      if (elapsed > std::chrono::milliseconds(300) && reps >= 4) break;
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double rows_per_sec = static_cast<double>(total) / secs;
+    std::printf("  %-8s %7.0f rows  %8.2f MB  %12.0f rows/sec\n", c.format,
+                rows, static_cast<double>(c.data->size()) / 1e6,
+                rows_per_sec);
+    report.Add("rows_per_sec", rows_per_sec, {{"format", c.format}});
+  }
+  std::printf("  (wall-clock; reported for trend lines, not CI-gated)\n\n");
+}
+
+tracein::ReplayResult ReplayOnce(const tracein::LoadedTrace& trace,
+                                 tracein::ReplayMode mode, double time_scale,
+                                 std::uint64_t seed) {
+  harness::TestbedConfig bed_cfg;
+  bed_cfg.seed = seed;
+  harness::Testbed bed(bed_cfg);
+  core::S4DConfig cfg;
+  cfg.cache_capacity = 64 * MiB;
+  auto s4d = bed.MakeS4D(cfg);
+  mpiio::MpiIoLayer layer(bed.engine(), *s4d);
+  tracein::TraceReplayWorkload wl(trace, "bench_trace.dat");
+  tracein::ReplayOptions opts;
+  opts.mode = mode;
+  opts.time_scale = time_scale;
+  opts.window = 0;
+  return wl.Replay(layer, opts);
+}
+
+void BenchOpenLoop(const tracein::LoadedTrace& trace, const BenchArgs& args,
+                   BenchReporter& report) {
+  std::printf("--- 2. Open-loop replay vs time scale (S4D middleware) ---\n");
+  TablePrinter table(
+      {"time scale", "MB/s", "mean latency (us)", "peak in flight"});
+  for (const double scale : {1.0, 0.5, 0.25}) {
+    const auto r =
+        ReplayOnce(trace, tracein::ReplayMode::kOpenLoop, scale, args.seed);
+    table.AddRow({TablePrinter::Num(scale, 2),
+                  TablePrinter::Num(r.run.throughput_mbps),
+                  TablePrinter::Num(r.run.mean_latency_us, 1),
+                  TablePrinter::Int(r.peak_in_flight)});
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.2f", scale);
+    report.Add("throughput_mbps", r.run.throughput_mbps,
+               {{"mode", "open"}, {"time_scale", label}});
+  }
+  table.Print(std::cout);
+  std::printf("expected: MB/s scales ~1/time_scale until the arrival\n"
+              "pressure outruns the servers, then latency absorbs it.\n\n");
+}
+
+void BenchScaledClosedLoop(const tracein::LoadedTrace& trace,
+                           const BenchArgs& args, BenchReporter& report) {
+  std::printf("--- 3. Closed-loop replay vs TraceScaler factor ---\n");
+  TablePrinter table({"scale", "ranks", "requests", "MB/s", "mean latency (us)"});
+  for (const int factor : {1, 4, 8}) {
+    tracein::ScaleOptions scale;
+    scale.factor = factor;
+    const tracein::LoadedTrace scaled = tracein::ScaleTrace(trace, scale);
+    const auto r =
+        ReplayOnce(scaled, tracein::ReplayMode::kClosedLoop, 1.0, args.seed);
+    table.AddRow({TablePrinter::Int(factor), TablePrinter::Int(scaled.ranks),
+                  TablePrinter::Int(r.run.requests),
+                  TablePrinter::Num(r.run.throughput_mbps),
+                  TablePrinter::Num(r.run.mean_latency_us, 1)});
+    report.Add("throughput_mbps", r.run.throughput_mbps,
+               {{"mode", "closed"}, {"scale", std::to_string(factor)}});
+  }
+  table.Print(std::cout);
+  std::printf("expected: requests scale exactly with the factor; MB/s grows\n"
+              "with rank parallelism until the cluster saturates.\n");
+}
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  BenchReporter report("trace", args);
+  std::printf("=== Trace-replay frontend: loader + open/closed replay ===\n");
+  const int streams = args.full ? 16 : 8;
+  const int steps = args.full ? 480 : 120;
+  {
+    std::ostringstream detail;
+    detail << streams << " streams x " << steps
+           << " requests, 250 us inter-arrival, 2:1 write:read";
+    report.Scale(detail.str());
+  }
+  const std::string csv = MakeMsrCsv(streams, steps);
+  BenchLoader(csv, report);
+  auto trace = tracein::TraceLoader::Parse(csv);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+  BenchOpenLoop(*trace, args, report);
+  BenchScaledClosedLoop(*trace, args, report);
+  report.Finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace s4d::bench
+
+int main(int argc, char** argv) { return s4d::bench::Main(argc, argv); }

@@ -1,0 +1,459 @@
+#include "tracein/loader.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace s4d::tracein {
+namespace {
+
+constexpr char kBinaryMagic[8] = {'S', '4', 'D', 'T', 'R', 'C', '0', '1'};
+constexpr std::size_t kBinaryHeaderSize = 24;
+constexpr std::size_t kBinaryRecordSize = 32;
+// Backstop against a corrupt header allocating absurd label tables.
+constexpr std::uint32_t kMaxRanks = 1u << 22;
+
+template <typename T>
+bool ParseInt(const std::string& s, T& out) {
+  const auto result = std::from_chars(s.data(), s.data() + s.size(), out);
+  return result.ec == std::errc{} && result.ptr == s.data() + s.size();
+}
+
+// Splits `line` on commas; returns false when the field count differs from
+// `expect` (0 = any). Trailing '\r' (CRLF input) is stripped first.
+std::vector<std::string> SplitCsv(std::string line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> fields;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      fields.push_back(line.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string Lower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+Status BadRow(const std::string& source, int line, const std::string& what) {
+  return Status::InvalidArgument(source + ":" + std::to_string(line) + ": " +
+                                 what);
+}
+
+bool ParseKind(const std::string& field, device::IoKind& kind) {
+  const std::string k = Lower(field);
+  if (k == "read" || k == "r") {
+    kind = device::IoKind::kRead;
+    return true;
+  }
+  if (k == "write" || k == "w") {
+    kind = device::IoKind::kWrite;
+    return true;
+  }
+  return false;
+}
+
+// Dense stream-id assignment in first-appearance order. The map is only
+// ever point-queried, so its ordering never reaches any output.
+class StreamTable {
+ public:
+  int IdFor(const std::string& label, std::vector<std::string>& names) {
+    const auto [it, inserted] =
+        ids_.emplace(label, static_cast<int>(names.size()));
+    if (inserted) names.push_back(label);
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, int> ids_;
+};
+
+// Stable order by arrival: rounded/tied timestamps keep their file order,
+// which also preserves the per-rank request order of a sorted input.
+void SortByArrival(std::vector<TraceRecord>& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.arrival < b.arrival;
+                   });
+}
+
+Result<LoadedTrace> ParseMsr(const std::string& data,
+                             const std::string& source) {
+  LoadedTrace trace;
+  trace.format = TraceFormat::kMsr;
+  trace.source = source;
+  trace.has_timestamps = true;
+  StreamTable streams;
+  std::istringstream in(data);
+  std::string line;
+  int line_number = 0;
+  std::int64_t min_ticks = 0;
+  bool have_min = false;
+  std::vector<std::int64_t> raw_ticks;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line == "\r") continue;
+    if (line_number == 1 && Lower(line).rfind("timestamp", 0) == 0) continue;
+    const auto fields = SplitCsv(line);
+    if (fields.size() != 7) {
+      return BadRow(source, line_number,
+                    "expected 7 MSR fields "
+                    "(timestamp,hostname,disk,type,offset,size,latency), got " +
+                        std::to_string(fields.size()));
+    }
+    std::int64_t ticks = 0;
+    std::int64_t latency_ticks = 0;
+    TraceRecord record;
+    if (!ParseInt(fields[0], ticks) || ticks < 0) {
+      return BadRow(source, line_number, "bad timestamp '" + fields[0] + "'");
+    }
+    if (fields[1].empty()) {
+      return BadRow(source, line_number, "empty hostname");
+    }
+    int disk = 0;
+    if (!ParseInt(fields[2], disk) || disk < 0) {
+      return BadRow(source, line_number, "bad disk number '" + fields[2] + "'");
+    }
+    if (!ParseKind(fields[3], record.kind)) {
+      return BadRow(source, line_number, "bad type '" + fields[3] + "'");
+    }
+    if (!ParseInt(fields[4], record.offset) || record.offset < 0) {
+      return BadRow(source, line_number, "bad offset '" + fields[4] + "'");
+    }
+    if (!ParseInt(fields[5], record.size) || record.size <= 0) {
+      return BadRow(source, line_number, "bad size '" + fields[5] + "'");
+    }
+    if (!ParseInt(fields[6], latency_ticks) || latency_ticks < 0) {
+      return BadRow(source, line_number, "bad latency '" + fields[6] + "'");
+    }
+    record.rank =
+        streams.IdFor(fields[1] + "." + std::to_string(disk), trace.streams);
+    raw_ticks.push_back(ticks);
+    trace.records.push_back(record);
+    if (!have_min || ticks < min_ticks) {
+      min_ticks = ticks;
+      have_min = true;
+    }
+  }
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    // 100 ns ticks, normalized so the earliest request arrives at t = 0.
+    trace.records[i].arrival = (raw_ticks[i] - min_ticks) * 100;
+  }
+  SortByArrival(trace.records);
+  FinalizeTrace(trace);
+  return trace;
+}
+
+Result<LoadedTrace> ParseNative(const std::string& data,
+                                const std::string& source) {
+  LoadedTrace trace;
+  trace.format = TraceFormat::kNative;
+  trace.source = source;
+  trace.has_timestamps = true;
+  StreamTable streams;
+  std::istringstream in(data);
+  std::string line;
+  int line_number = 0;
+  SimTime min_issue = 0;
+  bool have_min = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line == "\r") continue;
+    if (line_number == 1 && Lower(line).rfind("system,file,kind", 0) == 0) {
+      continue;
+    }
+    const auto fields = SplitCsv(line);
+    if (fields.size() != 8) {
+      return BadRow(source, line_number,
+                    "expected 8 collector fields "
+                    "(system,file,kind,offset,size,priority,issue_ns,servers)"
+                    ", got " +
+                        std::to_string(fields.size()));
+    }
+    if (fields[5] == "bg") continue;  // middleware's own flush/fetch traffic
+    if (fields[5] != "normal") {
+      return BadRow(source, line_number, "bad priority '" + fields[5] + "'");
+    }
+    TraceRecord record;
+    if (!ParseKind(fields[2], record.kind)) {
+      return BadRow(source, line_number, "bad kind '" + fields[2] + "'");
+    }
+    if (!ParseInt(fields[3], record.offset) || record.offset < 0) {
+      return BadRow(source, line_number, "bad offset '" + fields[3] + "'");
+    }
+    if (!ParseInt(fields[4], record.size) || record.size <= 0) {
+      return BadRow(source, line_number, "bad size '" + fields[4] + "'");
+    }
+    if (!ParseInt(fields[6], record.arrival) || record.arrival < 0) {
+      return BadRow(source, line_number, "bad issue_ns '" + fields[6] + "'");
+    }
+    record.rank = streams.IdFor(fields[0] + "/" + fields[1], trace.streams);
+    trace.records.push_back(record);
+    if (!have_min || record.arrival < min_issue) {
+      min_issue = record.arrival;
+      have_min = true;
+    }
+  }
+  for (TraceRecord& record : trace.records) record.arrival -= min_issue;
+  SortByArrival(trace.records);
+  FinalizeTrace(trace);
+  return trace;
+}
+
+Result<LoadedTrace> ParseReplay(const std::string& data,
+                                const std::string& source) {
+  LoadedTrace trace;
+  trace.format = TraceFormat::kReplay;
+  trace.source = source;
+  std::istringstream in(data);
+  std::string line;
+  int line_number = 0;
+  int columns = 0;  // 4 or 5, pinned by the first data row
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line == "\r") continue;
+    if (line_number == 1 && Lower(line).rfind("rank", 0) == 0) continue;
+    const auto fields = SplitCsv(line);
+    if (fields.size() != 4 && fields.size() != 5) {
+      return BadRow(source, line_number,
+                    "expected rank,kind,offset,size[,arrival_ns], got " +
+                        std::to_string(fields.size()) + " fields");
+    }
+    if (columns == 0) {
+      columns = static_cast<int>(fields.size());
+      trace.has_timestamps = columns == 5;
+    } else if (static_cast<int>(fields.size()) != columns) {
+      return BadRow(source, line_number,
+                    "row has " + std::to_string(fields.size()) +
+                        " fields but the first data row had " +
+                        std::to_string(columns) +
+                        " (the arrival column is all-or-nothing)");
+    }
+    TraceRecord record;
+    if (!ParseInt(fields[0], record.rank) || record.rank < 0) {
+      return BadRow(source, line_number, "bad rank '" + fields[0] + "'");
+    }
+    if (!ParseKind(fields[1], record.kind)) {
+      return BadRow(source, line_number, "bad kind '" + fields[1] + "'");
+    }
+    if (!ParseInt(fields[2], record.offset) || record.offset < 0) {
+      return BadRow(source, line_number, "bad offset '" + fields[2] + "'");
+    }
+    if (!ParseInt(fields[3], record.size) || record.size <= 0) {
+      return BadRow(source, line_number, "bad size '" + fields[3] + "'");
+    }
+    if (columns == 5 &&
+        (!ParseInt(fields[4], record.arrival) || record.arrival < 0)) {
+      return BadRow(source, line_number, "bad arrival_ns '" + fields[4] + "'");
+    }
+    trace.records.push_back(record);
+  }
+  // Replay arrivals are already relative to the trace start (our own
+  // capture format), so they are kept verbatim — a deliberate lead-in
+  // survives the round trip. Timestamp-less traces keep file order.
+  if (trace.has_timestamps) SortByArrival(trace.records);
+  FinalizeTrace(trace);
+  return trace;
+}
+
+Result<LoadedTrace> ParseBinary(const std::string& data,
+                                const std::string& source) {
+  // Fixed-width fields are memcpy'd in host byte order (the toolchain's
+  // only target is little-endian); the magic guards against text input.
+  if (data.size() < kBinaryHeaderSize ||
+      std::memcmp(data.data(), kBinaryMagic, sizeof(kBinaryMagic)) != 0) {
+    return Status::InvalidArgument(source + ": not an S4DTRC01 binary trace");
+  }
+  LoadedTrace trace;
+  trace.format = TraceFormat::kBinary;
+  trace.source = source;
+  std::uint8_t flags = 0;
+  std::uint32_t rank_count = 0;
+  std::uint64_t record_count = 0;
+  std::memcpy(&flags, data.data() + 8, 1);
+  std::memcpy(&rank_count, data.data() + 12, 4);
+  std::memcpy(&record_count, data.data() + 16, 8);
+  trace.has_timestamps = (flags & 1) != 0;
+  if (rank_count == 0 || rank_count > kMaxRanks) {
+    return Status::InvalidArgument(source + ": implausible rank count " +
+                                   std::to_string(rank_count));
+  }
+  std::size_t at = kBinaryHeaderSize;
+  for (std::uint32_t r = 0; r < rank_count; ++r) {
+    std::uint16_t len = 0;
+    if (at + 2 > data.size()) {
+      return Status::InvalidArgument(source +
+                                     ": truncated in stream-label table");
+    }
+    std::memcpy(&len, data.data() + at, 2);
+    at += 2;
+    if (at + len > data.size()) {
+      return Status::InvalidArgument(source +
+                                     ": truncated in stream-label table");
+    }
+    trace.streams.emplace_back(data.data() + at, len);
+    at += len;
+  }
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    if (at + kBinaryRecordSize > data.size()) {
+      return Status::InvalidArgument(source + ": truncated at record " +
+                                     std::to_string(i + 1) + " of " +
+                                     std::to_string(record_count));
+    }
+    TraceRecord record;
+    std::int64_t arrival = 0, offset = 0, size = 0;
+    std::int32_t rank = 0;
+    std::uint8_t kind = 0;
+    std::memcpy(&arrival, data.data() + at, 8);
+    std::memcpy(&offset, data.data() + at + 8, 8);
+    std::memcpy(&size, data.data() + at + 16, 8);
+    std::memcpy(&rank, data.data() + at + 24, 4);
+    std::memcpy(&kind, data.data() + at + 28, 1);
+    at += kBinaryRecordSize;
+    if (rank < 0 || static_cast<std::uint32_t>(rank) >= rank_count ||
+        kind > 1 || offset < 0 || size <= 0 || arrival < 0) {
+      return Status::InvalidArgument(source + ": corrupt record " +
+                                     std::to_string(i + 1));
+    }
+    record.rank = rank;
+    record.kind = kind == 0 ? device::IoKind::kRead : device::IoKind::kWrite;
+    record.offset = offset;
+    record.size = size;
+    record.arrival = arrival;
+    trace.records.push_back(record);
+  }
+  if (at != data.size()) {
+    return Status::InvalidArgument(source + ": trailing bytes after record " +
+                                   std::to_string(record_count));
+  }
+  SortByArrival(trace.records);
+  FinalizeTrace(trace);
+  return trace;
+}
+
+}  // namespace
+
+Result<TraceFormat> TraceLoader::FormatFromName(const std::string& name) {
+  if (name == "auto") return TraceFormat::kAuto;
+  if (name == "msr") return TraceFormat::kMsr;
+  if (name == "native") return TraceFormat::kNative;
+  if (name == "replay") return TraceFormat::kReplay;
+  if (name == "binary") return TraceFormat::kBinary;
+  return Status::InvalidArgument(
+      "unknown trace format '" + name +
+      "' (want auto, msr, native, replay, or binary)");
+}
+
+TraceFormat TraceLoader::Sniff(const std::string& data) {
+  if (data.size() >= sizeof(kBinaryMagic) &&
+      std::memcmp(data.data(), kBinaryMagic, sizeof(kBinaryMagic)) == 0) {
+    return TraceFormat::kBinary;
+  }
+  std::istringstream in(data);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    const std::string lowered = Lower(line);
+    // Header-based detection first: every emitter writes a header, and the
+    // headers are mutually unambiguous prefixes.
+    if (lowered.rfind("system,file,kind", 0) == 0) return TraceFormat::kNative;
+    if (lowered.rfind("rank", 0) == 0) return TraceFormat::kReplay;
+    if (lowered.rfind("timestamp", 0) == 0) return TraceFormat::kMsr;
+    // Headerless fallback: the field count separates the formats.
+    const auto fields = SplitCsv(line);
+    switch (fields.size()) {
+      case 7: return TraceFormat::kMsr;
+      case 8: return TraceFormat::kNative;
+      case 4:
+      case 5: return TraceFormat::kReplay;
+      default: return TraceFormat::kAuto;
+    }
+  }
+  return TraceFormat::kAuto;
+}
+
+Result<LoadedTrace> TraceLoader::Parse(const std::string& data,
+                                       TraceFormat format,
+                                       const std::string& source) {
+  if (format == TraceFormat::kAuto) format = Sniff(data);
+  switch (format) {
+    case TraceFormat::kMsr: return ParseMsr(data, source);
+    case TraceFormat::kNative: return ParseNative(data, source);
+    case TraceFormat::kReplay: return ParseReplay(data, source);
+    case TraceFormat::kBinary: return ParseBinary(data, source);
+    case TraceFormat::kAuto: break;
+  }
+  return Status::InvalidArgument(
+      source + ": cannot determine trace format (not S4DTRC01 binary, and "
+               "the first row is neither a known header nor 4/5/7/8 fields)");
+}
+
+Result<LoadedTrace> TraceLoader::LoadFile(const std::string& path,
+                                          TraceFormat format) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open trace file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str(), format, path);
+}
+
+std::string TraceLoader::ToBinary(const LoadedTrace& trace) {
+  std::string out;
+  out.append(kBinaryMagic, sizeof(kBinaryMagic));
+  const std::uint8_t flags = trace.has_timestamps ? 1 : 0;
+  const std::uint8_t pad[3] = {0, 0, 0};
+  const auto rank_count = static_cast<std::uint32_t>(trace.ranks);
+  const auto record_count = static_cast<std::uint64_t>(trace.records.size());
+  out.append(reinterpret_cast<const char*>(&flags), 1);
+  out.append(reinterpret_cast<const char*>(pad), 3);
+  out.append(reinterpret_cast<const char*>(&rank_count), 4);
+  out.append(reinterpret_cast<const char*>(&record_count), 8);
+  for (int r = 0; r < trace.ranks; ++r) {
+    const std::string& label = trace.streams[static_cast<std::size_t>(r)];
+    const auto len = static_cast<std::uint16_t>(
+        std::min<std::size_t>(label.size(), 0xffff));
+    out.append(reinterpret_cast<const char*>(&len), 2);
+    out.append(label.data(), len);
+  }
+  for (const TraceRecord& record : trace.records) {
+    const std::int64_t arrival = record.arrival;
+    const std::int64_t offset = record.offset;
+    const std::int64_t size = record.size;
+    const std::int32_t rank = record.rank;
+    const std::uint8_t kind = record.kind == device::IoKind::kRead ? 0 : 1;
+    out.append(reinterpret_cast<const char*>(&arrival), 8);
+    out.append(reinterpret_cast<const char*>(&offset), 8);
+    out.append(reinterpret_cast<const char*>(&size), 8);
+    out.append(reinterpret_cast<const char*>(&rank), 4);
+    out.append(reinterpret_cast<const char*>(&kind), 1);
+    out.append(reinterpret_cast<const char*>(pad), 3);
+  }
+  return out;
+}
+
+std::string TraceLoader::ToReplayCsv(const LoadedTrace& trace) {
+  std::ostringstream out;
+  out << (trace.has_timestamps ? "rank,kind,offset,size,arrival_ns\n"
+                               : "rank,kind,offset,size\n");
+  for (const TraceRecord& record : trace.records) {
+    out << record.rank << ',' << device::IoKindName(record.kind) << ','
+        << record.offset << ',' << record.size;
+    if (trace.has_timestamps) out << ',' << record.arrival;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace s4d::tracein

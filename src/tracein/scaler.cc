@@ -1,0 +1,48 @@
+#include "tracein/scaler.h"
+
+#include "common/check.h"
+
+namespace s4d::tracein {
+
+LoadedTrace ScaleTrace(const LoadedTrace& trace, const ScaleOptions& options) {
+  S4D_CHECK(options.factor >= 1) << "scale factor " << options.factor;
+  S4D_CHECK(options.region_align > 0)
+      << "region_align " << options.region_align;
+  if (options.factor == 1) return trace;
+
+  byte_count footprint = 0;
+  for (const TraceRecord& r : trace.records) {
+    footprint = std::max(footprint, r.offset + r.size);
+  }
+  const byte_count span =
+      CeilDiv(std::max<byte_count>(footprint, 1), options.region_align) *
+      options.region_align;
+
+  LoadedTrace scaled;
+  scaled.format = trace.format;
+  scaled.source = trace.source;
+  scaled.has_timestamps = trace.has_timestamps;
+  scaled.records.reserve(trace.records.size() *
+                         static_cast<std::size_t>(options.factor));
+  // Clones of one source record are emitted adjacently, so the output
+  // stays in nondecreasing arrival order and ties keep source order —
+  // the same record order for every run.
+  for (const TraceRecord& r : trace.records) {
+    for (int c = 0; c < options.factor; ++c) {
+      TraceRecord clone = r;
+      clone.rank = r.rank + c * trace.ranks;
+      clone.offset = r.offset + static_cast<byte_count>(c) * span;
+      scaled.records.push_back(clone);
+    }
+  }
+  for (int c = 0; c < options.factor; ++c) {
+    for (int r = 0; r < trace.ranks; ++r) {
+      scaled.streams.push_back(trace.streams[static_cast<std::size_t>(r)] +
+                               "#" + std::to_string(c));
+    }
+  }
+  FinalizeTrace(scaled);
+  return scaled;
+}
+
+}  // namespace s4d::tracein

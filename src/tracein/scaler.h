@@ -1,0 +1,33 @@
+// TraceScaler: deterministic what-if scaling of a captured trace.
+//
+// Scale(trace, N) clones every stream N times (stream-preserving rank
+// cloning): clone c of rank r becomes rank r + c * trace.ranks and issues
+// the source stream's exact request sequence — same kinds, same sizes,
+// same arrivals, same offset deltas — with all offsets shifted by
+// c * region_span so the clones touch disjoint regions of the shared file.
+// region_span is the source trace's footprint (max offset + size) rounded
+// up to region_align.
+//
+// Invariants (pinned by tests/test_tracein.cc):
+//   * record count and total bytes scale by exactly N;
+//   * every clone's StreamShape (sequential fraction, mean stream
+//     distance) equals its source rank's;
+//   * output is a pure function of (input, options) — no RNG, no clocks.
+//
+// This is how a small captured trace drives large what-if runs: capture
+// once at 8 ranks, replay at 8 x 1250 ranks against a provisioned-up
+// cluster config.
+#pragma once
+
+#include "tracein/trace_format.h"
+
+namespace s4d::tracein {
+
+struct ScaleOptions {
+  int factor = 1;                    // N: clones per source stream
+  byte_count region_align = 1 * MiB; // clone offset shift granularity
+};
+
+LoadedTrace ScaleTrace(const LoadedTrace& trace, const ScaleOptions& options);
+
+}  // namespace s4d::tracein

@@ -1,0 +1,54 @@
+#include "tracein/trace_format.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace s4d::tracein {
+
+void FinalizeTrace(LoadedTrace& trace) {
+  trace.ranks = 0;
+  trace.total_bytes = 0;
+  trace.duration = 0;
+  for (const TraceRecord& r : trace.records) {
+    S4D_CHECK(r.rank >= 0) << "trace record with negative rank " << r.rank;
+    trace.ranks = std::max(trace.ranks, r.rank + 1);
+    trace.total_bytes += r.size;
+    trace.duration = std::max(trace.duration, r.arrival);
+  }
+  trace.ranks = std::max(trace.ranks, 1);
+  while (static_cast<int>(trace.streams.size()) < trace.ranks) {
+    trace.streams.push_back("rank" + std::to_string(trace.streams.size()));
+  }
+}
+
+StreamShape RankShape(const LoadedTrace& trace, int rank) {
+  S4D_CHECK(rank >= 0 && rank < trace.ranks) << "rank " << rank;
+  StreamShape shape;
+  bool have_prev = false;
+  byte_count prev_end = 0;
+  std::int64_t considered = 0;
+  std::int64_t sequential = 0;
+  double total_distance = 0.0;
+  for (const TraceRecord& r : trace.records) {
+    if (r.rank != rank) continue;
+    ++shape.requests;
+    shape.bytes += r.size;
+    if (have_prev) {
+      ++considered;
+      if (r.offset == prev_end) ++sequential;
+      total_distance += static_cast<double>(std::llabs(r.offset - prev_end));
+    }
+    prev_end = r.offset + r.size;
+    have_prev = true;
+  }
+  if (considered > 0) {
+    shape.sequential_fraction =
+        static_cast<double>(sequential) / static_cast<double>(considered);
+    shape.mean_stream_distance =
+        total_distance / static_cast<double>(considered);
+  }
+  return shape;
+}
+
+}  // namespace s4d::tracein

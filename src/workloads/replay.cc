@@ -1,11 +1,10 @@
 #include "workloads/replay.h"
 
 #include <algorithm>
-#include <array>
-#include <charconv>
 #include <sstream>
 
 #include "common/check.h"
+#include "tracein/loader.h"
 
 namespace s4d::workloads {
 
@@ -40,54 +39,14 @@ void ReplayWorkload::Reset() {
 
 Result<std::vector<ReplayEntry>> ReplayWorkload::ParseCsv(
     const std::string& text) {
+  auto trace = tracein::TraceLoader::Parse(text, tracein::TraceFormat::kReplay,
+                                           "replay CSV");
+  if (!trace.ok()) return trace.status();
   std::vector<ReplayEntry> entries;
-  std::istringstream in(text);
-  std::string line;
-  int line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty()) continue;
-    if (line_number == 1 && line.rfind("rank", 0) == 0) continue;  // header
-
-    std::array<std::string, 4> fields;
-    std::size_t field = 0;
-    std::size_t begin = 0;
-    for (std::size_t i = 0; i <= line.size() && field < 4; ++i) {
-      if (i == line.size() || line[i] == ',') {
-        fields[field++] = line.substr(begin, i - begin);
-        begin = i + 1;
-      }
-    }
-    if (field != 4) {
-      return Status::InvalidArgument("bad CSV row at line " +
-                                     std::to_string(line_number));
-    }
-
-    ReplayEntry entry;
-    auto parse_int = [](const std::string& s, auto& out) {
-      const auto result =
-          std::from_chars(s.data(), s.data() + s.size(), out);
-      return result.ec == std::errc{} && result.ptr == s.data() + s.size();
-    };
-    byte_count offset = 0;
-    byte_count size = 0;
-    if (!parse_int(fields[0], entry.rank) || !parse_int(fields[2], offset) ||
-        !parse_int(fields[3], size) || entry.rank < 0 || offset < 0 ||
-        size <= 0) {
-      return Status::InvalidArgument("bad CSV values at line " +
-                                     std::to_string(line_number));
-    }
-    if (fields[1] == "read") {
-      entry.request.kind = device::IoKind::kRead;
-    } else if (fields[1] == "write") {
-      entry.request.kind = device::IoKind::kWrite;
-    } else {
-      return Status::InvalidArgument("bad kind at line " +
-                                     std::to_string(line_number));
-    }
-    entry.request.offset = offset;
-    entry.request.size = size;
-    entries.push_back(entry);
+  entries.reserve(trace->records.size());
+  for (const tracein::TraceRecord& record : trace->records) {
+    entries.push_back(
+        {record.rank, Request{record.kind, record.offset, record.size}});
   }
   return entries;
 }

@@ -5,9 +5,13 @@
 // replay against what-if configurations (more CServers, different cache
 // capacity, admission policies).
 //
-// CSV format (header optional):
-//   rank,kind,offset,size
+// CSV format (header optional; parsing is delegated to the trace-ingestion
+// loader, src/tracein/loader.h, so an optional fifth arrival_ns column is
+// accepted and malformed rows fail with source:line errors):
+//   rank,kind,offset,size[,arrival_ns]
 //   0,write,1048576,16384
+// This workload is timestamp-blind — arrivals are dropped on load. For
+// timed (open-loop / think-time) replay use tracein::TraceReplayWorkload.
 #pragma once
 
 #include <string>

@@ -71,6 +71,36 @@ TEST(Replay, CsvRejectsMalformedRows) {
   EXPECT_TRUE(ok->empty());
 }
 
+// ParseCsv routes through the tracein loader: errors carry the 1-based
+// line number of the first malformed row.
+TEST(Replay, CsvErrorsNameTheLine) {
+  const auto r =
+      ReplayWorkload::ParseCsv("rank,kind,offset,size\n"
+                               "0,write,0,4096\n"
+                               "0,write,bad,4096\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find(":3:"), std::string::npos)
+      << r.status().ToString();
+}
+
+// The optional fifth arrival_ns column is accepted; this workload is
+// timestamp-blind, so the arrivals are simply dropped (timed replay is
+// tracein::TraceReplayWorkload's job).
+TEST(Replay, CsvAcceptsOptionalArrivalColumn) {
+  const auto parsed =
+      ReplayWorkload::ParseCsv("rank,kind,offset,size,arrival_ns\n"
+                               "0,write,0,16384,0\n"
+                               "0,read,0,16384,2000000\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].request.kind, device::IoKind::kWrite);
+  EXPECT_EQ((*parsed)[1].request.kind, device::IoKind::kRead);
+  // A mixed file (arrival on some rows only) is malformed.
+  EXPECT_FALSE(ReplayWorkload::ParseCsv("0,write,0,16384,0\n"
+                                        "0,read,0,16384\n")
+                   .ok());
+}
+
 // Capture a live run via the driver hook, replay it, and verify the replay
 // reproduces the original run's request stream exactly (deterministic sim:
 // same throughput too).

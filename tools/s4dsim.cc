@@ -22,14 +22,27 @@
 //   policy = cost-model      ; cost-model | always | never
 //   rebuild_interval = 100ms
 //
-//   [workload]               ; type = ior | hpio | tile
+//   [workload]               ; type = ior | hpio | tile | replay | trace
 //   type = ior
 //   ranks = 32
 //   file_size = 64m
 //   request_size = 16k
 //   random = true
 //   kind = write             ; write | read (read = second-run measurement)
-//   repeat = 1               ; number of measured passes
+//   repeat = 1
+//
+//   [trace]                   ; workload.type = trace: timed trace replay
+//   path = capture.csv        ; MSR/native/replay CSV or S4DTRC01 binary
+//   format = auto             ; auto | msr | native | replay | binary
+//   mode = open               ; open (arrivals on the sim clock) | closed
+//   time_scale = 1.0          ; arrival / think-gap multiplier
+//   scale_ranks = 1           ; TraceScaler clone factor (N x streams)
+//   window = 100ms            ; time-windowed replay stats; 0 disables
+//   file = trace.dat          ; simulated file the replay targets
+//
+// A relative [trace] path (or workload.trace for type = replay) is
+// resolved against the config file's directory, so experiment configs can
+// name the traces bundled under examples/traces/.
 //
 //   [faults]                  ; optional: deterministic fault timeline
 //   fault1 = 100ms crash cservers 0
@@ -46,10 +59,12 @@
 //   [obs]
 //   trace_out = trace.json      ; Chrome trace_event JSON (chrome://tracing)
 //   metrics_out = metrics.json  ; metrics registry dump (+ time series)
+//   capture_out = run.csv       ; replay CSV of every issued request
+//                               ; (reload with workload.type = trace)
 //   sample_interval = 10ms      ; periodic sampler; 0 disables
 //
-// The equivalent CLI flags `--trace-out=`, `--metrics-out=` and
-// `--sample-interval=` override the config file.
+// The equivalent CLI flags `--trace-out=`, `--metrics-out=`,
+// `--capture-out=` and `--sample-interval=` override the config file.
 //
 // Seed sweeps: `--sweep-seeds=N` runs N copies of the experiment with
 // workload seeds base, base+1, ..., base+N-1 (base = workload.seed) and
@@ -76,6 +91,9 @@
 #include "obs/sampler.h"
 #include "policy/policy_engine.h"
 #include "trace/trace.h"
+#include "tracein/loader.h"
+#include "tracein/replayer.h"
+#include "tracein/scaler.h"
 #include <fstream>
 #include <sstream>
 
@@ -125,7 +143,10 @@ Status ValidateConfig(const ConfigParser& config) {
         "element_size", "file_size", "request_size", "random", "seed",
         "repeat"}},
       {"faults", {"fault*", "queue_stale_timeout"}},
-      {"obs", {"trace_out", "metrics_out", "sample_interval"}},
+      {"trace",
+       {"path", "format", "mode", "time_scale", "scale_ranks", "window",
+        "file"}},
+      {"obs", {"trace_out", "metrics_out", "sample_interval", "capture_out"}},
       {"policy",
        {"mode", "eviction", "admission", "destage", "ghost_capacity",
         "window_requests", "seq_distance_max", "ewma_alpha", "threshold_step",
@@ -207,6 +228,82 @@ std::unique_ptr<workloads::Workload> MakeWorkload(const ConfigParser& config) {
   cfg.kind = kind;
   cfg.seed = static_cast<std::uint64_t>(config.IntOr("workload", "seed", 42));
   return std::make_unique<workloads::IorWorkload>(cfg);
+}
+
+// The [trace] section, loaded and validated: the trace itself (already
+// scaled when scale_ranks > 1) plus the replay knobs. Exits on errors.
+struct TraceSpec {
+  tracein::LoadedTrace trace;
+  tracein::ReplayMode mode = tracein::ReplayMode::kOpenLoop;
+  double time_scale = 1.0;
+  SimTime window = 0;
+  std::string file;
+};
+
+TraceSpec LoadTraceSpec(const ConfigParser& config) {
+  const std::string path = config.StringOr("trace", "path", "");
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "trace config error: workload.type = trace needs "
+                 "[trace] path\n");
+    std::exit(1);
+  }
+  auto format = tracein::TraceLoader::FormatFromName(
+      config.StringOr("trace", "format", "auto"));
+  if (!format.ok()) {
+    std::fprintf(stderr, "trace config error: %s\n",
+                 format.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto trace = tracein::TraceLoader::LoadFile(path, *format);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "trace load error: %s\n",
+                 trace.status().ToString().c_str());
+    std::exit(1);
+  }
+  TraceSpec spec;
+  spec.trace = std::move(*trace);
+
+  const std::string mode = config.StringOr("trace", "mode", "open");
+  if (mode == "open") {
+    spec.mode = tracein::ReplayMode::kOpenLoop;
+  } else if (mode == "closed") {
+    spec.mode = tracein::ReplayMode::kClosedLoop;
+  } else {
+    std::fprintf(stderr,
+                 "trace config error: mode wants open or closed, got '%s'\n",
+                 mode.c_str());
+    std::exit(1);
+  }
+  if (spec.mode == tracein::ReplayMode::kOpenLoop &&
+      !spec.trace.has_timestamps) {
+    std::fprintf(stderr,
+                 "trace config error: %s has no timestamps; open-loop replay "
+                 "needs an arrival schedule (use mode = closed)\n",
+                 spec.trace.source.c_str());
+    std::exit(1);
+  }
+  spec.time_scale = config.DoubleOr("trace", "time_scale", 1.0);
+  if (spec.time_scale < 0.0) {
+    std::fprintf(stderr, "trace config error: negative time_scale %g\n",
+                 spec.time_scale);
+    std::exit(1);
+  }
+  const int factor =
+      static_cast<int>(config.IntOr("trace", "scale_ranks", 1));
+  if (factor < 1) {
+    std::fprintf(stderr, "trace config error: scale_ranks wants >= 1, got %d\n",
+                 factor);
+    std::exit(1);
+  }
+  if (factor > 1) {
+    tracein::ScaleOptions scale;
+    scale.factor = factor;
+    spec.trace = tracein::ScaleTrace(spec.trace, scale);
+  }
+  spec.window = config.DurationOr("trace", "window", FromMillis(100));
+  spec.file = config.StringOr("trace", "file", "trace.dat");
+  return spec;
 }
 
 int Run(const ConfigParser& config) {
@@ -296,6 +393,23 @@ int Run(const ConfigParser& config) {
     }
   }
 
+  // --capture-out / obs.capture_out: record every issued request with its
+  // sim-time arrival and write the lot as a timestamped replay CSV at exit,
+  // reloadable with workload.type = trace (the capture-once half of the
+  // capture-once / replay-what-if loop).
+  const std::string capture_out = config.StringOr("obs", "capture_out", "");
+  tracein::LoadedTrace captured;
+  if (!capture_out.empty()) {
+    captured.format = tracein::TraceFormat::kReplay;
+    captured.source = "s4dsim capture";
+    captured.has_timestamps = true;
+    run_options.on_issue = [&captured, &bed](
+                               int rank, const workloads::Request& request) {
+      captured.records.push_back({rank, request.kind, request.offset,
+                                  request.size, bed.engine().now()});
+    };
+  }
+
   fault::FaultInjector injector(bed.engine(), bed.dservers(), bed.cservers(),
                                 s4d.get());
   if (observed) injector.SetObservability(&obs);
@@ -344,43 +458,99 @@ int Run(const ConfigParser& config) {
     sampler.Start();
   }
 
-  auto workload = MakeWorkload(config);
   mpiio::MpiIoLayer layer(bed.engine(), *dispatch);
-
-  // For read measurements, lay the data down and warm the cache first (the
-  // paper's "second run" methodology): write pass, settle, cold read pass
-  // (identifies + fetches critical data), settle again.
-  if (config.StringOr("workload", "kind", "write") == "read") {
-    std::printf("warming: write pass + settle + cold read pass + settle\n");
-    ConfigParser write_config = config;
-    write_config.Set("workload", "kind", "write");
-    auto writer = MakeWorkload(write_config);
-    harness::RunClosedLoop(layer, *writer, run_options);
-    auto settle = [&] {
-      if (!s4d) return;
-      harness::DrainUntil(bed.engine(),
-                          [&] { return s4d->BackgroundQuiescent(); },
-                          FromSeconds(3600));
-    };
-    settle();
-    auto cold_reader = MakeWorkload(config);
-    harness::RunClosedLoop(layer, *cold_reader, run_options);
-    settle();
-  }
-
-  const SimTime begin = bed.engine().now();
-  harness::RunResult last{};
+  const std::string wl_type = config.StringOr("workload", "type", "ior");
   const int repeat =
       static_cast<int>(config.IntOr("workload", "repeat", 1));
-  for (int pass = 0; pass < repeat; ++pass) {
-    workload->Reset();
-    last = harness::RunClosedLoop(layer, *workload, run_options);
-    std::printf("pass %d: %.1f MB/s (%lld requests, %s, mean latency %.0f us)\n",
-                pass + 1, last.throughput_mbps,
-                static_cast<long long>(last.requests),
-                FormatBytes(last.bytes).c_str(), last.mean_latency_us);
+  harness::RunResult last{};
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  if (wl_type == "trace") {
+    // Timed trace replay: the trace's own arrival schedule drives the run,
+    // so the closed-loop driver (and its read-warm machinery) is bypassed.
+    TraceSpec spec = LoadTraceSpec(config);
+    tracein::TraceReplayWorkload wl(std::move(spec.trace), spec.file);
+    std::printf("trace: %zu requests over %d ranks (%s from %s), %s-loop "
+                "replay, time scale %g\n",
+                wl.trace().records.size(), wl.trace().ranks,
+                FormatBytes(wl.trace().total_bytes).c_str(),
+                wl.trace().source.c_str(),
+                tracein::ReplayModeName(spec.mode), spec.time_scale);
+    tracein::ReplayOptions replay_opts;
+    replay_opts.mode = spec.mode;
+    replay_opts.time_scale = spec.time_scale;
+    replay_opts.window = spec.window;
+    replay_opts.checker = verify ? &checker : nullptr;
+    replay_opts.obs = observed ? &obs : nullptr;
+    replay_opts.on_issue = run_options.on_issue;  // capture, when armed
+    begin = bed.engine().now();
+    tracein::ReplayResult replay{};
+    for (int pass = 0; pass < repeat; ++pass) {
+      replay = wl.Replay(layer, replay_opts);
+      last = replay.run;
+      std::printf(
+          "pass %d: %.1f MB/s (%lld requests, %s, mean latency %.0f us, "
+          "peak in flight %lld)\n",
+          pass + 1, last.throughput_mbps,
+          static_cast<long long>(last.requests),
+          FormatBytes(last.bytes).c_str(), last.mean_latency_us,
+          static_cast<long long>(replay.peak_in_flight));
+    }
+    end = bed.engine().now();
+    if (!replay.windows.empty()) {
+      std::printf("\n-- replay windows (%s each) --\n",
+                  FormatTime(spec.window).c_str());
+      TablePrinter wt({"window", "start (ms)", "requests", "reads", "writes",
+                       "bytes", "MB/s", "mean us", "max us"});
+      int index = 0;
+      for (const tracein::ReplayWindow& w : replay.windows) {
+        wt.AddRow({TablePrinter::Int(index++),
+                   TablePrinter::Num(ToMillis(w.start), 1),
+                   TablePrinter::Int(w.requests), TablePrinter::Int(w.reads),
+                   TablePrinter::Int(w.writes), FormatBytes(w.bytes),
+                   TablePrinter::Num(w.throughput_mbps, 2),
+                   TablePrinter::Num(w.mean_latency_us, 1),
+                   TablePrinter::Num(w.max_latency_us, 1)});
+      }
+      wt.Print(std::cout);
+    }
+  } else {
+    auto workload = MakeWorkload(config);
+
+    // For read measurements, lay the data down and warm the cache first (the
+    // paper's "second run" methodology): write pass, settle, cold read pass
+    // (identifies + fetches critical data), settle again.
+    if (config.StringOr("workload", "kind", "write") == "read") {
+      std::printf("warming: write pass + settle + cold read pass + settle\n");
+      ConfigParser write_config = config;
+      write_config.Set("workload", "kind", "write");
+      auto writer = MakeWorkload(write_config);
+      harness::RunClosedLoop(layer, *writer, run_options);
+      auto settle = [&] {
+        if (!s4d) return;
+        harness::DrainUntil(bed.engine(),
+                            [&] { return s4d->BackgroundQuiescent(); },
+                            FromSeconds(3600));
+      };
+      settle();
+      auto cold_reader = MakeWorkload(config);
+      harness::RunClosedLoop(layer, *cold_reader, run_options);
+      settle();
+    }
+
+    begin = bed.engine().now();
+    for (int pass = 0; pass < repeat; ++pass) {
+      workload->Reset();
+      last = harness::RunClosedLoop(layer, *workload, run_options);
+      std::printf(
+          "pass %d: %.1f MB/s (%lld requests, %s, mean latency %.0f us)\n",
+          pass + 1, last.throughput_mbps,
+          static_cast<long long>(last.requests),
+          FormatBytes(last.bytes).c_str(), last.mean_latency_us);
+    }
+    end = bed.engine().now();
   }
-  const SimTime end = bed.engine().now();
 
   std::printf("\n-- routing --\n");
   const auto dist = collector.RequestDistribution(begin, end);
@@ -519,6 +689,27 @@ int Run(const ConfigParser& config) {
     }
   }
 
+  if (!capture_out.empty()) {
+    // Arrivals are written relative to the first captured request, so the
+    // replay starts immediately even when warm-up passes preceded it.
+    if (!captured.records.empty()) {
+      const SimTime start = captured.records.front().arrival;
+      for (tracein::TraceRecord& record : captured.records) {
+        record.arrival -= start;
+      }
+    }
+    tracein::FinalizeTrace(captured);
+    std::ofstream out(capture_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open capture output: %s\n",
+                   capture_out.c_str());
+      return 1;
+    }
+    out << tracein::TraceLoader::ToReplayCsv(captured);
+    std::printf("capture: %zu requests -> %s\n", captured.records.size(),
+                capture_out.c_str());
+  }
+
   if (verify) {
     checker.CheckAll(*dispatch);
     std::printf("\n-- verification --\n");
@@ -614,13 +805,27 @@ SeedMetrics RunOneSeed(const ConfigParser& base, std::uint64_t seed) {
     settle();
   }
 
-  auto workload = MakeWorkload(config);
   SeedMetrics metrics;
   metrics.seed = seed;
   const int repeat = static_cast<int>(config.IntOr("workload", "repeat", 1));
-  for (int pass = 0; pass < repeat; ++pass) {
-    workload->Reset();
-    metrics.result = harness::RunClosedLoop(layer, *workload);
+  if (config.StringOr("workload", "type", "ior") == "trace") {
+    // The trace replay is seed-independent (every sweep row identical);
+    // the sweep still exercises --jobs determinism end to end.
+    TraceSpec spec = LoadTraceSpec(config);
+    tracein::TraceReplayWorkload wl(std::move(spec.trace), spec.file);
+    tracein::ReplayOptions replay_opts;
+    replay_opts.mode = spec.mode;
+    replay_opts.time_scale = spec.time_scale;
+    replay_opts.window = spec.window;
+    for (int pass = 0; pass < repeat; ++pass) {
+      metrics.result = wl.Replay(layer, replay_opts).run;
+    }
+  } else {
+    auto workload = MakeWorkload(config);
+    for (int pass = 0; pass < repeat; ++pass) {
+      workload->Reset();
+      metrics.result = harness::RunClosedLoop(layer, *workload);
+    }
   }
   metrics.sim_end = bed.engine().now();
   metrics.events_fired = bed.engine().events_fired();
@@ -690,6 +895,8 @@ int main(int argc, char** argv) {
       overrides.push_back({"obs", "metrics_out", *v});
     } else if (auto v = flag_value("--sample-interval=")) {
       overrides.push_back({"obs", "sample_interval", *v});
+    } else if (auto v = flag_value("--capture-out=")) {
+      overrides.push_back({"obs", "capture_out", *v});
     } else if (auto v = flag_value("--sweep-seeds=")) {
       sweep_seeds = static_cast<int>(std::strtol(v->c_str(), nullptr, 10));
       if (sweep_seeds < 1) {
@@ -720,6 +927,22 @@ int main(int argc, char** argv) {
     if (!known.ok()) {
       std::fprintf(stderr, "config error: %s\n", known.ToString().c_str());
       return 1;
+    }
+    // Relative trace paths resolve against the config file's directory,
+    // so a config can name a trace bundled next to it (examples/traces/)
+    // no matter where s4dsim is invoked from.
+    const std::string path = config_path;
+    const std::size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos) {
+      const std::string dir = path.substr(0, slash + 1);
+      const std::pair<const char*, const char*> trace_keys[] = {
+          {"trace", "path"}, {"workload", "trace"}};
+      for (const auto& [section, key] : trace_keys) {
+        const std::string value = config.StringOr(section, key, "");
+        if (!value.empty() && value.front() != '/') {
+          config.Set(section, key, dir + value);
+        }
+      }
     }
   } else {
     (void)config.Parse(kDefaultConfig);

@@ -1,0 +1,121 @@
+// trace_convert — trace format converter and inspector.
+//
+//   $ ./tools/trace_convert in.csv out.bin            # to compact binary
+//   $ ./tools/trace_convert --to=replay in.bin out.csv
+//   $ ./tools/trace_convert --info in.csv             # summary, no output
+//
+// The input format is sniffed (msr / native / replay / binary) unless
+// --from= forces one. --to= picks the output encoding: binary (default,
+// the compact S4DTRC01 codec) or replay (the rank,kind,offset,size
+// [,arrival_ns] CSV every other tool in the repo reads). Conversion is
+// lossy only in the documented normal-form sense: arrivals are normalized
+// to the trace start and streams renumbered densely, so converting twice
+// is idempotent.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "tracein/loader.h"
+#include "tracein/trace_format.h"
+
+using namespace s4d;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trace_convert [--from=FMT] [--to=binary|replay] "
+               "IN OUT\n"
+               "       trace_convert [--from=FMT] --info IN\n"
+               "FMT: auto | msr | native | replay | binary\n");
+  return 2;
+}
+
+void PrintInfo(const tracein::LoadedTrace& trace) {
+  std::printf("source:      %s\n", trace.source.c_str());
+  std::printf("format:      %s\n", tracein::TraceFormatName(trace.format));
+  std::printf("records:     %zu\n", trace.records.size());
+  std::printf("ranks:       %d\n", trace.ranks);
+  std::printf("total bytes: %s\n", FormatBytes(trace.total_bytes).c_str());
+  std::printf("timestamps:  %s\n", trace.has_timestamps ? "yes" : "no");
+  if (trace.has_timestamps) {
+    std::printf("duration:    %s\n", FormatTime(trace.duration).c_str());
+  }
+  std::printf("streams:\n");
+  for (int r = 0; r < trace.ranks; ++r) {
+    const tracein::StreamShape shape = tracein::RankShape(trace, r);
+    std::printf(
+        "  %3d  %-24s %6lld requests  %10s  %5.1f%% sequential  "
+        "mean jump %s\n",
+        r, trace.streams[static_cast<std::size_t>(r)].c_str(),
+        static_cast<long long>(shape.requests),
+        FormatBytes(shape.bytes).c_str(), shape.sequential_fraction * 100.0,
+        FormatBytes(static_cast<byte_count>(shape.mean_stream_distance))
+            .c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string from = "auto";
+  std::string to = "binary";
+  bool info = false;
+  const char* in_path = nullptr;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--from=", 0) == 0) {
+      from = arg.substr(7);
+    } else if (arg.rfind("--to=", 0) == 0) {
+      to = arg.substr(5);
+    } else if (arg == "--info") {
+      info = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else if (in_path == nullptr) {
+      in_path = argv[i];
+    } else if (out_path == nullptr) {
+      out_path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (in_path == nullptr || (!info && out_path == nullptr)) return Usage();
+  if (to != "binary" && to != "replay") {
+    std::fprintf(stderr, "unknown output format: %s\n", to.c_str());
+    return Usage();
+  }
+
+  auto format = tracein::TraceLoader::FormatFromName(from);
+  if (!format.ok()) {
+    std::fprintf(stderr, "%s\n", format.status().ToString().c_str());
+    return 1;
+  }
+  auto trace = tracein::TraceLoader::LoadFile(in_path, *format);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+
+  if (info) {
+    PrintInfo(*trace);
+    return 0;
+  }
+
+  const std::string encoded = to == "binary"
+                                  ? tracein::TraceLoader::ToBinary(*trace)
+                                  : tracein::TraceLoader::ToReplayCsv(*trace);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out || !out.write(encoded.data(),
+                         static_cast<std::streamsize>(encoded.size()))) {
+    std::fprintf(stderr, "cannot write: %s\n", out_path);
+    return 1;
+  }
+  std::printf("%zu records (%d ranks) -> %s (%zu bytes, %s)\n",
+              trace->records.size(), trace->ranks, out_path, encoded.size(),
+              to.c_str());
+  return 0;
+}

@@ -4,8 +4,10 @@
 //
 // Reads the trace_event JSON written by obs::Tracer::WriteChromeTrace and
 // prints the top-N span names by total duration (complete "X" events), plus
-// instant-event counts. This is a line-oriented scan of our own exporter's
-// stable output — one event per line — not a general JSON parser.
+// instant-event counts. When the trace holds "replay.window" instants (a
+// traced trace-replay run), their args are decoded into a time-windowed
+// throughput/latency table. This is a line-oriented scan of our own
+// exporter's stable output — one event per line — not a general JSON parser.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +22,19 @@ namespace {
 struct NameAgg {
   long long count = 0;
   double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+// One decoded "replay.window" instant (tracein::TraceReplayWorkload's
+// per-window export; latencies are fixed-point x10, throughput x100).
+struct ReplayWindowRow {
+  double start_ms = 0.0;
+  double requests = 0.0;
+  double reads = 0.0;
+  double writes = 0.0;
+  double bytes = 0.0;
+  double mbps = 0.0;
+  double mean_us = 0.0;
   double max_us = 0.0;
 };
 
@@ -68,6 +83,7 @@ int main(int argc, char** argv) {
 
   std::map<std::string, NameAgg> spans;
   std::map<std::string, long long> instants;
+  std::vector<ReplayWindowRow> replay_windows;
   long long events = 0;
   std::string line;
   while (std::getline(in, line)) {
@@ -86,6 +102,20 @@ int main(int argc, char** argv) {
     } else if (ph == "i") {
       ++instants[name];
       ++events;
+      if (name == "replay.window") {
+        ReplayWindowRow row;
+        double v = 0.0;
+        if (ExtractNumber(line, "window_start_ns", &v))
+          row.start_ms = v / 1e6;
+        ExtractNumber(line, "requests", &row.requests);
+        ExtractNumber(line, "reads", &row.reads);
+        ExtractNumber(line, "writes", &row.writes);
+        ExtractNumber(line, "bytes", &row.bytes);
+        if (ExtractNumber(line, "mbps_x100", &v)) row.mbps = v / 100.0;
+        if (ExtractNumber(line, "mean_us_x10", &v)) row.mean_us = v / 10.0;
+        if (ExtractNumber(line, "max_us_x10", &v)) row.max_us = v / 10.0;
+        replay_windows.push_back(row);
+      }
     }
   }
   if (events == 0) {
@@ -114,6 +144,16 @@ int main(int argc, char** argv) {
     std::printf("\n%-24s %10s\n", "instant", "count");
     for (const auto& [name, count] : instants) {
       std::printf("%-24s %10lld\n", name.c_str(), count);
+    }
+  }
+  if (!replay_windows.empty()) {
+    std::printf("\n%-12s %10s %8s %8s %12s %10s %10s %10s\n", "window_ms",
+                "requests", "reads", "writes", "bytes", "MB/s", "mean_us",
+                "max_us");
+    for (const ReplayWindowRow& w : replay_windows) {
+      std::printf("%-12.1f %10.0f %8.0f %8.0f %12.0f %10.2f %10.1f %10.1f\n",
+                  w.start_ms, w.requests, w.reads, w.writes, w.bytes, w.mbps,
+                  w.mean_us, w.max_us);
     }
   }
   return 0;
