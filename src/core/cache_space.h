@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "common/units.h"
 
@@ -18,6 +19,8 @@ namespace s4d::core {
 
 class CacheSpaceAllocator {
  public:
+  // Owner index meaning "no single owner" from OwnerOf().
+  static constexpr int kNoOwner = -1;
   // `spread_granularity`, when non-zero, rotates the first-fit search start
   // by that amount per allocation (set it to the CPFS stripe size): without
   // it, consecutive small admissions pack into one stripe and serialize on
@@ -66,10 +69,41 @@ class CacheSpaceAllocator {
                : 0.0;
   }
 
+  // --- Partition (owner) dimension -------------------------------------
+  //
+  // When the tenant subsystem is active, every allocated byte is charged to
+  // an integer owner (tenant index). Tracking is off by default and the
+  // owner map stays empty, so the single-tenant/paper-default path pays
+  // nothing and stays byte-identical. Enabling tracking never changes
+  // *which* extents Allocate() returns — it is pure accounting.
+
+  // Turns on owner accounting with owners [0, owner_count). Any bytes
+  // already allocated (e.g. extents reserved during DMT recovery) are
+  // charged to owner 0. Must be called at most once.
+  void EnablePartitionTracking(int owner_count);
+  bool partition_tracking() const { return !used_by_.empty(); }
+  int owner_count() const { return static_cast<int>(used_by_.size()); }
+
+  // Owner future Allocate()/Reserve() calls are charged to. Out-of-range
+  // owners clamp to 0 (the catch-all tenant). No-op when tracking is off.
+  void set_charge_owner(int owner);
+  int charge_owner() const { return charge_owner_; }
+
+  // Bytes currently charged to `owner` (0 when tracking is off).
+  byte_count used_by(int owner) const;
+
+  // The single owner of [offset, offset+size) — kNoOwner when tracking is
+  // off, the range is not fully allocated, or it spans multiple owners.
+  int OwnerOf(byte_count offset, byte_count size) const;
+
   // S4D_CHECKs the free-list invariants: extents inside [0, capacity),
   // positive length, sorted, pairwise disjoint with no coalescible
   // neighbours, and the free_bytes counter equal to the recomputed sum (so
-  // used + free == capacity holds by construction). O(free extents).
+  // used + free == capacity holds by construction). With partition tracking
+  // on it additionally proves owner ranges are sorted/disjoint/valid, never
+  // overlap a free extent, cover exactly the allocated bytes, and that the
+  // per-owner counters match the recomputed sums (so no byte is charged to
+  // two owners and sum(used_by) == used_bytes). O(free + owner extents).
   // Paranoid builds run it after every mutation; tests call it directly.
   void AuditInvariants() const;
 
@@ -87,11 +121,28 @@ class CacheSpaceAllocator {
   std::optional<byte_count> AllocateAtOrAfter(byte_count from,
                                               byte_count size);
 
+  // Owner-map maintenance (no-ops when tracking is off). Charge records
+  // [offset, offset+size) as owned by charge_owner_; Uncharge credits the
+  // *recorded* owner(s) of the freed range, which is what makes cross-tenant
+  // eviction and partial frees account correctly.
+  void ChargeRange(byte_count offset, byte_count size);
+  void UnchargeRange(byte_count offset, byte_count size);
+
   byte_count capacity_;
   byte_count free_bytes_;
   byte_count spread_granularity_;
   byte_count hint_ = 0;
   std::map<byte_count, byte_count> free_;  // begin -> end, disjoint, sorted
+
+  struct OwnedRange {
+    byte_count end = 0;
+    int owner = 0;
+  };
+  // begin -> (end, owner); disjoint, sorted, adjacent same-owner ranges
+  // coalesced. Empty unless EnablePartitionTracking() ran.
+  std::map<byte_count, OwnedRange> owners_;
+  std::vector<byte_count> used_by_;  // per-owner charged bytes
+  int charge_owner_ = 0;
 };
 
 }  // namespace s4d::core

@@ -22,20 +22,29 @@ bool CriticalDataTable::Add(const CdtKey& key) {
   return true;
 }
 
-bool CriticalDataTable::SetCacheFlag(const CdtKey& key) {
+bool CriticalDataTable::SetCacheFlag(const CdtKey& key, int owner) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return false;
   if (!it->second.c_flag) {
     it->second.c_flag = true;
     flagged_.push_back(key);
   }
+  it->second.flag_owner = owner;
   MaybeAudit();
   return true;
 }
 
 void CriticalDataTable::ClearCacheFlag(const CdtKey& key) {
   auto it = entries_.find(key);
-  if (it != entries_.end()) it->second.c_flag = false;
+  if (it != entries_.end()) {
+    it->second.c_flag = false;
+    it->second.flag_owner = -1;
+  }
+}
+
+int CriticalDataTable::FlagOwner(const CdtKey& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() ? it->second.flag_owner : -1;
 }
 
 bool CriticalDataTable::CacheFlag(const CdtKey& key) const {

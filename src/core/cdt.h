@@ -55,13 +55,19 @@ class CriticalDataTable {
   }
 
   // Sets C_flag — the range should be fetched into CServers by the
-  // Rebuilder. Returns false if the entry is unknown.
-  bool SetCacheFlag(const CdtKey& key);
+  // Rebuilder. Returns false if the entry is unknown. `owner` tags the
+  // tenant whose read marked the flag, so the eventual background fetch is
+  // charged to the right partition (-1 = untagged, the default).
+  bool SetCacheFlag(const CdtKey& key, int owner = -1);
 
   // Clears C_flag once the Rebuilder has cached the range.
   void ClearCacheFlag(const CdtKey& key);
 
   bool CacheFlag(const CdtKey& key) const;
+
+  // The owner recorded by SetCacheFlag (-1 for unknown keys or untagged
+  // flags).
+  int FlagOwner(const CdtKey& key) const;
 
   // Up to `limit` entries whose C_flag is set, oldest-marked first.
   // (Consumes nothing; the Rebuilder clears flags when fetches complete.)
@@ -95,6 +101,7 @@ class CriticalDataTable {
 
   struct Info {
     bool c_flag = false;
+    int flag_owner = -1;  // tenant that marked the C_flag, -1 = untagged
   };
 
   std::size_t max_entries_;

@@ -88,8 +88,8 @@ bool DataIdentifier::Identify(const std::string& file, int rank,
   // the model's post-health verdict) and may override it — ghost-assisted
   // admission raises it, feedback thresholds or pressure vetoes lower it.
   if (admission_filter_) {
-    const AdmissionContext ctx{file,     kind,          offset, size,
-                               distance, last_benefit_, critical};
+    const AdmissionContext ctx{file,     rank, kind,          offset,
+                               size,     distance, last_benefit_, critical};
     critical = admission_filter_(ctx);
   }
   if (critical) {

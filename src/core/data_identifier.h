@@ -32,6 +32,7 @@ namespace s4d::core {
 // the paper's verdict (B > 0) after the health veto.
 struct AdmissionContext {
   const std::string& file;
+  int rank;  // issuing MPI rank (tenant attribution)
   device::IoKind kind;
   byte_count offset;
   byte_count size;
@@ -88,6 +89,8 @@ class DataIdentifier {
   void SetAdmissionFilter(AdmissionFilter filter) {
     admission_filter_ = std::move(filter);
   }
+  // Installed filter, exposed so a later subsystem (tenancy) can wrap it.
+  const AdmissionFilter& admission_filter() const { return admission_filter_; }
 
   // Benefit B computed for the most recent Identify() call (already scaled
   // by the health factor) — the per-decision value the tracer records.

@@ -335,6 +335,37 @@ std::optional<RemovedExtent> DataMappingTable::EvictLruClean() {
   return std::nullopt;
 }
 
+std::optional<RemovedExtent> DataMappingTable::EvictLruCleanIf(
+    const std::function<bool(const RemovedExtent&)>& pred) {
+  InvalidateHint();
+  for (auto lru_it = lru_index_.begin(); lru_it != lru_index_.end();
+       ++lru_it) {
+    const LruRef ref = lru_it->second;
+    FileMap& map = files_[ref.file_index];
+    auto it = map.find(ref.begin);
+    S4D_CHECK(it != map.end() && it->second.lru_seq == lru_it->first)
+        << "LRU index out of sync for " << file_names_[ref.file_index]
+        << " at " << ref.begin;
+    if (it->second.dirty) continue;  // only clean space is reclaimable
+
+    RemovedExtent ext;
+    ext.file = file_names_[ref.file_index];
+    ext.orig_begin = it->first;
+    ext.orig_end = it->second.end;
+    ext.cache_offset = it->second.cache_offset;
+    ext.dirty = false;
+    if (pred && !pred(ext)) continue;  // outside the caller's partition
+
+    mapped_bytes_ -= ext.length();
+    lru_index_.erase(lru_it);
+    ErasePersisted(ref.file_index, it->first);
+    map.erase(it);
+    MaybeAudit();
+    return ext;
+  }
+  return std::nullopt;
+}
+
 std::optional<RemovedExtent> DataMappingTable::EvictCleanOverlapping(
     const std::string& file, byte_count begin, byte_count end) {
   if (begin >= end) return std::nullopt;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -110,6 +111,14 @@ class DataMappingTable {
   // Removes and returns the least-recently-used *clean* mapping, or
   // nullopt when every mapping is dirty (or the table is empty).
   std::optional<RemovedExtent> EvictLruClean();
+
+  // Like EvictLruClean(), but only mappings for which `pred` returns true
+  // qualify (pred sees the candidate before removal). Walks the recency
+  // index oldest-first, so with an always-true predicate the selection is
+  // identical to EvictLruClean(). Used by the tenant subsystem to restrict
+  // victim selection to one cache partition.
+  std::optional<RemovedExtent> EvictLruCleanIf(
+      const std::function<bool(const RemovedExtent&)>& pred);
 
   // Removes and returns the first *clean* mapping overlapping
   // [begin, end) of `file` (the whole mapping, not clipped to the range),

@@ -294,6 +294,9 @@ void Rebuilder::FetchCritical() {
       continue;
     }
 
+    // Charge the fetched space (and apply the partition gate) to the tenant
+    // whose read marked this C_flag; a no-op without partition tracking.
+    redirector_.set_charge_owner(cdt_.FlagOwner(key));
     auto cache_offset = config_.fetch_may_evict
                             ? redirector_.AllocateCacheSpace(key.length)
                             : redirector_.AllocateFreeOnly(key.length);

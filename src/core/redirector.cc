@@ -39,8 +39,14 @@ std::optional<byte_count> Redirector::AllocateCacheSpace(byte_count size) {
   // Algorithm 1: first look for free space (line 4); if none, reclaim clean
   // space chosen by the eviction policy (line 9; clean-LRU unless a policy
   // hook is installed) until the allocation fits or nothing clean remains.
+  // The tenant gate can veto free-space allocation for an over-allowance
+  // tenant; the loop then reclaims via the victim provider (which the
+  // tenant subsystem restricts to the offender's own partition, so each
+  // eviction re-opens its allowance and the loop terminates).
   while (true) {
-    if (auto offset = space_.Allocate(size)) return offset;
+    if (!free_gate_ || free_gate_(size)) {
+      if (auto offset = space_.Allocate(size)) return offset;
+    }
     auto victim = victim_provider_ ? victim_provider_() : dmt_.EvictLruClean();
     if (!victim) return std::nullopt;
     Release(*victim, /*evicted=*/true);
@@ -232,14 +238,14 @@ RoutingPlan Redirector::PlanRead(const std::string& file, byte_count offset,
   // cached lazily: mark C_flag so the Rebuilder fetches it in the
   // background, but serve the miss from DServers now.
   if (ShouldAdmit(critical) && policy_ == AdmissionPolicy::kCostModel) {
-    if (cdt_.SetCacheFlag(CdtKey{file, offset, size})) {
+    if (cdt_.SetCacheFlag(CdtKey{file, offset, size}, charge_owner_)) {
       plan.lazy_fetch_marked = true;
       ++stats_.lazy_fetch_marks;
     }
   } else if (policy_ == AdmissionPolicy::kAlways) {
     // Ablation: track every miss for fetching.
     cdt_.Add(CdtKey{file, offset, size});
-    if (cdt_.SetCacheFlag(CdtKey{file, offset, size})) {
+    if (cdt_.SetCacheFlag(CdtKey{file, offset, size}, charge_owner_)) {
       plan.lazy_fetch_marked = true;
       ++stats_.lazy_fetch_marks;
     }

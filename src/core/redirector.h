@@ -140,6 +140,27 @@ class Redirector {
     victim_provider_ = std::move(provider);
     removal_observer_ = std::move(observer);
   }
+  // Installed hooks, exposed so a later subsystem (tenancy) can wrap them.
+  const VictimProvider& victim_provider() const { return victim_provider_; }
+  const RemovalObserver& removal_observer() const { return removal_observer_; }
+
+  // --- partition gate (tenant subsystem) --------------------------------
+  // Consulted before any allocation from *free* space. Returning false
+  // means "this request's tenant is over its allowance": the allocation
+  // loop skips straight to victim selection (which the tenant subsystem
+  // restricts to the offender's own partition), and speculative
+  // free-space-only allocations fail. Null (the default) admits all.
+  using FreeSpaceGate = std::function<bool(byte_count)>;
+  void SetFreeSpaceGate(FreeSpaceGate gate) { free_gate_ = std::move(gate); }
+
+  // Tags subsequent allocations (and lazy-fetch C_flag marks) with the
+  // tenant to charge. Forwards to the allocator; a no-op when partition
+  // tracking is off.
+  void set_charge_owner(int owner) {
+    space_.set_charge_owner(owner);
+    charge_owner_ = owner;
+  }
+  int charge_owner() const { return charge_owner_; }
 
   // `critical` is the Data Identifier's verdict for this request (ignored
   // under kAlways / kNever policies).
@@ -154,6 +175,7 @@ class Redirector {
 
   // Allocation from free space only — no eviction (speculative fetches).
   std::optional<byte_count> AllocateFreeOnly(byte_count size) {
+    if (free_gate_ && !free_gate_(size)) return std::nullopt;
     return space_.Allocate(size);
   }
 
@@ -206,6 +228,8 @@ class Redirector {
   ReleaseHook on_release_;
   VictimProvider victim_provider_;
   RemovalObserver removal_observer_;
+  FreeSpaceGate free_gate_;
+  int charge_owner_ = -1;
   std::function<bool()> cache_healthy_;
   RedirectorStats stats_;
 };

@@ -69,6 +69,14 @@ double S4DCache::CacheTierSlowdown() const {
   return worst;
 }
 
+double S4DCache::CacheTierWearFraction() const {
+  double worst = 0.0;
+  for (int i = 0; i < cservers_.server_count(); ++i) {
+    worst = std::max(worst, cservers_.server(i).device().WearFraction());
+  }
+  return worst;
+}
+
 double S4DCache::CacheTierMeanQueueDepth() const {
   if (cservers_.server_count() == 0) return 0.0;
   std::size_t depth = 0;
@@ -234,6 +242,7 @@ void S4DCache::Execute(device::IoKind kind, const mpiio::FileRequest& request,
   if (request_observer_) {
     RequestOutcome outcome;
     outcome.file = request.file;
+    outcome.rank = request.rank;
     outcome.kind = kind;
     outcome.offset = request.offset;
     outcome.size = request.size;
@@ -310,6 +319,7 @@ void S4DCache::Write(const mpiio::FileRequest& request,
                      mpiio::IoCompletion done) {
   S4D_CHECK(request.size > 0) << "zero-size write on " << request.file;
   MaybeAudit();
+  if (request_start_) request_start_(request, device::IoKind::kWrite);
   const bool critical =
       identifier_.Identify(request.file, request.rank, device::IoKind::kWrite,
                            request.offset, request.size);
@@ -323,6 +333,7 @@ void S4DCache::Read(const mpiio::FileRequest& request,
                     mpiio::IoCompletion done) {
   S4D_CHECK(request.size > 0) << "zero-size read on " << request.file;
   MaybeAudit();
+  if (request_start_) request_start_(request, device::IoKind::kRead);
   const bool critical =
       identifier_.Identify(request.file, request.rank, device::IoKind::kRead,
                            request.offset, request.size);
@@ -501,6 +512,16 @@ void S4DCache::AuditInvariants(bool expect_quiescent) const {
         << "DMT extent " << ext.file << " [" << ext.orig_begin << ", "
         << ext.orig_end << ") maps cache range [" << ext.cache_offset << ", "
         << ext.cache_offset + ext.length() << ") that is (partly) free";
+    // With partition tracking on, each extent is charged to exactly one
+    // tenant (the allocator's own audit proves the per-tenant sums).
+    if (space_.partition_tracking()) {
+      S4D_CHECK(space_.OwnerOf(ext.cache_offset, ext.length()) !=
+                CacheSpaceAllocator::kNoOwner)
+          << "DMT extent " << ext.file << " [" << ext.orig_begin << ", "
+          << ext.orig_end << ") cache range [" << ext.cache_offset << ", "
+          << ext.cache_offset + ext.length()
+          << ") spans multiple tenant partitions";
+    }
   }
   std::sort(extents.begin(), extents.end(),
             [](const RemovedExtent& a, const RemovedExtent& b) {

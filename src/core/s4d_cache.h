@@ -102,6 +102,7 @@ struct S4DCounters {
 // routed request actually experienced.
 struct RequestOutcome {
   std::string file;
+  int rank = -1;  // issuing MPI rank (tenant attribution)
   device::IoKind kind = device::IoKind::kRead;
   byte_count offset = 0;
   byte_count size = 0;
@@ -191,12 +192,29 @@ class S4DCache final : public mpiio::IoDispatch {
   void SetRequestObserver(RequestObserver observer) {
     request_observer_ = std::move(observer);
   }
+  const RequestObserver& request_observer() const { return request_observer_; }
 
   // Extra audit run at the end of AuditInvariants() — lets an attached
   // policy engine's invariants ride the paranoid-build and test audits.
   void SetExtraAudit(std::function<void()> audit) {
     extra_audit_ = std::move(audit);
   }
+  const std::function<void()>& extra_audit() const { return extra_audit_; }
+
+  // --- tenant subsystem hooks --------------------------------------------
+  // Fires at the top of every foreground Read/Write, before the Identifier
+  // runs — the tenant subsystem uses it to tag the request's partition
+  // (Redirector::set_charge_owner) so every allocation the plan makes is
+  // charged to the right tenant. Null (the default) costs nothing.
+  using RequestStartHook =
+      std::function<void(const mpiio::FileRequest&, device::IoKind)>;
+  void SetRequestStartHook(RequestStartHook hook) {
+    request_start_ = std::move(hook);
+  }
+
+  // Worst wear fraction (cumulative NAND writes / lifetime P/E budget)
+  // across the cache tier's SSDs; 0.0 when no wear budget is configured.
+  double CacheTierWearFraction() const;
 
   // Called (by the FaultInjector) once the last down CServer restarted:
   // re-issues reads queued in kQueue mode and runs the Rebuilder's
@@ -279,6 +297,7 @@ class S4DCache final : public mpiio::IoDispatch {
   std::uint64_t next_pending_id_ = 1;
   DirtyLossHook dirty_loss_hook_;
   RequestObserver request_observer_;
+  RequestStartHook request_start_;
   std::function<void()> extra_audit_;
 
   // Observability (null = not observed). Handles resolved once.

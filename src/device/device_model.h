@@ -38,6 +38,7 @@ struct AccessCosts {
 struct DeviceStats {
   std::int64_t accesses = 0;
   byte_count bytes = 0;
+  byte_count write_bytes = 0;      // write-direction share of `bytes`
   SimTime busy = 0;                // sum of positioning + transfer
   double ewma_service_ns = 0.0;    // EWMA of per-access service time
 };
@@ -65,6 +66,7 @@ class DeviceModel {
     }
     ++stats_.accesses;
     stats_.bytes += size;
+    if (kind == IoKind::kWrite) stats_.write_bytes += size;
     stats_.busy += costs.total();
     const auto service = static_cast<double>(costs.total());
     stats_.ewma_service_ns =
@@ -87,6 +89,12 @@ class DeviceModel {
   // healthy profile; callers must not pass values below 1.
   void SetDegrade(double factor) { degrade_ = factor < 1.0 ? 1.0 : factor; }
   double degrade() const { return degrade_; }
+
+  // Fraction of the device's write endurance consumed so far, in [0, 1+).
+  // 0.0 for devices without a wear model (HDDs, SSDs with no P/E budget
+  // configured); the endurance-aware admission path treats values at or
+  // above its veto threshold as end-of-life.
+  virtual double WearFraction() const { return 0.0; }
 
  private:
   static constexpr double kEwmaAlpha = 0.2;

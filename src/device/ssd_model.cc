@@ -40,6 +40,9 @@ AccessCosts SsdModel::Access(IoKind kind, byte_count offset, byte_count size) {
     costs.positioning = profile_.write_latency;
     costs.transfer = static_cast<SimTime>(
         static_cast<double>(size) / profile_.write_bps * 1e9);
+    wear_.host_write_bytes += size;
+    wear_.nand_write_bytes +=
+        static_cast<double>(size) * profile_.write_amplification;
   }
   return costs;
 }

@@ -19,6 +19,20 @@ struct SsdProfile {
   SimTime write_latency = FromMicros(120);
   double read_bps = 500.0e6;
   double write_bps = 420.0e6;
+  // --- endurance model ---------------------------------------------------
+  // NAND bytes programmed per host byte written (GC + wear levelling
+  // overhead). 1.0 = the idealized no-amplification drive.
+  double write_amplification = 1.0;
+  // Lifetime program/erase budget: the drive wears out once
+  // capacity * pe_cycle_budget NAND bytes have been programmed. 0 (the
+  // default) disables wear modelling — WearFraction() stays 0.
+  double pe_cycle_budget = 0.0;
+};
+
+// Cumulative write-endurance accounting for one drive.
+struct SsdWearStats {
+  byte_count host_write_bytes = 0;  // bytes the host asked to write
+  double nand_write_bytes = 0.0;    // host bytes x write amplification
 };
 
 // The drive used on the paper's CServers (OCZ RevoDrive X2, PCIe x4,
@@ -45,9 +59,20 @@ class SsdModel final : public DeviceModel {
   std::string Describe() const override;
 
   const SsdProfile& profile() const { return profile_; }
+  const SsdWearStats& wear() const { return wear_; }
+
+  // Lifetime consumed: NAND bytes programmed over the P/E budget's total
+  // programmable bytes. 0 while no budget is configured; may exceed 1.0
+  // when a simulation writes past end-of-life.
+  double WearFraction() const override {
+    if (profile_.pe_cycle_budget <= 0.0 || profile_.capacity <= 0) return 0.0;
+    return wear_.nand_write_bytes /
+           (static_cast<double>(profile_.capacity) * profile_.pe_cycle_budget);
+  }
 
  private:
   SsdProfile profile_;
+  SsdWearStats wear_;
 };
 
 }  // namespace s4d::device

@@ -1,0 +1,169 @@
+// TenantManager: the multi-tenant partitioning subsystem's front door.
+//
+// Wires a TenantRegistry into an S4DCache through the core's hook points
+// (the core never depends on this library, mirroring src/policy):
+//
+//   attribution — the request-start hook maps the issuing rank to its
+//                 tenant and tags the Redirector (set_charge_owner), so
+//                 every byte the plan allocates — including the Rebuilder's
+//                 later background fetch of a C_flagged range — is charged
+//                 to that tenant's partition.
+//   partitions  — CacheSpaceAllocator partition tracking gives per-tenant
+//                 used-byte accounting; in enforce mode the free-space gate
+//                 caps each tenant at its quota (with borrowable slack
+//                 above other tenants' hard floors) and the victim provider
+//                 constrains eviction: over-quota partitions are reclaimed
+//                 first, then the requester's own, then any partition still
+//                 above its floor. Floors are never breached by another
+//                 tenant's allocation.
+//   sizing      — an online PartitionSizer periodically re-divides the
+//                 capacity above the floors in proportion to each tenant's
+//                 EWMA *useful* hit ratio (reuse hits plus per-tenant ghost
+//                 evidence — ECI-Cache's division rule).
+//   endurance   — with `endurance = on`, admission composes a write-cost
+//                 stage after the installed filter: saturation (pressure
+//                 probe) and SSD end-of-life (wear model) veto globally,
+//                 and a tenant near its cache-write budget must clear a
+//                 benefit bar that rises with its budget utilization —
+//                 over budget, admissions stop outright.
+//
+// With one catch-all tenant in enforce mode and endurance off, every
+// decision reduces to the unpartitioned behaviour (the gate always passes,
+// the victim scan degenerates to global clean-LRU) — pinned byte-identical
+// by the equivalence test. When a PolicyEngine is also attached, attach the
+// TenantManager *after* it: admission/removal/outcome hooks chain, but in
+// enforce mode the partition-constrained victim provider replaces the
+// policy's victim selection (partition containment is a hard guarantee;
+// within a partition the order is clean-LRU).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/s4d_cache.h"
+#include "obs/observability.h"
+#include "policy/eviction.h"
+#include "sim/engine.h"
+#include "tenant/registry.h"
+
+namespace s4d::tenant {
+
+struct TenantStats {
+  std::int64_t requests = 0;
+  std::int64_t read_requests = 0;
+  // Requests served (at least partly) from the cache tier.
+  std::int64_t hits = 0;
+  // Hits against a pre-existing mapping — reuse, not first-touch admission.
+  std::int64_t useful_hits = 0;
+  // Would-have-hit evidence from this tenant's ghost list.
+  std::int64_t ghost_hits = 0;
+  // Foreground bytes written to the cache tier (SSD wear attribution).
+  byte_count cache_write_bytes = 0;
+  // Endurance/pressure admission vetoes.
+  std::int64_t endurance_vetoes = 0;
+  std::int64_t pressure_vetoes = 0;
+  std::int64_t wear_vetoes = 0;
+
+  double hit_ratio() const {
+    return requests > 0
+               ? static_cast<double>(hits) / static_cast<double>(requests)
+               : 0.0;
+  }
+};
+
+class TenantManager {
+ public:
+  TenantManager(sim::Engine& engine, TenantRegistry registry,
+                obs::Observability* obs = nullptr);
+  ~TenantManager();
+
+  // Installs every hook into `cache`. Call once, before traffic — and after
+  // a PolicyEngine::Attach when one is present, so the previously installed
+  // hooks chain.
+  void Attach(core::S4DCache& cache);
+
+  const TenantRegistry& registry() const { return registry_; }
+  int count() const { return registry_.count(); }
+  const TenantStats& stats(int t) const {
+    return stats_.at(static_cast<std::size_t>(t));
+  }
+  byte_count quota(int t) const {
+    return quota_.at(static_cast<std::size_t>(t));
+  }
+  byte_count floor(int t) const {
+    return floor_.at(static_cast<std::size_t>(t));
+  }
+  byte_count used(int t) const;
+  std::int64_t resizes() const { return resizes_; }
+  // EWMA of the useful-hit ratio the sizer divides capacity by.
+  double useful_ewma(int t) const {
+    return useful_ewma_.at(static_cast<std::size_t>(t));
+  }
+
+  // S4D_CHECKs the partition bookkeeping: quotas respect floors and sum to
+  // the capacity, per-tenant counters are mutually consistent, and every
+  // ghost list's own invariants hold. Registered as (part of) the cache's
+  // extra audit, so it also rides the paranoid-build periodic audits.
+  void AuditInvariants() const;
+
+  // One formatted per-tenant summary table (used by s4dsim's report).
+  void PrintReport() const;
+
+ private:
+  int TenantOfRank(int rank) const { return registry_.TenantOf(rank); }
+  // The tenant charged for the allocation currently being planned (set by
+  // the request-start hook for foreground ops, by the Rebuilder for
+  // fetches).
+  int CurrentTenant() const;
+
+  bool AllowFreeAllocation(byte_count size);
+  std::optional<core::RemovedExtent> SelectVictim();
+  bool AdmitEndurance(const core::AdmissionContext& ctx, bool inner_verdict);
+  void OnRequestStart(const mpiio::FileRequest& request, device::IoKind kind);
+  void OnOutcome(const core::RequestOutcome& outcome);
+  void OnRemoved(const core::RemovedExtent& extent, bool evicted);
+  // Folds the open rate window into the per-tenant write-rate EWMAs.
+  void FoldRateWindow();
+  void SizerTick();
+  void ScheduleSizer();
+  void SetupObservability();
+
+  sim::Engine& engine_;
+  TenantRegistry registry_;
+  core::S4DCache* cache_ = nullptr;
+
+  std::vector<byte_count> quota_;
+  std::vector<byte_count> floor_;
+  std::vector<TenantStats> stats_;
+  std::vector<std::unique_ptr<policy::GhostCache>> ghosts_;
+
+  // Sizer state: per-tenant EWMA useful-hit ratio and the open window's
+  // deltas (reset every tick).
+  std::vector<double> useful_ewma_;
+  std::vector<std::int64_t> window_requests_;
+  std::vector<std::int64_t> window_useful_;
+  std::vector<std::int64_t> window_ghost_hits_;
+  std::int64_t resizes_ = 0;
+
+  // Endurance state: per-tenant cache-write rate (bytes/sec EWMA) folded
+  // from fixed windows of simulated time.
+  std::vector<double> write_rate_bps_;
+  std::vector<byte_count> rate_window_bytes_;
+  SimTime rate_window_start_ = 0;
+  SimTime rate_window_len_ = 0;
+
+  // Previously installed hooks, chained.
+  core::DataIdentifier::AdmissionFilter prev_filter_;
+  core::S4DCache::RequestObserver prev_observer_;
+  core::Redirector::RemovalObserver prev_removal_;
+  std::function<void()> prev_audit_;
+
+  sim::EventId sizer_tick_ = sim::kInvalidEvent;
+
+  obs::Observability* obs_ = nullptr;
+  std::uint32_t lane_ = 0;
+};
+
+}  // namespace s4d::tenant

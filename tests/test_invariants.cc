@@ -36,6 +36,19 @@ struct CacheSpaceTestPeer {
     space.free_.emplace(0, 64);
     space.free_.emplace(32, 128);
   }
+  static void SkewOwnerCounter(CacheSpaceAllocator& space, int owner,
+                               byte_count delta) {
+    space.used_by_[static_cast<std::size_t>(owner)] += delta;
+  }
+  static void DoubleChargeFirstRange(CacheSpaceAllocator& space) {
+    // A second owner record overlapping the first — one extent charged to
+    // two tenants.
+    ASSERT_FALSE(space.owners_.empty());
+    const auto it = space.owners_.begin();
+    space.owners_.emplace(
+        it->first + 1,
+        CacheSpaceAllocator::OwnedRange{it->second.end, 1});
+  }
 };
 
 namespace {
@@ -113,6 +126,37 @@ TEST(CacheSpaceAuditDeathTest, CatchesOverlappingFreeExtents) {
   CacheSpaceAllocator space(1 << 20);
   CacheSpaceTestPeer::OverlapFreeExtents(space);
   EXPECT_DEATH(space.AuditInvariants(), "disjoint");
+}
+
+// --- partition (owner) accounting ------------------------------------------
+
+CacheSpaceAllocator MakePartitionedSpace() {
+  CacheSpaceAllocator space(1 << 20, 4096);
+  auto a = space.Allocate(10000);  // pre-tracking bytes -> owner 0
+  space.EnablePartitionTracking(2);
+  space.set_charge_owner(1);
+  auto b = space.Allocate(60000);
+  EXPECT_TRUE(a && b);
+  space.Free(*a + 1000, 2000);  // partial free inside owner 0's range
+  return space;
+}
+
+TEST(CacheSpaceAuditTest, HealthyPartitionedAllocatorPasses) {
+  CacheSpaceAllocator space = MakePartitionedSpace();
+  space.AuditInvariants();  // must not abort
+  EXPECT_EQ(space.used_by(0) + space.used_by(1), space.used_bytes());
+}
+
+TEST(CacheSpaceAuditDeathTest, CatchesPerOwnerCounterMiscount) {
+  CacheSpaceAllocator space = MakePartitionedSpace();
+  CacheSpaceTestPeer::SkewOwnerCounter(space, 1, 512);
+  EXPECT_DEATH(space.AuditInvariants(), "used_by");
+}
+
+TEST(CacheSpaceAuditDeathTest, CatchesExtentChargedToTwoOwners) {
+  CacheSpaceAllocator space = MakePartitionedSpace();
+  CacheSpaceTestPeer::DoubleChargeFirstRange(space);
+  EXPECT_DEATH(space.AuditInvariants(), "two owners");
 }
 
 TEST(EngineAuditTest, HealthyEnginePasses) {

@@ -64,5 +64,34 @@ TEST(SsdModel, ResetIsNoOp) {
   EXPECT_EQ(before.transfer, after.transfer);
 }
 
+// --- endurance (wear) model -------------------------------------------------
+
+TEST(SsdModel, WearAccumulatesAmplifiedWriteBytes) {
+  SsdProfile p = OczRevoDriveX2();
+  p.write_amplification = 1.5;
+  SsdModel ssd(p);
+  ssd.Access(IoKind::kWrite, 0, 1 * MiB);
+  ssd.Access(IoKind::kRead, 0, 4 * MiB);  // reads never wear the flash
+  ssd.Access(IoKind::kWrite, 8 * MiB, 3 * MiB);
+  EXPECT_EQ(ssd.wear().host_write_bytes, 4 * MiB);
+  EXPECT_DOUBLE_EQ(ssd.wear().nand_write_bytes,
+                   1.5 * static_cast<double>(4 * MiB));
+}
+
+TEST(SsdModel, WearFractionNeedsAPeCycleBudget) {
+  SsdProfile p = OczRevoDriveX2();
+  p.capacity = 1 * GiB;
+  SsdModel unbudgeted(p);
+  unbudgeted.Access(IoKind::kWrite, 0, 512 * MiB);
+  EXPECT_DOUBLE_EQ(unbudgeted.WearFraction(), 0.0);
+
+  p.pe_cycle_budget = 2.0;  // lifetime = 2 full drive writes
+  SsdModel ssd(p);
+  ssd.Access(IoKind::kWrite, 0, 1 * GiB);
+  EXPECT_DOUBLE_EQ(ssd.WearFraction(), 0.5);
+  ssd.Access(IoKind::kWrite, 0, 1 * GiB);
+  EXPECT_DOUBLE_EQ(ssd.WearFraction(), 1.0);
+}
+
 }  // namespace
 }  // namespace s4d::device

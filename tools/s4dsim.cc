@@ -90,6 +90,7 @@
 #include "obs/observability.h"
 #include "obs/sampler.h"
 #include "policy/policy_engine.h"
+#include "tenant/manager.h"
 #include "trace/trace.h"
 #include "tracein/loader.h"
 #include "tracein/replayer.h"
@@ -132,7 +133,9 @@ repeat = 1
 // run loudly instead of silently running the default.
 Status ValidateConfig(const ConfigParser& config) {
   static const std::map<std::string, std::vector<std::string>> kSchema = {
-      {"cluster", {"dservers", "cservers", "stripe", "verify_content"}},
+      {"cluster",
+       {"dservers", "cservers", "stripe", "verify_content", "ssd_pe_cycles",
+        "ssd_write_amp"}},
       {"middleware",
        {"type", "cache_capacity", "policy", "rebuild_interval",
         "metadata_overhead", "dmt_update_latency", "degraded_reads",
@@ -151,6 +154,7 @@ Status ValidateConfig(const ConfigParser& config) {
        {"mode", "eviction", "admission", "destage", "ghost_capacity",
         "window_requests", "seq_distance_max", "ewma_alpha", "threshold_step",
         "threshold_max", "pressure_max_queue"}},
+      {"tenants", tenant::TenantsSectionKeys()},
   };
   return config.ValidateKnownKeys(kSchema);
 }
@@ -175,6 +179,40 @@ std::unique_ptr<policy::PolicyEngine> MakePolicyEngine(
   auto engine = std::make_unique<policy::PolicyEngine>(*parsed);
   engine->Attach(*s4d, obs);
   return engine;
+}
+
+// Builds the tenant manager for a parsed [tenants] section, or null when the
+// config has no such section (no partitioning — the byte-identical legacy
+// path). Exits on configuration errors.
+std::unique_ptr<tenant::TenantManager> MakeTenantManager(
+    const ConfigParser& config, sim::Engine& engine, core::S4DCache* s4d,
+    obs::Observability* obs) {
+  bool present = false;
+  for (const auto& [key, value] : config.entries()) {
+    if (key.rfind("tenants.", 0) == 0) {
+      present = true;
+      break;
+    }
+  }
+  if (!present) return nullptr;
+  if (s4d == nullptr) {
+    std::fprintf(stderr,
+                 "tenants config error: [tenants] needs middleware.type = "
+                 "s4d\n");
+    std::exit(1);
+  }
+  auto parsed =
+      tenant::ParseTenantsConfig(config, s4d->cache_space().capacity());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "tenants config error: %s\n",
+                 parsed.status().ToString().c_str());
+    std::exit(1);
+  }
+  const int ranks = static_cast<int>(config.IntOr("workload", "ranks", 32));
+  auto manager = std::make_unique<tenant::TenantManager>(
+      engine, tenant::TenantRegistry(std::move(*parsed), ranks), obs);
+  manager->Attach(*s4d);
+  return manager;
 }
 
 std::unique_ptr<workloads::Workload> MakeWorkload(const ConfigParser& config) {
@@ -331,6 +369,12 @@ int Run(const ConfigParser& config) {
   bed_cfg.cservers = static_cast<int>(config.IntOr("cluster", "cservers", 4));
   bed_cfg.stripe_size = config.SizeOr("cluster", "stripe", 64 * KiB);
   bed_cfg.track_content = verify;
+  // Optional SSD wear model: a P/E-cycle budget turns on WearFraction()
+  // (and with it the endurance veto's end-of-life gate).
+  bed_cfg.ssd.pe_cycle_budget =
+      config.DoubleOr("cluster", "ssd_pe_cycles", bed_cfg.ssd.pe_cycle_budget);
+  bed_cfg.ssd.write_amplification = config.DoubleOr(
+      "cluster", "ssd_write_amp", bed_cfg.ssd.write_amplification);
   if (observed) bed_cfg.obs = &obs;
   harness::Testbed bed(bed_cfg);
 
@@ -380,6 +424,8 @@ int Run(const ConfigParser& config) {
 
   auto policy_engine =
       MakePolicyEngine(config, s4d.get(), observed ? &obs : nullptr);
+  auto tenant_manager = MakeTenantManager(config, bed.engine(), s4d.get(),
+                                          observed ? &obs : nullptr);
 
   harness::ContentChecker checker;
   harness::DriverOptions run_options;
@@ -604,6 +650,7 @@ int Run(const ConfigParser& config) {
           static_cast<long long>(as.pressure_vetoes),
           static_cast<long long>(policy_engine->stats().policy_switches));
     }
+    if (tenant_manager) tenant_manager->PrintReport();
   }
 
   if (!schedule->empty()) {
@@ -756,6 +803,10 @@ SeedMetrics RunOneSeed(const ConfigParser& base, std::uint64_t seed) {
   bed_cfg.dservers = static_cast<int>(config.IntOr("cluster", "dservers", 8));
   bed_cfg.cservers = static_cast<int>(config.IntOr("cluster", "cservers", 4));
   bed_cfg.stripe_size = config.SizeOr("cluster", "stripe", 64 * KiB);
+  bed_cfg.ssd.pe_cycle_budget =
+      config.DoubleOr("cluster", "ssd_pe_cycles", bed_cfg.ssd.pe_cycle_budget);
+  bed_cfg.ssd.write_amplification = config.DoubleOr(
+      "cluster", "ssd_write_amp", bed_cfg.ssd.write_amplification);
   harness::Testbed bed(bed_cfg);
 
   const std::string mw_type = config.StringOr("middleware", "type", "s4d");
@@ -783,6 +834,8 @@ SeedMetrics RunOneSeed(const ConfigParser& base, std::uint64_t seed) {
   }
 
   auto policy_engine = MakePolicyEngine(config, s4d.get(), nullptr);
+  auto tenant_manager =
+      MakeTenantManager(config, bed.engine(), s4d.get(), nullptr);
 
   fault::FaultInjector injector(bed.engine(), bed.dservers(), bed.cservers(),
                                 s4d.get());

@@ -6,8 +6,10 @@
 // prints the top-N span names by total duration (complete "X" events), plus
 // instant-event counts. When the trace holds "replay.window" instants (a
 // traced trace-replay run), their args are decoded into a time-windowed
-// throughput/latency table. This is a line-oriented scan of our own
-// exporter's stable output — one event per line — not a general JSON parser.
+// throughput/latency table; "tenant.window" instants (a multi-tenant run
+// with a partition sizer) are folded into a per-tenant summary table. This
+// is a line-oriented scan of our own exporter's stable output — one event
+// per line — not a general JSON parser.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +38,21 @@ struct ReplayWindowRow {
   double mbps = 0.0;
   double mean_us = 0.0;
   double max_us = 0.0;
+};
+
+// Per-tenant aggregate over every "tenant.window" instant (the tenant
+// manager's sizer-tick export; ewma is fixed-point x1000, the write rate
+// x100). Occupancy/quota/rates keep the last window's value; request
+// counters accumulate.
+struct TenantAgg {
+  long long windows = 0;
+  double requests = 0.0;
+  double useful = 0.0;
+  double ghost_hits = 0.0;
+  double used_bytes = 0.0;
+  double quota_bytes = 0.0;
+  double ewma = 0.0;
+  double write_mbps = 0.0;
 };
 
 // Extracts the JSON string value following `"<key>":"` on this line, undoing
@@ -84,6 +101,7 @@ int main(int argc, char** argv) {
   std::map<std::string, NameAgg> spans;
   std::map<std::string, long long> instants;
   std::vector<ReplayWindowRow> replay_windows;
+  std::map<std::string, TenantAgg> tenants;
   long long events = 0;
   std::string line;
   while (std::getline(in, line)) {
@@ -115,6 +133,20 @@ int main(int argc, char** argv) {
         if (ExtractNumber(line, "mean_us_x10", &v)) row.mean_us = v / 10.0;
         if (ExtractNumber(line, "max_us_x10", &v)) row.max_us = v / 10.0;
         replay_windows.push_back(row);
+      } else if (name == "tenant.window") {
+        std::string who;
+        if (!ExtractString(line, "tenant", &who)) continue;
+        TenantAgg& agg = tenants[who];
+        ++agg.windows;
+        double v = 0.0;
+        if (ExtractNumber(line, "requests", &v)) agg.requests += v;
+        if (ExtractNumber(line, "useful", &v)) agg.useful += v;
+        if (ExtractNumber(line, "ghost_hits", &v)) agg.ghost_hits += v;
+        ExtractNumber(line, "used_bytes", &agg.used_bytes);
+        ExtractNumber(line, "quota_bytes", &agg.quota_bytes);
+        if (ExtractNumber(line, "ewma_x1000", &v)) agg.ewma = v / 1000.0;
+        if (ExtractNumber(line, "write_mbps_x100", &v))
+          agg.write_mbps = v / 100.0;
       }
     }
   }
@@ -154,6 +186,19 @@ int main(int argc, char** argv) {
       std::printf("%-12.1f %10.0f %8.0f %8.0f %12.0f %10.2f %10.1f %10.1f\n",
                   w.start_ms, w.requests, w.reads, w.writes, w.bytes, w.mbps,
                   w.mean_us, w.max_us);
+    }
+  }
+  if (!tenants.empty()) {
+    std::printf("\n%-16s %8s %10s %10s %10s %12s %12s %8s %10s\n", "tenant",
+                "windows", "requests", "useful", "ghost", "used_MB",
+                "quota_MB", "ewma", "write_MBps");
+    for (const auto& [who, agg] : tenants) {
+      std::printf("%-16s %8lld %10.0f %10.0f %10.0f %12.2f %12.2f %8.3f "
+                  "%10.2f\n",
+                  who.c_str(), agg.windows, agg.requests, agg.useful,
+                  agg.ghost_hits, agg.used_bytes / (1024.0 * 1024.0),
+                  agg.quota_bytes / (1024.0 * 1024.0), agg.ewma,
+                  agg.write_mbps);
     }
   }
   return 0;
