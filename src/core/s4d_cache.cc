@@ -62,29 +62,15 @@ S4DCache::S4DCache(sim::Engine& engine, pfs::FileSystem& dservers,
 }
 
 double S4DCache::CacheTierSlowdown() const {
-  double worst = 1.0;
-  for (int i = 0; i < cservers_.server_count(); ++i) {
-    worst = std::max(worst, cservers_.server(i).device().degrade());
-  }
-  return worst;
+  return cservers_.WorstDeviceDegrade();
 }
 
 double S4DCache::CacheTierWearFraction() const {
-  double worst = 0.0;
-  for (int i = 0; i < cservers_.server_count(); ++i) {
-    worst = std::max(worst, cservers_.server(i).device().WearFraction());
-  }
-  return worst;
+  return cservers_.WorstWearFraction();
 }
 
 double S4DCache::CacheTierMeanQueueDepth() const {
-  if (cservers_.server_count() == 0) return 0.0;
-  std::size_t depth = 0;
-  for (int i = 0; i < cservers_.server_count(); ++i) {
-    depth += cservers_.server(i).queue_depth();
-  }
-  return static_cast<double>(depth) /
-         static_cast<double>(cservers_.server_count());
+  return cservers_.MeanQueueDepth();
 }
 
 void S4DCache::SetupObservability() {

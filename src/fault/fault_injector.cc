@@ -55,27 +55,27 @@ void FaultInjector::ApplyToServer(const FaultEvent& event, pfs::FileSystem& fs,
       }
       break;
     case FaultKind::kDeviceDegrade:
-      fs.server(server).device().SetDegrade(event.value);
+      fs.SetDeviceDegrade(server, event.value);
       ++stats_.degrades;
       break;
     case FaultKind::kLinkDegrade:
-      fs.server(server).mutable_link().SetDegrade(event.value);
+      fs.SetLinkDegrade(server, event.value);
       ++stats_.degrades;
       break;
     case FaultKind::kPartition:
-      fs.server(server).SetPartitioned(true);
+      fs.SetServerPartitioned(server, true);
       ++stats_.partitions;
       break;
     case FaultKind::kHeal:
-      fs.server(server).SetPartitioned(false);
+      fs.SetServerPartitioned(server, false);
       ++stats_.partitions;
       break;
     case FaultKind::kBgErrorRate:
       // Seed derived from the server index so every server draws an
       // independent — but reproducible — error sequence.
-      fs.server(server).SetBackgroundErrorRate(
-          event.value, 0x5eedULL * 2654435761ULL +
-                           static_cast<std::uint64_t>(server + 1));
+      fs.SetServerBackgroundErrorRate(
+          server, event.value,
+          0x5eedULL * 2654435761ULL + static_cast<std::uint64_t>(server + 1));
       ++stats_.bg_error_sets;
       break;
   }

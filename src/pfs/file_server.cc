@@ -40,6 +40,80 @@ void FileServer::SetObservability(obs::Observability* obs,
       [this] { return device_->stats().ewma_service_ns / 1000.0; });
 }
 
+void FileServer::EnableRemote(sim::ParallelEngine* par, sim::IslandId island,
+                              sim::IslandId client_island, int server_index,
+                              void* ctx, RemoteResponderFn responder) {
+  S4D_CHECK(par != nullptr && responder != nullptr);
+  // Every timestamp on this island runs one request-leg latency later than
+  // its serial counterpart; shift the idle-grace origin to match (the link
+  // is healthy at t=0, so the initial shift is the profile latency).
+  last_normal_activity_ = link_.profile().message_latency;
+  // In island mode the *client stub* draws this server's arrival jitter
+  // from an identically-seeded mirror RNG (draws happen in submission
+  // order on both sides, and this server never draws), so jitter_rng_
+  // stays untouched here.
+  remote_par_ = par;
+  remote_island_ = island;
+  remote_client_ = client_island;
+  remote_index_ = server_index;
+  remote_ctx_ = ctx;
+  remote_responder_ = responder;
+}
+
+void FileServer::ArriveRemote(const WireJob& wire) {
+  S4D_CHECK(remote()) << "wire job on non-island server " << name_;
+  S4D_CHECK(wire.size > 0)
+      << "server " << name_ << " got a wire job of " << wire.size << " bytes";
+  if (!up_) {
+    // The client-side mirror already failed this ticket at crash time (or
+    // will, if the crash message is still in flight); dropping it here
+    // keeps the failure's simulated time exactly the serial one.
+    ++stats_.failed_jobs;
+    return;
+  }
+  ServerJob job;
+  job.kind = static_cast<device::IoKind>(wire.kind);
+  job.lba = wire.lba;
+  job.size = wire.size;
+  job.priority = static_cast<Priority>(wire.priority);
+  job.enqueued_at = engine_.now();
+  job.ticket = wire.ticket;
+  job.reply_slot = wire.reply_slot;
+  job.paid_latency = wire.paid_latency;
+  if (job.priority == Priority::kNormal) {
+    last_normal_activity_ = engine_.now();
+    normal_queue_.push_back(std::move(job));
+  } else {
+    background_queue_.push_back(std::move(job));
+  }
+  MaybeStartNext();
+}
+
+// Posts the completion message for the job now being served. Island
+// arithmetic (see DESIGN.md §3k): this server runs the request's whole
+// timeline `paid_latency` later than the serial engine did, so the serial
+// completion time is (serve_start - paid_latency) + service. The response
+// leg still to pay is that completion time minus "now"; the clamp to the
+// engine's lookahead only binds if the link healed while the request was in
+// flight (impossible in the default profile, where degrade is constant 1).
+void FileServer::PostResponse(const ServerJob& job, SimTime serve_start,
+                              SimTime service, bool failed) {
+  const SimTime serial_start = serve_start - job.paid_latency;
+  SimTime deliver_at = serial_start + service;
+  deliver_at = std::max(deliver_at, serve_start + remote_par_->lookahead());
+  RemoteResponse response;
+  response.ticket = job.ticket;
+  response.wear = device_->WearFraction();
+  response.server = remote_index_;
+  response.reply_slot = job.reply_slot;
+  response.failed = failed;
+  remote_par_->Post(
+      remote_island_, remote_client_, deliver_at, serial_start, job.ticket,
+      [ctx = remote_ctx_, fn = remote_responder_, response]() {
+        fn(ctx, response);
+      });
+}
+
 void FileServer::FailJob(ServerJob job) {
   ++stats_.failed_jobs;
   if (obs_ != nullptr) {
@@ -59,6 +133,9 @@ void FileServer::FailJob(ServerJob job) {
 }
 
 void FileServer::Submit(ServerJob job) {
+  S4D_CHECK(!remote())
+      << "server " << name_
+      << " is in island mode; requests must arrive as wire messages";
   S4D_CHECK(job.size > 0)
       << "server " << name_ << " got a job of " << job.size << " bytes";
   job.enqueued_at = engine_.now();
@@ -102,6 +179,25 @@ void FileServer::Crash() {
   if (!up_) return;
   up_ = false;
   ++stats_.crashes;
+  if (remote()) {
+    // Island mode: the client-side stub mirror fails every outstanding
+    // ticket at the serial crash time (this event runs one network hop
+    // later). Responses already on the wire are dropped by the client's
+    // ticket check. Here the jobs just die silently, counted.
+    if (busy_) {
+      engine_.Cancel(inflight_event_);
+      inflight_event_ = sim::kInvalidEvent;
+      busy_ = false;
+      inflight_job_.reset();
+      ++stats_.failed_jobs;
+    }
+    stats_.failed_jobs +=
+        static_cast<std::int64_t>(normal_queue_.size() +
+                                  background_queue_.size());
+    normal_queue_.clear();
+    background_queue_.clear();
+    return;
+  }
   // The in-flight job dies with its connection: cancel the scheduled
   // completion and fail it now.
   if (busy_) {
@@ -186,6 +282,19 @@ void FileServer::Serve(ServerJob job) {
       }
     }
     const SimTime service = link_.RpcOverhead();
+    if (remote()) {
+      // The error response leaves now; the request slot stays occupied for
+      // the full RPC round-trip, exactly as below.
+      PostResponse(job, engine_.now(), service, /*failed=*/true);
+      inflight_job_ = std::move(job);
+      inflight_event_ = engine_.ScheduleAfter(service, [this]() {
+        inflight_event_ = sim::kInvalidEvent;
+        inflight_job_.reset();
+        busy_ = false;
+        MaybeStartNext();
+      });
+      return;
+    }
     inflight_job_ = std::move(job);
     inflight_event_ = engine_.ScheduleAfter(service, [this]() {
       inflight_event_ = sim::kInvalidEvent;
@@ -240,6 +349,24 @@ void FileServer::Serve(ServerJob job) {
     }
   }
 
+  if (remote()) {
+    // Completion splits in two: the response message leaves now, timed so
+    // it lands at the exact serial completion instant, while this server's
+    // request slot stays busy for the full service time (device + wire
+    // occupancy is what serializes the next job, not the response's
+    // arrival).
+    PostResponse(job, engine_.now(), service, /*failed=*/false);
+    inflight_job_ = std::move(job);
+    inflight_event_ = engine_.ScheduleAfter(service, [this]() {
+      inflight_event_ = sim::kInvalidEvent;
+      const bool normal = inflight_job_->priority == Priority::kNormal;
+      inflight_job_.reset();
+      if (normal) last_normal_activity_ = engine_.now();
+      busy_ = false;
+      MaybeStartNext();
+    });
+    return;
+  }
   inflight_job_ = std::move(job);
   inflight_event_ = engine_.ScheduleAfter(service, [this]() {
     inflight_event_ = sim::kInvalidEvent;

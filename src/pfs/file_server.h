@@ -28,6 +28,7 @@
 #include "net/link_model.h"
 #include "obs/observability.h"
 #include "sim/engine.h"
+#include "sim/parallel_engine.h"
 
 namespace s4d::pfs {
 
@@ -49,7 +50,39 @@ struct ServerJob {
   obs::SpanId parent_span = obs::kNoSpan;
   // Stamped by Submit; queue-wait time is measured from here.
   SimTime enqueued_at = -1;
+  // Island mode only: response routing (the callbacks above stay null).
+  std::uint64_t ticket = 0;
+  std::uint32_t reply_slot = 0;
+  std::int32_t paid_latency = 0;  // one-way ns the request leg already paid
 };
+
+// Island mode: the request as it crosses the wire, packed so the whole
+// message (this + a FileServer*) fits InlineCallback's 48-byte inline
+// buffer — a cross-island sub-request costs zero heap allocations.
+struct WireJob {
+  std::int64_t lba = 0;
+  std::uint64_t ticket = 0;       // globally unique; echoed in the response
+  std::uint32_t size = 0;
+  std::uint32_t reply_slot = 0;   // client-side pending-table slot
+  std::int32_t paid_latency = 0;  // ns of one-way latency the client charged
+  std::uint8_t kind = 0;          // device::IoKind
+  std::uint8_t priority = 0;      // Priority
+};
+
+// Island mode: the response payload delivered back to the client island.
+// `wear` piggybacks the device's wear fraction so the client-side stub can
+// answer wear probes without touching cross-island state.
+struct RemoteResponse {
+  std::uint64_t ticket = 0;
+  double wear = 0.0;
+  std::int32_t server = 0;
+  std::uint32_t reply_slot = 0;
+  bool failed = false;
+};
+
+// Plain-function responder keeps file_server.h free of a FileSystem
+// dependency cycle; `ctx` is the owning FileSystem.
+using RemoteResponderFn = void (*)(void* ctx, const RemoteResponse& response);
 
 struct ServerStats {
   std::int64_t requests = 0;             // normal-priority jobs served
@@ -85,6 +118,24 @@ class FileServer {
   // Enqueues a job; it will be served in FIFO order within its priority.
   // On a crashed server the job fails immediately (next engine step).
   void Submit(ServerJob job);
+
+  // --- island mode -------------------------------------------------------
+  // Switches the server to island (remote) operation: it lives on
+  // `island`'s engine, receives WireJobs via ArriveRemote, and answers by
+  // posting `responder(ctx, ...)` messages back to `client_island` instead
+  // of invoking job callbacks. Arrival jitter is drawn by the client-side
+  // stub (identically-seeded mirror RNG) and folded into the wire delivery
+  // time, so jittered profiles reproduce the serial timeline exactly.
+  void EnableRemote(sim::ParallelEngine* par, sim::IslandId island,
+                    sim::IslandId client_island, int server_index, void* ctx,
+                    RemoteResponderFn responder);
+  bool remote() const { return remote_par_ != nullptr; }
+
+  // Delivery of a wire request on this server's island. A request that
+  // finds the server down is dropped silently — the client-side stub
+  // mirror already failed it at the (earlier) crash time, exactly when the
+  // serial simulator would have.
+  void ArriveRemote(const WireJob& wire);
 
   // --- fault injection ---------------------------------------------------
   // Crash: every queued job and the in-flight job (if any) fail at the
@@ -135,6 +186,8 @@ class FileServer {
   void MaybeStartNext();
   void Serve(ServerJob job);
   void FailJob(ServerJob job);
+  void PostResponse(const ServerJob& job, SimTime serve_start, SimTime service,
+                    bool failed);
 
   sim::Engine& engine_;
   std::unique_ptr<device::DeviceModel> device_;
@@ -159,6 +212,14 @@ class FileServer {
   std::optional<ServerJob> inflight_job_;
   double background_error_rate_ = 0.0;
   Rng fault_rng_{1};
+
+  // Island mode (null = classic single-engine operation).
+  sim::ParallelEngine* remote_par_ = nullptr;
+  sim::IslandId remote_island_ = 0;
+  sim::IslandId remote_client_ = 0;
+  std::int32_t remote_index_ = 0;
+  void* remote_ctx_ = nullptr;
+  RemoteResponderFn remote_responder_ = nullptr;
 
   // Observability (null = not observed). Handles are resolved once in
   // SetObservability so the service path pays pointer arithmetic only.

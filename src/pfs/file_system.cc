@@ -1,23 +1,47 @@
 #include "pfs/file_system.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 
 namespace s4d::pfs {
 
 FileSystem::FileSystem(sim::Engine& engine, FsConfig config,
-                       DeviceFactory factory)
-    : engine_(engine), config_(std::move(config)) {
+                       DeviceFactory factory, RemoteBinding remote)
+    : engine_(engine), config_(std::move(config)), remote_(remote) {
   S4D_CHECK(config_.stripe.server_count >= 1)
       << "file system needs at least one server, got "
       << config_.stripe.server_count;
+  if (remote_.par != nullptr) {
+    S4D_CHECK(remote_.next_ticket != nullptr)
+        << "island mode needs a shared ticket counter";
+  }
   servers_.reserve(static_cast<std::size_t>(config_.stripe.server_count));
+  if (remote_.par != nullptr) {
+    stubs_.reserve(static_cast<std::size_t>(config_.stripe.server_count));
+  }
   for (int i = 0; i < config_.stripe.server_count; ++i) {
+    sim::Engine& server_engine =
+        remote_.par != nullptr
+            ? remote_.par->island(remote_.first_island +
+                                  static_cast<sim::IslandId>(i))
+            : engine_;
+    const std::string server_name =
+        config_.name + "/server" + std::to_string(i);
     servers_.push_back(std::make_unique<FileServer>(
-        engine_, factory(i), net::LinkModel(config_.link),
-        config_.name + "/server" + std::to_string(i)));
+        server_engine, factory(i), net::LinkModel(config_.link), server_name));
+    if (remote_.par != nullptr) {
+      servers_.back()->EnableRemote(
+          remote_.par, remote_.first_island + static_cast<sim::IslandId>(i),
+          remote_.client_island, i, this, &FileSystem::OnRemoteResponseThunk);
+      // The jitter mirror must replay the server's exact stream: same
+      // name-derived seed as the FileServer constructor.
+      stubs_.emplace_back(net::LinkModel(config_.link),
+                          std::hash<std::string>{}(server_name) | 1);
+    }
   }
 }
 
@@ -41,6 +65,10 @@ byte_count FileSystem::FileBaseLba(FileId file) const {
 }
 
 void FileSystem::SetObservability(obs::Observability* obs) {
+  S4D_CHECK(obs == nullptr || !remote())
+      << config_.name
+      << ": observability gauges read live server state and are not "
+         "supported in island mode (run without --threads to observe)";
   for (auto& server : servers_) {
     server->SetObservability(obs, config_.name);
   }
@@ -56,6 +84,40 @@ void FileSystem::SetObservability(obs::Observability* obs) {
     for (const auto& server : servers_) busy += server->link().stats().wire_time;
     return static_cast<double>(busy);
   });
+}
+
+FileSystem::Fanout* FileSystem::AcquireFanout() {
+  if (fanout_free_.empty()) {
+    fanout_pool_.push_back(std::make_unique<Fanout>());
+    fanout_free_.push_back(fanout_pool_.back().get());
+  }
+  Fanout* fanout = fanout_free_.back();
+  fanout_free_.pop_back();
+  return fanout;
+}
+
+void FileSystem::FanoutArrive(Fanout* fanout, SimTime t, bool ok) {
+  S4D_DCHECK(fanout->remaining > 0)
+      << "sub-request completion after the request already finished";
+  fanout->last = std::max(fanout->last, t);
+  if (!ok) fanout->failed = true;
+  if (--fanout->remaining > 0) return;
+  // Move the callbacks out and recycle *before* firing: the callback may
+  // submit a follow-up request that re-acquires this very Fanout.
+  auto on_complete = std::move(fanout->on_complete);
+  auto on_failure = std::move(fanout->on_failure);
+  const bool failed = fanout->failed;
+  const SimTime last = fanout->last;
+  fanout->on_complete = nullptr;
+  fanout->on_failure = nullptr;
+  fanout_free_.push_back(fanout);
+  if (failed) {
+    ++stats_.failed_requests;
+    auto& cb = on_failure ? on_failure : on_complete;
+    if (cb) cb(last);
+  } else if (on_complete) {
+    on_complete(last);
+  }
 }
 
 void FileSystem::Submit(FileId file, device::IoKind kind, byte_count offset,
@@ -91,47 +153,259 @@ void FileSystem::Submit(FileId file, device::IoKind kind, byte_count offset,
 
   // Failure-aware join: the request resolves when the last sub-request
   // does; it fails as a whole if any sub-request failed.
-  struct Fanout {
-    int remaining;
-    SimTime last = 0;
-    bool failed = false;
-    std::function<void(SimTime)> on_complete;
-    std::function<void(SimTime)> on_failure;
-  };
-  auto state = std::make_shared<Fanout>();
+  Fanout* state = AcquireFanout();
   state->remaining = static_cast<int>(subs.size());
+  state->last = 0;
+  state->failed = false;
   state->on_complete = std::move(on_complete);
   state->on_failure = std::move(on_failure);
-  auto arrive = [this, state](SimTime t, bool ok) {
-    S4D_DCHECK(state->remaining > 0)
-        << "sub-request completion after the request already finished";
-    state->last = std::max(state->last, t);
-    if (!ok) state->failed = true;
-    if (--state->remaining > 0) return;
-    if (state->failed) {
-      ++stats_.failed_requests;
-      auto& cb = state->on_failure ? state->on_failure : state->on_complete;
-      if (cb) cb(state->last);
-    } else if (state->on_complete) {
-      state->on_complete(state->last);
-    }
-  };
 
   const byte_count base = FileBaseLba(file);
+  if (remote()) {
+    for (const SubRequest& sub : subs) {
+      SubmitRemoteSub(sub.server, kind, base + sub.server_offset, sub.size,
+                      priority, state);
+    }
+    return;
+  }
   for (const SubRequest& sub : subs) {
     ServerJob job;
     job.kind = kind;
     job.lba = base + sub.server_offset;
     job.size = sub.size;
     job.priority = priority;
-    job.on_complete = [arrive](SimTime t) { arrive(t, true); };
-    job.on_failure = [arrive](SimTime t) { arrive(t, false); };
+    // {this, state} fits std::function's inline buffer: no allocation.
+    job.on_complete = [this, state](SimTime t) {
+      FanoutArrive(state, t, true);
+    };
+    job.on_failure = [this, state](SimTime t) {
+      FanoutArrive(state, t, false);
+    };
     job.parent_span = parent_span;
     servers_[static_cast<std::size_t>(sub.server)]->Submit(std::move(job));
   }
 }
 
+void FileSystem::SubmitRemoteSub(int server, device::IoKind kind,
+                                 byte_count lba, byte_count size,
+                                 Priority priority, Fanout* fanout) {
+  Stub& stub = stubs_[static_cast<std::size_t>(server)];
+  if (!stub.up) {
+    // Connection refused, as the serial engine models it: the failure
+    // resolves on the next engine step at the submit time.
+    engine_.ScheduleAfter(0, [this, fanout]() {
+      FanoutArrive(fanout, engine_.now(), false);
+    });
+    return;
+  }
+  // Arrival jitter, drawn from the stub's mirror of the server's stream —
+  // the serial Submit draws at exactly this point, in exactly this order.
+  const SimTime jitter_bound = stub.link.profile().arrival_jitter;
+  const SimTime jitter =
+      jitter_bound > 0
+          ? static_cast<SimTime>(stub.jitter_rng.NextBelow(
+                static_cast<std::uint64_t>(jitter_bound)))
+          : 0;
+  const std::uint64_t ticket = (*remote_.next_ticket)++;
+  std::uint32_t slot;
+  if (stub.free_slots.empty()) {
+    slot = static_cast<std::uint32_t>(stub.slots.size());
+    stub.slots.emplace_back();
+  } else {
+    slot = stub.free_slots.back();
+    stub.free_slots.pop_back();
+  }
+  const SimTime now = engine_.now();
+  const SimTime arrive = now + jitter;  // the serial enqueue instant
+  stub.slots[slot] = PendingSub{ticket, fanout, arrive,
+                                static_cast<std::uint8_t>(priority), true};
+  ++stub.outstanding;
+
+  WireJob wire;
+  wire.lba = lba;
+  wire.ticket = ticket;
+  wire.size = static_cast<std::uint32_t>(size);
+  wire.reply_slot = slot;
+  wire.paid_latency = static_cast<std::int32_t>(stub.link.OneWayLatency());
+  wire.kind = static_cast<std::uint8_t>(kind);
+  wire.priority = static_cast<std::uint8_t>(priority);
+
+  FileServer* srv = servers_[static_cast<std::size_t>(server)].get();
+  remote_.par->Post(remote_.client_island,
+                    remote_.first_island + static_cast<sim::IslandId>(server),
+                    arrive + wire.paid_latency, now, ticket,
+                    [srv, wire]() { srv->ArriveRemote(wire); });
+}
+
+void FileSystem::OnRemoteResponseThunk(void* ctx,
+                                       const RemoteResponse& response) {
+  static_cast<FileSystem*>(ctx)->OnRemoteResponse(response);
+}
+
+void FileSystem::OnRemoteResponse(const RemoteResponse& response) {
+  Stub& stub = stubs_[static_cast<std::size_t>(response.server)];
+  stub.wear = response.wear;
+  S4D_DCHECK(response.reply_slot < stub.slots.size());
+  PendingSub& pending = stub.slots[response.reply_slot];
+  if (!pending.live || pending.ticket != response.ticket) {
+    // A response from a crashed epoch: the stub already failed this ticket
+    // at the crash time, exactly when the serial engine cancelled it.
+    return;
+  }
+  Fanout* fanout = pending.fanout;
+  pending.live = false;
+  stub.free_slots.push_back(response.reply_slot);
+  --stub.outstanding;
+  FanoutArrive(fanout, engine_.now(), !response.failed);
+}
+
+void FileSystem::FailOutstanding(int i) {
+  Stub& stub = stubs_[static_cast<std::size_t>(i)];
+  const SimTime now = engine_.now();
+  struct Doomed {
+    std::uint8_t priority;
+    SimTime arrive_at;
+    std::uint64_t ticket;
+    Fanout* fanout;
+  };
+  std::vector<Doomed> doomed;
+  for (std::uint32_t slot = 0;
+       slot < static_cast<std::uint32_t>(stub.slots.size()); ++slot) {
+    PendingSub& pending = stub.slots[slot];
+    if (!pending.live) continue;
+    if (pending.arrive_at > now) {
+      // Still inside its arrival-jitter delay. The serial engine only
+      // fails it when it reaches the (then-down) server — and serves it
+      // normally if a restart lands before that. Re-check at arrival.
+      engine_.ScheduleAt(
+          pending.arrive_at, [this, i, slot, ticket = pending.ticket]() {
+            Stub& s = stubs_[static_cast<std::size_t>(i)];
+            if (s.up) return;  // restarted in time: the server serves it
+            PendingSub& p = s.slots[slot];
+            if (!p.live || p.ticket != ticket) return;
+            Fanout* fanout = p.fanout;
+            p.live = false;
+            s.free_slots.push_back(slot);
+            --s.outstanding;
+            engine_.ScheduleAfter(0, [this, fanout]() {
+              FanoutArrive(fanout, engine_.now(), false);
+            });
+          });
+      continue;
+    }
+    doomed.push_back(
+        Doomed{pending.priority, pending.arrive_at, pending.ticket,
+               pending.fanout});
+    pending.live = false;
+    stub.free_slots.push_back(slot);
+    --stub.outstanding;
+  }
+  // Serial failure order: the normal queue drains before the background
+  // queue, arrival (FIFO) order within each, submission order on ties.
+  std::sort(doomed.begin(), doomed.end(), [](const Doomed& a, const Doomed& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    if (a.arrive_at != b.arrive_at) return a.arrive_at < b.arrive_at;
+    return a.ticket < b.ticket;
+  });
+  for (const Doomed& d : doomed) {
+    engine_.ScheduleAfter(0, [this, fanout = d.fanout]() {
+      FanoutArrive(fanout, engine_.now(), false);
+    });
+  }
+}
+
+template <typename Fn>
+void FileSystem::PostToServer(int i, Fn&& fn) {
+  Stub& stub = stubs_[static_cast<std::size_t>(i)];
+  const SimTime now = engine_.now();
+  remote_.par->Post(remote_.client_island,
+                    remote_.first_island + static_cast<sim::IslandId>(i),
+                    now + stub.link.OneWayLatency(), now,
+                    (*remote_.next_ticket)++, std::forward<Fn>(fn));
+}
+
+void FileSystem::CrashServer(int i) {
+  if (!remote()) {
+    server(i).Crash();
+    return;
+  }
+  Stub& stub = stubs_[static_cast<std::size_t>(i)];
+  if (!stub.up) return;
+  stub.up = false;
+  FailOutstanding(i);
+  FileServer* srv = servers_[static_cast<std::size_t>(i)].get();
+  PostToServer(i, [srv]() { srv->Crash(); });
+}
+
+void FileSystem::RestartServer(int i) {
+  if (!remote()) {
+    server(i).Restart();
+    return;
+  }
+  Stub& stub = stubs_[static_cast<std::size_t>(i)];
+  if (stub.up) return;
+  stub.up = true;
+  FileServer* srv = servers_[static_cast<std::size_t>(i)].get();
+  PostToServer(i, [srv]() { srv->Restart(); });
+}
+
+bool FileSystem::ServerUp(int i) const {
+  return remote() ? stubs_[static_cast<std::size_t>(i)].up : server(i).up();
+}
+
+void FileSystem::SetServerPartitioned(int i, bool partitioned) {
+  if (!remote()) {
+    server(i).SetPartitioned(partitioned);
+    return;
+  }
+  stubs_[static_cast<std::size_t>(i)].partitioned = partitioned;
+  FileServer* srv = servers_[static_cast<std::size_t>(i)].get();
+  PostToServer(i, [srv, partitioned]() { srv->SetPartitioned(partitioned); });
+}
+
+void FileSystem::SetDeviceDegrade(int i, double factor) {
+  if (!remote()) {
+    server(i).device().SetDegrade(factor);
+    return;
+  }
+  // Mirror the DeviceModel clamp so probe reads match exactly.
+  stubs_[static_cast<std::size_t>(i)].device_degrade =
+      factor < 1.0 ? 1.0 : factor;
+  FileServer* srv = servers_[static_cast<std::size_t>(i)].get();
+  PostToServer(i, [srv, factor]() { srv->device().SetDegrade(factor); });
+}
+
+void FileSystem::SetLinkDegrade(int i, double factor) {
+  if (!remote()) {
+    server(i).mutable_link().SetDegrade(factor);
+    return;
+  }
+  FileServer* srv = servers_[static_cast<std::size_t>(i)].get();
+  // Ship at the pre-change latency (the same hop requests already in
+  // flight paid), then update the mirror for subsequent submits.
+  PostToServer(i, [srv, factor]() { srv->mutable_link().SetDegrade(factor); });
+  stubs_[static_cast<std::size_t>(i)].link.SetDegrade(factor);
+}
+
+void FileSystem::SetServerBackgroundErrorRate(int i, double rate,
+                                              std::uint64_t seed) {
+  if (!remote()) {
+    server(i).SetBackgroundErrorRate(rate, seed);
+    return;
+  }
+  FileServer* srv = servers_[static_cast<std::size_t>(i)].get();
+  PostToServer(i, [srv, rate, seed]() {
+    srv->SetBackgroundErrorRate(rate, seed);
+  });
+}
+
 bool FileSystem::AllServersReachable() const {
+  if (remote()) {
+    for (const Stub& stub : stubs_) {
+      if (!stub.up || stub.partitioned) return false;
+    }
+    return true;
+  }
   for (const auto& server : servers_) {
     if (!server->reachable()) return false;
   }
@@ -140,10 +414,57 @@ bool FileSystem::AllServersReachable() const {
 
 int FileSystem::DownServerCount() const {
   int down = 0;
+  if (remote()) {
+    for (const Stub& stub : stubs_) {
+      if (!stub.up) ++down;
+    }
+    return down;
+  }
   for (const auto& server : servers_) {
     if (!server->up()) ++down;
   }
   return down;
+}
+
+double FileSystem::WorstDeviceDegrade() const {
+  double worst = 1.0;
+  if (remote()) {
+    for (const Stub& stub : stubs_) {
+      worst = std::max(worst, stub.device_degrade);
+    }
+    return worst;
+  }
+  for (const auto& server : servers_) {
+    worst = std::max(worst, server->device().degrade());
+  }
+  return worst;
+}
+
+double FileSystem::WorstWearFraction() const {
+  double worst = 0.0;
+  if (remote()) {
+    for (const Stub& stub : stubs_) worst = std::max(worst, stub.wear);
+    return worst;
+  }
+  for (const auto& server : servers_) {
+    worst = std::max(worst, server->device().WearFraction());
+  }
+  return worst;
+}
+
+double FileSystem::MeanQueueDepth() const {
+  if (servers_.empty()) return 0.0;
+  double sum = 0.0;
+  if (remote()) {
+    for (const Stub& stub : stubs_) {
+      sum += static_cast<double>(stub.outstanding);
+    }
+  } else {
+    for (const auto& server : servers_) {
+      sum += static_cast<double>(server->queue_depth());
+    }
+  }
+  return sum / static_cast<double>(servers_.size());
 }
 
 void FileSystem::StampContent(FileId file, byte_count offset, byte_count size,

@@ -62,13 +62,35 @@ struct FsStats {
   std::int64_t failed_requests = 0;
 };
 
+// Island mode: places every server on its own ParallelEngine island while
+// the FileSystem object itself (striping, fan-out joins, stats, content
+// tracking) stays on the client island. Sub-requests travel as WireJob
+// messages; completions come back as RemoteResponse messages timed to land
+// at exactly the serial simulator's completion instants (DESIGN.md §3k).
+struct RemoteBinding {
+  sim::ParallelEngine* par = nullptr;
+  sim::IslandId client_island = 0;  // where this FileSystem's callers run
+  sim::IslandId first_island = 0;   // server i lives on first_island + i
+  // Shared monotonic ticket counter (one per deployment, owned by the
+  // testbed): tickets order same-instant message injection exactly like the
+  // serial engine's scheduling order. Only ever touched from the client
+  // island, so no atomics.
+  std::uint64_t* next_ticket = nullptr;
+};
+
 class FileSystem {
  public:
   using DeviceFactory =
       std::function<std::unique_ptr<device::DeviceModel>(int server_index)>;
   using ContentMap = IntervalMap<std::uint64_t>;
 
-  FileSystem(sim::Engine& engine, FsConfig config, DeviceFactory factory);
+  // `engine` is the engine this FileSystem's client-side activity runs on:
+  // the single global engine classically, island 0's engine in island mode
+  // (when `remote.par` is set).
+  FileSystem(sim::Engine& engine, FsConfig config, DeviceFactory factory,
+             RemoteBinding remote = {});
+
+  bool remote() const { return remote_.par != nullptr; }
 
   // Opens `name`, creating it on first open. Open is idempotent: the same
   // name always yields the same FileId.
@@ -130,24 +152,106 @@ class FileSystem {
   void ResetDevices();
 
   // --- fault injection ---------------------------------------------------
-  void CrashServer(int i) { server(i).Crash(); }
-  void RestartServer(int i) { server(i).Restart(); }
-  bool ServerUp(int i) const { return server(i).up(); }
+  // Mode-agnostic: classically these forward to the server object; in
+  // island mode they update the client-side stub mirror at the fault's
+  // serial time and ship the server-side state change one network hop
+  // later — the same shift every request pays, so serve-start arithmetic
+  // stays exact (DESIGN.md §3k).
+  void CrashServer(int i);
+  void RestartServer(int i);
+  bool ServerUp(int i) const;
+  void SetServerPartitioned(int i, bool partitioned);
+  void SetDeviceDegrade(int i, double factor);
+  void SetLinkDegrade(int i, double factor);
+  void SetServerBackgroundErrorRate(int i, double rate, std::uint64_t seed);
   // All servers up and none partitioned — a request issued now would not
   // fail or stall. The middleware's degraded-mode routing polls this.
   bool AllServersReachable() const;
   int DownServerCount() const;
 
+  // --- health probes (middleware-side, mode-agnostic) --------------------
+  // Classically these read the live server objects. In island mode they
+  // read the client-side stub mirrors: degrade factors are exact (faults
+  // are schedule-driven and mirrored at their serial times), wear is the
+  // last response-piggybacked value (stale by at most one in-flight
+  // response), and queue depth is approximated by outstanding sub-requests
+  // per server.
+  double WorstDeviceDegrade() const;
+  double WorstWearFraction() const;
+  double MeanQueueDepth() const;
+
  private:
   byte_count FileBaseLba(FileId file) const;
 
+  // Failure-aware join state for one striped request, pooled and reused so
+  // the submit hot path performs no per-request heap allocation (the
+  // completion lambdas capture {FileSystem*, Fanout*}, which fits
+  // std::function's inline buffer).
+  struct Fanout {
+    int remaining = 0;
+    SimTime last = 0;
+    bool failed = false;
+    std::function<void(SimTime)> on_complete;
+    std::function<void(SimTime)> on_failure;
+  };
+  Fanout* AcquireFanout();
+  void FanoutArrive(Fanout* fanout, SimTime t, bool ok);
+
+  // Island mode: one pending sub-request, addressed by (slot, ticket). The
+  // ticket check makes slot reuse safe against responses from a crashed
+  // epoch still on the wire.
+  struct PendingSub {
+    std::uint64_t ticket = 0;
+    Fanout* fanout = nullptr;
+    SimTime arrive_at = 0;  // serial enqueue instant (submit + jitter)
+    std::uint8_t priority = 0;
+    bool live = false;
+  };
+  // Client-side mirror of one remote server: enough state to route, fail,
+  // and probe without touching the server's island.
+  struct Stub {
+    Stub(net::LinkModel link_model, std::uint64_t jitter_seed)
+        : link(std::move(link_model)), jitter_rng(jitter_seed) {}
+    bool up = true;
+    bool partitioned = false;
+    double device_degrade = 1.0;
+    double wear = 0.0;      // last response-piggybacked WearFraction
+    int outstanding = 0;    // live slots (submitted, not yet resolved)
+    net::LinkModel link;    // latency mirror (same rounding as the server's)
+    // Mirror of the server's arrival-jitter stream: same seed, and draws
+    // happen in submission order on both sides (the remote server never
+    // draws), so the streams stay in lockstep.
+    Rng jitter_rng;
+    std::vector<PendingSub> slots;
+    std::vector<std::uint32_t> free_slots;
+  };
+  static void OnRemoteResponseThunk(void* ctx, const RemoteResponse& response);
+  void OnRemoteResponse(const RemoteResponse& response);
+  void SubmitRemoteSub(int server, device::IoKind kind, byte_count lba,
+                       byte_count size, Priority priority, Fanout* fanout);
+  // Crash handling for server `i`'s outstanding sub-requests. Already
+  // *arrived* subs fail at the current time (normal priority first,
+  // arrival/FIFO order within priority — the serial crash-failure order);
+  // subs still inside their arrival-jitter delay fail at their arrival
+  // instant unless a restart lands first, in which case the server serves
+  // them — exactly the serial enqueue re-check.
+  void FailOutstanding(int i);
+  // Ships a state-change callback to server `i`'s island, one network hop
+  // from now.
+  template <typename Fn>
+  void PostToServer(int i, Fn&& fn);
+
   sim::Engine& engine_;
   FsConfig config_;
+  RemoteBinding remote_;
   std::vector<std::unique_ptr<FileServer>> servers_;
+  std::vector<Stub> stubs_;  // island mode only; parallel to servers_
   std::unordered_map<std::string, FileId> files_by_name_;
   std::vector<std::string> file_names_;
   std::vector<ContentMap> contents_;
   std::vector<std::function<void(const RequestRecord&)>> observers_;
+  std::vector<std::unique_ptr<Fanout>> fanout_pool_;
+  std::vector<Fanout*> fanout_free_;
   FsStats stats_;
 };
 

@@ -1,0 +1,304 @@
+// Conservative parallel discrete-event engine (island partitioning).
+//
+// The simulation is split into islands, each owning a private sim::Engine.
+// Islands only interact through messages whose delivery is delayed by at
+// least `lookahead` (the modeled network's minimum one-way latency, see
+// LinkModel::OneWayLatency), so the coordinator can run all islands
+// concurrently inside a window [W, W + lookahead) without any island
+// observing an effect it should have seen earlier:
+//
+//   * W is the globally earliest pending work (min over island
+//     NextEventTime() and undelivered message times), so windows fast-
+//     forward over idle gaps instead of ticking lookahead-sized steps.
+//   * An event fired inside the window happens at t < W + lookahead. Any
+//     message it posts is delivered at t + latency >= W + lookahead — i.e.
+//     outside the window. Post() S4D_CHECKs this (the lookahead invariant);
+//     a violation means some cross-island path skipped the network model.
+//   * Messages are buffered in per-island outboxes during the window
+//     (single-writer, no locks) and merged at the barrier in a canonical
+//     order — (deliver_at, sched_at, order) with a globally unique `order`
+//     ticket — so injection order, and therefore the entire run, is
+//     byte-identical for every thread count, including 1.
+//
+// Determinism is structural, not best-effort: the thread pool only decides
+// *which worker* runs an island, never the order events execute within an
+// island or the order messages inject across islands.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/sim_time.h"
+#include "sim/engine.h"
+#include "sim/inline_callback.h"
+
+namespace s4d::sim {
+
+using IslandId = std::uint32_t;
+
+class ParallelEngine {
+ public:
+  // `islands` engines are created up front; island 0 conventionally hosts
+  // the clients/middleware and drives completion callbacks. `threads` only
+  // sizes the worker pool — it has no effect on simulation results.
+  ParallelEngine(int islands, SimTime lookahead, int threads)
+      : lookahead_(lookahead),
+        threads_(std::clamp(threads, 1, std::max(islands, 1))) {
+    S4D_CHECK(islands >= 1) << "need at least one island";
+    S4D_CHECK(lookahead > 0) << "conservative lookahead must be positive";
+    engines_.reserve(static_cast<std::size_t>(islands));
+    outboxes_.resize(static_cast<std::size_t>(islands));
+    for (int i = 0; i < islands; ++i) {
+      engines_.push_back(std::make_unique<Engine>());
+    }
+    if (threads_ > 1) StartWorkers();
+  }
+
+  ~ParallelEngine() { StopWorkers(); }
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  int island_count() const { return static_cast<int>(engines_.size()); }
+  int thread_count() const { return threads_; }
+  SimTime lookahead() const { return lookahead_; }
+  Engine& island(IslandId id) { return *engines_[id]; }
+  // The driver's clock: island 0 hosts clients, so its time is "the" sim
+  // time for reporting, exactly as in the single-engine harness.
+  Engine& front() { return *engines_[0]; }
+
+  // Posts a cross-island message: `fn` runs on island `dst` at
+  // `deliver_at`. Must be called either between windows (setup code) or
+  // from an event executing on island `src` during a window; the outbox is
+  // single-writer either way. (`sched_at`, `order`) canonicalize the merge:
+  // `sched_at` is the simulated time the message was posted and `order` a
+  // globally unique ticket (allocated on island 0, echoed by responders),
+  // so equal delivery times inject in exactly the order the serial
+  // simulator would have scheduled them.
+  void Post(IslandId src, IslandId dst, SimTime deliver_at, SimTime sched_at,
+            std::uint64_t order, InlineCallback fn) {
+    S4D_CHECK(deliver_at >= horizon_)
+        << "lookahead violation: island " << src << " posted a message to "
+        << "island " << dst << " delivering at " << deliver_at
+        << " inside the current window horizon " << horizon_
+        << " (cross-island paths must pay >= " << lookahead_
+        << "ns of modeled network latency)";
+    S4D_DCHECK(src < outboxes_.size() && dst < engines_.size());
+    S4D_DCHECK(dst != src) << "island " << src << " posting to itself";
+    outboxes_[src].push_back(
+        Message{deliver_at, sched_at, order, dst, std::move(fn)});
+  }
+
+  // Runs until every island is idle and no messages remain in flight.
+  void Run() {
+    while (RunWindow(kNoDeadline)) {
+    }
+  }
+
+  // Runs while `pred()` holds, checking it at window barriers (the island-0
+  // completion callbacks that flip the predicate always run inside a
+  // window). Returns with the predicate false or the simulation idle.
+  void RunWhile(const std::function<bool()>& pred) {
+    while (pred() && RunWindow(kNoDeadline)) {
+    }
+  }
+
+  // Runs events with time <= deadline, then aligns every island's clock to
+  // exactly `deadline` — the parallel analogue of Engine::RunUntil, used by
+  // the driver's sliced drain loop.
+  void RunUntil(SimTime deadline) {
+    while (RunWindow(deadline)) {
+    }
+    for (auto& e : engines_) e->AdvanceTo(deadline);
+  }
+
+  // True when no island has pending events and no message is undelivered.
+  bool IdleNow() {
+    if (!pending_.empty()) return false;
+    for (auto& e : engines_) {
+      if (e->NextEventTime() >= 0) return false;
+    }
+    return true;
+  }
+
+  std::uint64_t windows_run() const { return windows_run_; }
+  std::uint64_t messages_posted() const { return messages_posted_; }
+
+ private:
+  static constexpr SimTime kNoDeadline = -1;
+
+  struct Message {
+    SimTime deliver_at;
+    SimTime sched_at;
+    std::uint64_t order;
+    IslandId dst;
+    InlineCallback fn;
+  };
+
+  // One conservative window: pick W = earliest pending work, inject every
+  // message delivering before W + lookahead, run all islands up to the
+  // horizon (exclusive), then gather their outboxes. Returns false when
+  // there is nothing left to run (within `deadline`, if given).
+  bool RunWindow(SimTime deadline) {
+    CollectOutboxes();  // setup-time posts land here before the first window
+    SimTime window = kNoDeadline;
+    for (auto& e : engines_) {
+      const SimTime t = e->NextEventTime();
+      if (t >= 0 && (window < 0 || t < window)) window = t;
+    }
+    for (const Message& m : pending_) {
+      if (window < 0 || m.deliver_at < window) window = m.deliver_at;
+    }
+    if (window < 0) return false;                       // globally idle
+    if (deadline >= 0 && window > deadline) return false;
+    SimTime horizon = window + lookahead_;
+    if (deadline >= 0) horizon = std::min(horizon, deadline + 1);
+    horizon_ = horizon;
+
+    // Inject deliverable messages in canonical order. `order` tickets are
+    // globally unique, so the sort admits exactly one result no matter how
+    // the outboxes were interleaved.
+    auto deliverable = std::stable_partition(
+        pending_.begin(), pending_.end(),
+        [horizon](const Message& m) { return m.deliver_at < horizon; });
+    std::sort(pending_.begin(), deliverable,
+              [](const Message& a, const Message& b) {
+                if (a.deliver_at != b.deliver_at)
+                  return a.deliver_at < b.deliver_at;
+                if (a.sched_at != b.sched_at) return a.sched_at < b.sched_at;
+                return a.order < b.order;
+              });
+    for (auto it = pending_.begin(); it != deliverable; ++it) {
+      S4D_DCHECK(it == pending_.begin() ||
+                 std::prev(it)->order != it->order ||
+                 std::prev(it)->deliver_at != it->deliver_at)
+          << "duplicate message merge key";
+      engines_[it->dst]->ScheduleAt(it->deliver_at, std::move(it->fn));
+    }
+    pending_.erase(pending_.begin(), deliverable);
+
+    runnable_.clear();
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+      const SimTime t = engines_[i]->NextEventTime();
+      if (t >= 0 && t < horizon) runnable_.push_back(i);
+    }
+    window_end_ = horizon - 1;  // RunReady's deadline is inclusive
+    if (threads_ <= 1 || runnable_.size() <= 1) {
+      for (const std::size_t i : runnable_) {
+        engines_[i]->RunReady(window_end_);
+      }
+    } else {
+      DispatchWindow();
+    }
+    ++windows_run_;
+    return true;
+  }
+
+  // Coordinator-only (runs between windows), so the message counter needs
+  // no atomics despite Post() running on worker threads.
+  void CollectOutboxes() {
+    for (auto& box : outboxes_) {
+      messages_posted_ += box.size();
+      for (Message& m : box) pending_.push_back(std::move(m));
+      box.clear();
+    }
+  }
+
+  // ---- worker pool -------------------------------------------------------
+  // Persistent helpers plus the coordinator drain a shared index into
+  // runnable_; each island is claimed by exactly one thread per window, so
+  // island state needs no locking. The epoch handshake (mutex + cv) gives
+  // the necessary happens-before edges around each window, keeping TSan
+  // clean without per-event synchronization.
+
+  void StartWorkers() {
+    const int helpers = threads_ - 1;
+    workers_.reserve(static_cast<std::size_t>(helpers));
+    for (int i = 0; i < helpers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void StopWorkers() {
+    if (workers_.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      shutdown_ = true;
+    }
+    pool_start_.notify_all();
+    for (auto& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  void DispatchWindow() {
+    next_island_.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      helpers_done_ = 0;
+      ++epoch_;
+    }
+    pool_start_.notify_all();
+    DrainRunnable();
+    std::unique_lock<std::mutex> lock(pool_mu_);
+    pool_done_.wait(lock, [this] {
+      return helpers_done_ == static_cast<int>(workers_.size());
+    });
+  }
+
+  void WorkerLoop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(pool_mu_);
+        pool_start_.wait(lock,
+                         [&] { return shutdown_ || epoch_ != seen; });
+        if (shutdown_) return;
+        seen = epoch_;
+      }
+      DrainRunnable();
+      {
+        std::lock_guard<std::mutex> lock(pool_mu_);
+        ++helpers_done_;
+      }
+      pool_done_.notify_one();
+    }
+  }
+
+  void DrainRunnable() {
+    for (;;) {
+      const std::size_t i =
+          next_island_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= runnable_.size()) return;
+      engines_[runnable_[i]]->RunReady(window_end_);
+    }
+  }
+
+  const SimTime lookahead_;
+  const int threads_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::vector<Message>> outboxes_;  // one writer each per window
+  std::vector<Message> pending_;                // coordinator-only
+  std::vector<std::size_t> runnable_;
+  SimTime horizon_ = 0;     // current window end; Post() checks against it
+  SimTime window_end_ = 0;  // horizon_ - 1, the inclusive RunReady deadline
+  std::uint64_t windows_run_ = 0;
+  std::uint64_t messages_posted_ = 0;
+
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_start_;
+  std::condition_variable pool_done_;
+  std::uint64_t epoch_ = 0;
+  int helpers_done_ = 0;
+  bool shutdown_ = false;
+  std::atomic<std::size_t> next_island_{0};
+};
+
+}  // namespace s4d::sim

@@ -88,6 +88,12 @@ void TenantManager::Attach(core::S4DCache& cache) {
     provider = [this]() { return SelectVictim(); };
     redirector.SetFreeSpaceGate(
         [this](byte_count size) { return AllowFreeAllocation(size); });
+    // Keep the over-quota reclaim index current as usage changes, instead
+    // of rescanning every partition inside each victim selection.
+    enforce_index_ = true;
+    over_excess_.assign(static_cast<std::size_t>(count()), 0);
+    space.SetUsageListener([this](int owner) { RefreshOverIndex(owner); });
+    for (int t = 0; t < count(); ++t) RefreshOverIndex(t);
   }
   redirector.SetEvictionHooks(
       std::move(provider),
@@ -143,6 +149,17 @@ bool TenantManager::AllowFreeAllocation(byte_count size) {
   return space.free_bytes() >= size + reserved;
 }
 
+void TenantManager::RefreshOverIndex(int owner) {
+  if (!enforce_index_) return;
+  const auto o = static_cast<std::size_t>(owner);
+  const byte_count excess = std::max<byte_count>(
+      0, cache_->cache_space().used_by(owner) - quota_[o]);
+  if (excess == over_excess_[o]) return;
+  if (over_excess_[o] > 0) over_index_.erase({over_excess_[o], owner});
+  if (excess > 0) over_index_.insert({excess, owner});
+  over_excess_[o] = excess;
+}
+
 std::optional<core::RemovedExtent> TenantManager::SelectVictim() {
   core::CacheSpaceAllocator& space = cache_->cache_space();
   core::DataMappingTable& dmt = cache_->dmt();
@@ -153,20 +170,12 @@ std::optional<core::RemovedExtent> TenantManager::SelectVictim() {
     };
   };
   // 1. Reclaim from over-quota partitions first, most over first (ties to
-  //    the lowest tenant index for determinism).
-  std::vector<std::pair<byte_count, int>> over;
-  for (int o = 0; o < count(); ++o) {
-    const byte_count excess =
-        space.used_by(o) - quota_[static_cast<std::size_t>(o)];
-    if (excess > 0) over.emplace_back(excess, o);
-  }
-  std::sort(over.begin(), over.end(),
-            [](const std::pair<byte_count, int>& a,
-               const std::pair<byte_count, int>& b) {
-              if (a.first != b.first) return a.first > b.first;
-              return a.second < b.second;
-            });
-  for (const auto& [excess, o] : over) {
+  //    the lowest tenant index for determinism). The index is maintained
+  //    incrementally by the allocator's usage listener; a successful
+  //    eviction returns before the ensuing Free mutates the index, and a
+  //    failed probe (no clean extent owned by `o`) mutates nothing, so
+  //    iterating the live set is safe.
+  for (const auto& [excess, o] : over_index_) {
     if (auto victim = dmt.EvictLruCleanIf(owner_is(o))) return victim;
   }
   // 2. The requester's own partition (its floor protects it from others,
@@ -338,6 +347,7 @@ void TenantManager::SizerTick() {
     const byte_count quota = floor_[t] + share;
     if (quota != quota_[t]) changed = true;
     quota_[t] = quota;
+    RefreshOverIndex(static_cast<int>(t));  // excess depends on the quota
   }
   if (changed) ++resizes_;
 
@@ -411,6 +421,25 @@ void TenantManager::AuditInvariants() const {
     S4D_CHECK(quota_sum <= cache_->cache_space().capacity())
         << "quotas sum to " << quota_sum << " > capacity "
         << cache_->cache_space().capacity();
+  }
+  if (enforce_index_) {
+    // The incremental over-quota index must agree with a fresh scan.
+    std::size_t over_count = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const byte_count excess = std::max<byte_count>(
+          0, cache_->cache_space().used_by(static_cast<int>(t)) - quota_[t]);
+      S4D_CHECK(over_excess_[t] == excess)
+          << "over-quota index stale for tenant " << t << ": indexed "
+          << over_excess_[t] << ", actual " << excess;
+      if (excess > 0) {
+        ++over_count;
+        S4D_CHECK(over_index_.count({excess, static_cast<int>(t)}) == 1)
+            << "tenant " << t << " missing from the over-quota index";
+      }
+    }
+    S4D_CHECK(over_index_.size() == over_count)
+        << "over-quota index holds " << over_index_.size() << " entries, "
+        << over_count << " tenants are over quota";
   }
   for (std::size_t t = 0; t < n; ++t) {
     const TenantStats& s = stats_[t];

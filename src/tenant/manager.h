@@ -39,7 +39,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/s4d_cache.h"
@@ -120,6 +122,12 @@ class TenantManager {
 
   bool AllowFreeAllocation(byte_count size);
   std::optional<core::RemovedExtent> SelectVictim();
+  // Incremental over-quota index maintenance: recomputes `owner`'s excess
+  // (used - quota) and moves its entry in over_index_. Called from the
+  // allocator's usage listener and after quota changes, so SelectVictim
+  // reads reclaim order off the index instead of rescanning every tenant
+  // per eviction.
+  void RefreshOverIndex(int owner);
   bool AdmitEndurance(const core::AdmissionContext& ctx, bool inner_verdict);
   void OnRequestStart(const mpiio::FileRequest& request, device::IoKind kind);
   void OnOutcome(const core::RequestOutcome& outcome);
@@ -138,6 +146,22 @@ class TenantManager {
   std::vector<byte_count> floor_;
   std::vector<TenantStats> stats_;
   std::vector<std::unique_ptr<policy::GhostCache>> ghosts_;
+
+  // Over-quota partitions ordered by reclaim priority — excess descending,
+  // ties to the lowest tenant index (the exact order the old per-eviction
+  // scan-and-sort produced). over_excess_ caches each tenant's indexed
+  // excess (0 = absent) so updates are erase+insert, O(log over-quota
+  // tenants). Maintained only in enforce mode.
+  struct OverOrder {
+    bool operator()(const std::pair<byte_count, int>& a,
+                    const std::pair<byte_count, int>& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    }
+  };
+  std::set<std::pair<byte_count, int>, OverOrder> over_index_;
+  std::vector<byte_count> over_excess_;
+  bool enforce_index_ = false;
 
   // Sizer state: per-tenant EWMA useful-hit ratio and the open window's
   // deltas (reset every tick).

@@ -1,0 +1,161 @@
+// ParallelEngine unit tests: cross-island message delivery, the canonical
+// (deliver_at, sched_at, order) merge, window/clock semantics, thread-count
+// invariance of the coordinator itself, and the lookahead invariant's
+// S4D_CHECK (a death test — a cross-island path that skips the network
+// model must crash, not silently corrupt the timeline).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/parallel_engine.h"
+
+namespace s4d::sim {
+namespace {
+
+TEST(ParallelEngine, DeliversMessagesAcrossIslands) {
+  ParallelEngine par(2, /*lookahead=*/100, /*threads=*/1);
+  std::vector<std::pair<int, SimTime>> log;
+  // Island 0 fires at t=5 and posts to island 1 one latency later; island 1
+  // replies another latency after that. Each callback must observe its own
+  // island's clock at exactly the delivery time.
+  par.island(0).ScheduleAt(5, [&] {
+    par.Post(0, 1, /*deliver_at=*/105, /*sched_at=*/5, /*order=*/1, [&] {
+      log.emplace_back(1, par.island(1).now());
+      par.Post(1, 0, /*deliver_at=*/210, /*sched_at=*/105, /*order=*/2,
+               [&] { log.emplace_back(0, par.island(0).now()); });
+    });
+  });
+  par.Run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], (std::pair<int, SimTime>{1, 105}));
+  EXPECT_EQ(log[1], (std::pair<int, SimTime>{0, 210}));
+  EXPECT_EQ(par.messages_posted(), 2u);
+  EXPECT_TRUE(par.IdleNow());
+}
+
+TEST(ParallelEngine, MergesEqualDeliveryTimesCanonically) {
+  ParallelEngine par(3, /*lookahead=*/50, /*threads=*/1);
+  std::vector<int> order;
+  // Three messages to island 0, all delivering at t=100, posted from two
+  // different islands in an order that disagrees with the canonical key.
+  // The merge must sort by (deliver_at, sched_at, order) regardless of
+  // which outbox each message sat in.
+  par.island(1).ScheduleAt(10, [&] {
+    par.Post(1, 0, 100, /*sched_at=*/10, /*order=*/7,
+             [&] { order.push_back(7); });
+  });
+  par.island(2).ScheduleAt(10, [&] {
+    par.Post(2, 0, 100, /*sched_at=*/10, /*order=*/3,
+             [&] { order.push_back(3); });
+  });
+  par.island(1).ScheduleAt(12, [&] {
+    par.Post(1, 0, 100, /*sched_at=*/12, /*order=*/1,
+             [&] { order.push_back(1); });
+  });
+  par.Run();
+  EXPECT_EQ(order, (std::vector<int>{3, 7, 1}));
+}
+
+TEST(ParallelEngine, RunUntilAlignsEveryIslandClock) {
+  ParallelEngine par(2, /*lookahead=*/50, /*threads=*/1);
+  int fired = 0;
+  par.island(0).ScheduleAt(10, [&] { ++fired; });
+  par.island(1).ScheduleAt(500, [&] { ++fired; });
+  par.RunUntil(200);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(par.island(0).now(), 200);
+  EXPECT_EQ(par.island(1).now(), 200);
+  par.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(par.island(1).now(), 500);
+}
+
+TEST(ParallelEngine, RequestStopHaltsIslandMidWindow) {
+  ParallelEngine par(1, /*lookahead=*/50, /*threads=*/1);
+  std::vector<int> fired;
+  // Both events fall inside one window; the first requests a stop, so the
+  // second must stay pending (this is how the closed-loop driver freezes
+  // island 0 at the exact event that retires the last rank).
+  par.island(0).ScheduleAt(10, [&] {
+    fired.push_back(1);
+    par.front().RequestStop();
+  });
+  par.island(0).ScheduleAt(11, [&] { fired.push_back(2); });
+  par.RunWhile([&] { return fired.empty(); });
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_EQ(par.front().now(), 10);
+  par.Run();  // the stop flag clears on the next RunReady entry
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+// A ring of islands passing a token: the full (final time, message count,
+// window count) signature must be identical for every worker-pool size,
+// because threads only decide which worker runs an island, never the order
+// anything executes.
+struct RingSignature {
+  SimTime final_time = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t windows = 0;
+  std::vector<int> visits;
+
+  bool operator==(const RingSignature& o) const {
+    return final_time == o.final_time && messages == o.messages &&
+           windows == o.windows && visits == o.visits;
+  }
+};
+
+RingSignature RunRing(int threads) {
+  constexpr int kIslands = 5;
+  constexpr SimTime kLookahead = 100;
+  ParallelEngine par(kIslands, kLookahead, threads);
+  RingSignature sig;
+  int hops_left = 40;
+  std::uint64_t next_order = 0;
+  // Self-referential hop closure: deliver to the next island, record the
+  // visit, and forward until the hop budget runs out.
+  std::function<void(IslandId)> hop = [&](IslandId at) {
+    sig.visits.push_back(static_cast<int>(at));
+    if (--hops_left <= 0) return;
+    const IslandId next = (at + 1) % kIslands;
+    const SimTime now = par.island(at).now();
+    par.Post(at, next, now + kLookahead, now, next_order++,
+             [&hop, next] { hop(next); });
+  };
+  par.island(0).ScheduleAt(0, [&hop] { hop(0); });
+  par.Run();
+  for (int i = 0; i < kIslands; ++i) {
+    sig.final_time =
+        std::max(sig.final_time, par.island(static_cast<IslandId>(i)).now());
+  }
+  sig.messages = par.messages_posted();
+  sig.windows = par.windows_run();
+  return sig;
+}
+
+TEST(ParallelEngine, ThreadCountDoesNotChangeTheTimeline) {
+  const RingSignature one = RunRing(1);
+  const RingSignature two = RunRing(2);
+  const RingSignature four = RunRing(4);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one.visits.size(), 40u);
+  EXPECT_EQ(one.messages, 39u);
+}
+
+using ParallelEngineDeathTest = ::testing::Test;
+
+TEST(ParallelEngineDeathTest, LookaheadViolationIsCaught) {
+  ParallelEngine par(2, /*lookahead=*/100, /*threads=*/1);
+  // An event inside the window posts a same-time delivery — a cross-island
+  // interaction that paid no network latency. Post() must refuse it.
+  par.island(0).ScheduleAt(10, [&] {
+    par.Post(0, 1, /*deliver_at=*/10, /*sched_at=*/10, /*order=*/0, [] {});
+  });
+  EXPECT_DEATH(par.Run(), "lookahead violation");
+}
+
+}  // namespace
+}  // namespace s4d::sim

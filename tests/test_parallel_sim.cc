@@ -1,0 +1,100 @@
+// Island-mode end-to-end invariance: a Testbed run under the
+// island-partitioned ParallelEngine must be byte-for-byte identical to the
+// classic single-engine run — same completion time, same bytes, same
+// latency statistics — for every thread count, with and without the S4D
+// middleware. This pins the tentpole guarantee at the API level (the
+// s4dsim byte-comparison ctests pin it at the output level).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/s4d_cache.h"
+#include "harness/driver.h"
+#include "harness/testbed.h"
+#include "workloads/ior.h"
+
+namespace s4d {
+namespace {
+
+struct SimResult {
+  harness::RunResult run;
+  std::uint64_t windows = 0;   // 0 in classic mode
+  std::uint64_t messages = 0;  // 0 in classic mode
+};
+
+// threads < 0 = classic single-engine run; >= 1 = island mode with that
+// many workers. Everything else is held fixed.
+SimResult RunOnce(int threads, bool use_s4d) {
+  harness::TestbedConfig bed_cfg;
+  bed_cfg.seed = 7;
+  bed_cfg.threads = threads < 0 ? 0 : threads;
+  harness::Testbed bed(bed_cfg);
+  std::unique_ptr<core::S4DCache> s4d;
+  mpiio::IoDispatch* dispatch = &bed.stock();
+  if (use_s4d) {
+    core::S4DConfig cfg;
+    cfg.cache_capacity = 8 * MiB;
+    s4d = bed.MakeS4D(cfg);
+    dispatch = s4d.get();
+  }
+  mpiio::MpiIoLayer layer(bed.engine(), *dispatch);
+  workloads::IorConfig ior;
+  ior.ranks = 8;
+  ior.file_size = 8 * MiB;
+  ior.request_size = 16 * KiB;
+  ior.random = true;
+  ior.seed = 42;
+  workloads::IorWorkload wl(ior);
+  harness::DriverOptions options;
+  options.parallel = bed.parallel();
+  SimResult result;
+  result.run = harness::RunClosedLoop(layer, wl, options);
+  if (bed.parallel() != nullptr) {
+    result.windows = bed.parallel()->windows_run();
+    result.messages = bed.parallel()->messages_posted();
+  }
+  return result;
+}
+
+void ExpectIdenticalRuns(const harness::RunResult& a,
+                         const harness::RunResult& b) {
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.bytes, b.bytes);
+  // Doubles derived from identical integer event times are bit-identical.
+  EXPECT_DOUBLE_EQ(a.throughput_mbps, b.throughput_mbps);
+  EXPECT_DOUBLE_EQ(a.mean_latency_us, b.mean_latency_us);
+  EXPECT_DOUBLE_EQ(a.max_latency_us, b.max_latency_us);
+}
+
+TEST(ParallelSim, StockIslandRunMatchesSerial) {
+  const SimResult serial = RunOnce(-1, /*use_s4d=*/false);
+  const SimResult island = RunOnce(1, /*use_s4d=*/false);
+  ExpectIdenticalRuns(serial.run, island.run);
+  EXPECT_GT(island.windows, 0u);
+  EXPECT_GT(island.messages, 0u);
+}
+
+TEST(ParallelSim, S4DIslandRunMatchesSerial) {
+  const SimResult serial = RunOnce(-1, /*use_s4d=*/true);
+  const SimResult island = RunOnce(1, /*use_s4d=*/true);
+  ExpectIdenticalRuns(serial.run, island.run);
+}
+
+TEST(ParallelSim, ThreadCountsAreByteIdentical) {
+  const SimResult one = RunOnce(1, /*use_s4d=*/true);
+  const SimResult four = RunOnce(4, /*use_s4d=*/true);
+  const SimResult eight = RunOnce(8, /*use_s4d=*/true);
+  ExpectIdenticalRuns(one.run, four.run);
+  ExpectIdenticalRuns(one.run, eight.run);
+  // Not just the client-visible result: the coordinator ran the exact same
+  // window sequence and message stream at every pool size.
+  EXPECT_EQ(one.windows, four.windows);
+  EXPECT_EQ(one.messages, four.messages);
+  EXPECT_EQ(one.windows, eight.windows);
+  EXPECT_EQ(one.messages, eight.messages);
+}
+
+}  // namespace
+}  // namespace s4d

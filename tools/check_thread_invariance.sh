@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Thread-count invariance gate: runs s4dsim on one config with the classic
+# serial engine, then once per requested --threads value, and fails unless
+# every run's stdout is byte-identical to the serial run. This is the
+# tentpole guarantee of the island-partitioned engine — the worker pool
+# size must never change simulation output.
+#
+# usage: check_thread_invariance.sh <s4dsim> <config.ini> <threads>...
+set -euo pipefail
+
+s4dsim=$1
+config=$2
+shift 2
+
+ref=$(mktemp)
+cur=$(mktemp)
+trap 'rm -f "$ref" "$cur"' EXIT
+
+"$s4dsim" "$config" > "$ref"
+for n in "$@"; do
+  "$s4dsim" "$config" --threads="$n" > "$cur"
+  if ! cmp -s "$ref" "$cur"; then
+    echo "FAIL: --threads=$n output differs from the serial run:" >&2
+    diff "$ref" "$cur" >&2 || true
+    exit 1
+  fi
+done
+echo "ok: $(basename "$config") byte-identical across serial and --threads={$*}"

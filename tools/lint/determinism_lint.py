@@ -25,6 +25,14 @@ historically break that contract:
                    -ffast-math / FMA / platform, so sim-time math must stay
                    integral (nanoseconds) except in the audited conversion
                    helpers.
+  thread-primitive std::thread / mutex / atomic / condition_variable /
+                   thread_local — OS scheduling is nondeterministic, so any
+                   code where thread interleaving could influence simulation
+                   state breaks the contract. The audited exceptions (the
+                   island engine's worker pool, the seed-sweep runner, the
+                   kvstore's thread-safety mutex) are structured so threads
+                   never decide simulation results, and each carries an
+                   allowlist justification saying why.
 
 Usage:
   tools/lint/determinism_lint.py [--root REPO] [--allowlist FILE] [--self-test]
@@ -75,6 +83,13 @@ CHECKS = {
         # double/float expression assigned or added into a SimTime lvalue.
         r"\bSimTime\s+\w+\s*=\s*[^;]*\b(double|float)\b"
         r"|\b(double|float)\b[^;]*;\s*//\s*simtime"
+    ),
+    "thread-primitive": re.compile(
+        r"\bstd::(thread|jthread|mutex|recursive_mutex|shared_mutex"
+        r"|timed_mutex|condition_variable(_any)?|atomic\w*|lock_guard"
+        r"|unique_lock|scoped_lock|shared_lock|promise|future|async|barrier"
+        r"|latch|counting_semaphore|binary_semaphore)\b"
+        r"|\bthread_local\b"
     ),
 }
 
@@ -261,6 +276,12 @@ BAD_TREE = {
         "struct T;\n"
         "std::map<T*, int> scores;\n"
     ),
+    "src/thread_user.cc": (
+        "#include <thread>\n"
+        "#include <atomic>\n"
+        "std::atomic<int> counter{0};\n"
+        "void Spawn() { std::thread([] { ++counter; }).join(); }\n"
+    ),
     "src/comment_only.cc": (
         "// std::chrono::system_clock is banned, this comment is fine\n"
         "/* std::rand() in a block comment is fine too */\n"
@@ -305,6 +326,7 @@ def self_test() -> int:
             ("src/rng_user.cc", "ambient-rng"),
             ("src/iter_user.cc", "unordered-iter"),
             ("src/ptr_key.cc", "pointer-keys"),
+            ("src/thread_user.cc", "thread-primitive"),
         }
         found = set()
         for sub in ("src",):
@@ -331,6 +353,8 @@ def self_test() -> int:
             "src/rng_user.cc:ambient-rng: fixture randomness, output unused\n"
             "src/iter_user.cc:unordered-iter: sum is order-independent\n"
             "src/ptr_key.cc:pointer-keys: map is never iterated\n"
+            "src/thread_user.cc:thread-primitive: counter is a host-side "
+            "metric, never read by sim state\n"
         )
         rc = run(bad, allow)
         if rc != 0:

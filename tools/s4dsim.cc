@@ -135,7 +135,7 @@ Status ValidateConfig(const ConfigParser& config) {
   static const std::map<std::string, std::vector<std::string>> kSchema = {
       {"cluster",
        {"dservers", "cservers", "stripe", "verify_content", "ssd_pe_cycles",
-        "ssd_write_amp"}},
+        "ssd_write_amp", "threads"}},
       {"middleware",
        {"type", "cache_capacity", "policy", "rebuild_interval",
         "metadata_overhead", "dmt_update_latency", "degraded_reads",
@@ -376,6 +376,34 @@ int Run(const ConfigParser& config) {
   bed_cfg.ssd.write_amplification = config.DoubleOr(
       "cluster", "ssd_write_amp", bed_cfg.ssd.write_amplification);
   if (observed) bed_cfg.obs = &obs;
+  // Island mode (--threads=N / cluster.threads): file servers run on their
+  // own engines behind the ParallelEngine; output is byte-identical to the
+  // serial engine for every thread count.
+  bed_cfg.threads =
+      static_cast<int>(config.IntOr("cluster", "threads", 0));
+  if (bed_cfg.threads < 0) {
+    std::fprintf(stderr,
+                 "config error: cluster.threads must be >= 0 (0 = serial "
+                 "engine), got %d\n",
+                 bed_cfg.threads);
+    return 1;
+  }
+  if (bed_cfg.threads > 0) {
+    if (observed) {
+      std::fprintf(stderr,
+                   "config error: --threads is incompatible with "
+                   "observability output (trace_out / metrics_out / "
+                   "sample_interval) — gauges read live server state across "
+                   "islands; run without --threads to observe\n");
+      return 1;
+    }
+    if (config.StringOr("workload", "type", "ior") == "trace") {
+      std::fprintf(stderr,
+                   "config error: --threads does not support trace replay "
+                   "(workload.type = trace) yet; run without --threads\n");
+      return 1;
+    }
+  }
   harness::Testbed bed(bed_cfg);
 
   trace::TraceCollector collector;
@@ -429,6 +457,7 @@ int Run(const ConfigParser& config) {
 
   harness::ContentChecker checker;
   harness::DriverOptions run_options;
+  run_options.parallel = bed.parallel();
   if (verify) {
     run_options.checker = &checker;
     if (s4d) {
@@ -575,9 +604,12 @@ int Run(const ConfigParser& config) {
       harness::RunClosedLoop(layer, *writer, run_options);
       auto settle = [&] {
         if (!s4d) return;
-        harness::DrainUntil(bed.engine(),
-                            [&] { return s4d->BackgroundQuiescent(); },
-                            FromSeconds(3600));
+        auto quiescent = [&] { return s4d->BackgroundQuiescent(); };
+        if (bed.parallel() != nullptr) {
+          harness::DrainUntil(*bed.parallel(), quiescent, FromSeconds(3600));
+        } else {
+          harness::DrainUntil(bed.engine(), quiescent, FromSeconds(3600));
+        }
       };
       settle();
       auto cold_reader = MakeWorkload(config);
@@ -657,9 +689,12 @@ int Run(const ConfigParser& config) {
     // Let recovery finish (queued reads re-issued, flush backlog drained)
     // before judging the final state.
     if (s4d) {
-      harness::DrainUntil(bed.engine(),
-                          [&] { return s4d->BackgroundQuiescent(); },
-                          FromSeconds(3600));
+      auto quiescent = [&] { return s4d->BackgroundQuiescent(); };
+      if (bed.parallel() != nullptr) {
+        harness::DrainUntil(*bed.parallel(), quiescent, FromSeconds(3600));
+      } else {
+        harness::DrainUntil(bed.engine(), quiescent, FromSeconds(3600));
+      }
     }
     const auto& is = injector.stats();
     std::printf("\n-- faults --\n");
@@ -950,6 +985,8 @@ int main(int argc, char** argv) {
       overrides.push_back({"obs", "sample_interval", *v});
     } else if (auto v = flag_value("--capture-out=")) {
       overrides.push_back({"obs", "capture_out", *v});
+    } else if (auto v = flag_value("--threads=")) {
+      overrides.push_back({"cluster", "threads", *v});
     } else if (auto v = flag_value("--sweep-seeds=")) {
       sweep_seeds = static_cast<int>(std::strtol(v->c_str(), nullptr, 10));
       if (sweep_seeds < 1) {
