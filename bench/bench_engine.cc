@@ -218,6 +218,15 @@ int Main(int argc, char** argv) {
   }
   scaling.Print(std::cout);
   report.Add("host_cores", static_cast<double>(hw));
+  // Flag runs where the scaling table cannot mean anything: with one core
+  // (or an unreadable count — hardware_concurrency() returns 0 then) every
+  // "speedup" is pure scheduler noise. check_bench_regression.py annotates
+  // speedup comparisons against such a baseline as untrustworthy.
+  report.Add("single_core_host", hw <= 1 ? 1.0 : 0.0);
+  if (hw <= 1) {
+    std::printf("warning: single-core host (hardware_concurrency=%u) — the "
+                "speedup column measures scheduler noise, not scaling\n", hw);
+  }
 
   report.Finish();
   return 0;

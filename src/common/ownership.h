@@ -1,0 +1,97 @@
+// Island-ownership annotations + runtime sentinel.
+//
+// The island-partitioned ParallelEngine (DESIGN.md §3k) is safe because of
+// a single-writer discipline: every piece of per-server state is touched
+// only from its owning island's engine, and islands communicate solely
+// through the outbox/wire path merged at window barriers. This header makes
+// that discipline explicit and checkable:
+//
+//   S4D_ISLAND_GUARDED        this member/class belongs to exactly one
+//                             island; only that island's events touch it.
+//   S4D_ISLAND_SHARED(why)    this member/class is deliberately read from
+//                             more than one island (or from the coordinator
+//                             mid-run); `why` must say what makes that safe
+//                             (e.g. "evaluated only post-run at quiescence").
+//   S4D_WIRE_SAFE             a plain-data message type that may legally
+//                             cross islands through the outbox/wire path.
+//
+// The macros expand to nothing — they are greppable tags consumed by
+// tools/lint/island_ownership_lint.py (DESIGN.md §3l catalogues the rules).
+//
+// The runtime half is a thread-local *current island* published by the
+// ParallelEngine around every RunReady call (including the threads=1
+// coordinator path, so the checks fire in single-threaded CI too). Guarded
+// accessors call AssertOnOwningIsland(owner): with the sentinel armed
+// (S4D_ISLAND_SENTINEL, implied by S4D_PARANOID and set in the tsan
+// preset) a cross-island touch dies with both island ids; in release builds
+// everything below compiles to nothing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+// Annotation tags — no-ops in every build; tooling greps for them.
+#define S4D_ISLAND_GUARDED
+#define S4D_ISLAND_SHARED(reason)
+#define S4D_WIRE_SAFE
+
+namespace s4d::ownership {
+
+// "Not executing island code": the coordinator between windows, serial-mode
+// runs, test drivers, and post-run readers all observe this value, and
+// AssertOnOwningIsland always passes for them — the single-writer contract
+// only constrains code running *inside* an island's RunReady.
+inline constexpr std::uint32_t kNoIsland = 0xffffffffu;
+
+#ifdef S4D_ISLAND_SENTINEL
+
+namespace detail {
+// Allowlisted in determinism_allowlist.txt: the sentinel id never feeds
+// simulation state — it only arms S4D_CHECK diagnostics.
+inline thread_local std::uint32_t current_island = kNoIsland;
+}  // namespace detail
+
+inline std::uint32_t CurrentIsland() { return detail::current_island; }
+
+inline void SetCurrentIsland(std::uint32_t island) {
+  detail::current_island = island;
+}
+
+// Dies when island code touches state owned by a different island. Reads
+// from outside any island (kNoIsland) are always legal — see above.
+inline void AssertOnOwningIsland(std::uint32_t owner, const char* what) {
+  const std::uint32_t current = detail::current_island;
+  S4D_CHECK(current == kNoIsland || current == owner)
+      << "island-ownership violation: " << what << " is owned by island "
+      << owner << " but was touched from island " << current;
+}
+
+// RAII publication of the current island around an engine's RunReady.
+class IslandScope {
+ public:
+  explicit IslandScope(std::uint32_t island) : saved_(detail::current_island) {
+    detail::current_island = island;
+  }
+  ~IslandScope() { detail::current_island = saved_; }
+  IslandScope(const IslandScope&) = delete;
+  IslandScope& operator=(const IslandScope&) = delete;
+
+ private:
+  std::uint32_t saved_;
+};
+
+#else  // !S4D_ISLAND_SENTINEL — everything compiles away.
+
+inline std::uint32_t CurrentIsland() { return kNoIsland; }
+inline void SetCurrentIsland(std::uint32_t) {}
+inline void AssertOnOwningIsland(std::uint32_t, const char*) {}
+
+class IslandScope {
+ public:
+  explicit IslandScope(std::uint32_t) {}
+};
+
+#endif  // S4D_ISLAND_SENTINEL
+
+}  // namespace s4d::ownership

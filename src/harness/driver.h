@@ -10,6 +10,7 @@
 
 #include <functional>
 
+#include "common/ownership.h"
 #include "common/sim_time.h"
 #include "common/stats.h"
 #include "harness/content_checker.h"
@@ -30,6 +31,7 @@ struct DriverOptions {
   // single engine; the event that retires the last rank stops island 0
   // mid-window, so later events stay pending for the next phase exactly as
   // in the serial loop. Null = classic single-engine stepping.
+  S4D_ISLAND_SHARED("options pointer; the driver dereferences it only from the coordinator, between windows or inside island-0 events")
   sim::ParallelEngine* parallel = nullptr;
 };
 

@@ -58,6 +58,13 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   stock_ = std::make_unique<mpiio::StockDispatch>(*dservers_);
 
   if (config_.obs != nullptr) {
+    if (parallel_) {
+      // One private shard bundle per server island; island 0 keeps writing
+      // the root. Must precede SetObservability so each server resolves its
+      // handles against its own shard. The harness merges shards back into
+      // the root post-run (Observability::MergeShards) before any export.
+      config_.obs->EnableSharding(1 + config_.dservers + config_.cservers);
+    }
     dservers_->SetObservability(config_.obs);
     cservers_->SetObservability(config_.obs);
   }

@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "common/ownership.h"
 #include "core/cost_model.h"
 #include "core/s4d_cache.h"
 #include "device/hdd_model.h"
@@ -71,6 +72,7 @@ class Testbed {
  private:
   TestbedConfig config_;
   sim::Engine engine_;  // unused shell in island mode (kept for layout)
+  S4D_ISLAND_SHARED("built before the run and immutable after; workers reach it only through ParallelEngine's own synchronized window machinery")
   std::unique_ptr<sim::ParallelEngine> parallel_;
   std::uint64_t next_ticket_ = 0;  // shared wire-message ticket counter
   std::unique_ptr<pfs::FileSystem> dservers_;

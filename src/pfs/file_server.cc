@@ -62,6 +62,7 @@ void FileServer::EnableRemote(sim::ParallelEngine* par, sim::IslandId island,
 
 void FileServer::ArriveRemote(const WireJob& wire) {
   S4D_CHECK(remote()) << "wire job on non-island server " << name_;
+  ownership::AssertOnOwningIsland(remote_island_, name_.c_str());
   S4D_CHECK(wire.size > 0)
       << "server " << name_ << " got a wire job of " << wire.size << " bytes";
   if (!up_) {
@@ -76,7 +77,12 @@ void FileServer::ArriveRemote(const WireJob& wire) {
   job.lba = wire.lba;
   job.size = wire.size;
   job.priority = static_cast<Priority>(wire.priority);
-  job.enqueued_at = engine_.now();
+  // Serial Submit stamps enqueued_at *before* the arrival jitter, while
+  // this delivery already includes it (the stub folded the jitter into the
+  // wire time). Back the jitter out so the queue-wait histogram measures
+  // exactly the serial wait.
+  job.enqueued_at = engine_.now() - wire.jitter;
+  job.parent_span = wire.parent_span;
   job.ticket = wire.ticket;
   job.reply_slot = wire.reply_slot;
   job.paid_latency = wire.paid_latency;
@@ -238,6 +244,7 @@ void FileServer::SetBackgroundErrorRate(double rate, std::uint64_t seed) {
 }
 
 void FileServer::MaybeStartNext() {
+  if (remote()) ownership::AssertOnOwningIsland(remote_island_, name_.c_str());
   if (busy_ || !up_ || partitioned_) return;
   ServerJob job;
   if (!normal_queue_.empty()) {
@@ -268,6 +275,11 @@ void FileServer::MaybeStartNext() {
 }
 
 void FileServer::Serve(ServerJob job) {
+  // Every obs timestamp below is stamped in *serial* time: this island runs
+  // the request's timeline paid_latency later than the serial engine would
+  // have (classic jobs carry paid_latency == 0, so this is the identity
+  // there), which keeps exported spans byte-comparable across modes.
+  const SimTime serial_now = engine_.now() - job.paid_latency;
   // Injected transient error: the job occupies the request slot for the
   // RPC round-trip (the client had to talk to the server to get the error)
   // but moves no data.
@@ -277,7 +289,7 @@ void FileServer::Serve(ServerJob job) {
     if (obs_ != nullptr) {
       obs_failed_jobs_->Inc();
       if (obs_->tracing()) {
-        obs_->tracer.Instant(lane_, "bg_error", "pfs", engine_.now(),
+        obs_->tracer.Instant(lane_, "bg_error", "pfs", serial_now,
                              job.parent_span);
       }
     }
@@ -339,7 +351,7 @@ void FileServer::Serve(ServerJob job) {
     if (obs_->tracing()) {
       const obs::SpanId id = obs_->tracer.Complete(
           lane_, device::IoKindName(job.kind),
-          job.priority == Priority::kNormal ? "pfs" : "pfs.bg", engine_.now(),
+          job.priority == Priority::kNormal ? "pfs" : "pfs.bg", serial_now,
           service, job.parent_span);
       obs_->tracer.AddArg(id, "size", job.size);
       obs_->tracer.AddArg(id, "wait_ns", wait);

@@ -23,6 +23,7 @@
 #include <optional>
 #include <string>
 
+#include "common/ownership.h"
 #include "common/rng.h"
 #include "device/device_model.h"
 #include "net/link_model.h"
@@ -59,20 +60,28 @@ struct ServerJob {
 // Island mode: the request as it crosses the wire, packed so the whole
 // message (this + a FileServer*) fits InlineCallback's 48-byte inline
 // buffer — a cross-island sub-request costs zero heap allocations.
-struct WireJob {
+// `parent_span` rides as 32 bits: span ids count in-memory trace records,
+// bounded far below 2^32 for any run that fits in memory (DCHECKed at the
+// submit site).
+struct S4D_WIRE_SAFE WireJob {
   std::int64_t lba = 0;
   std::uint64_t ticket = 0;       // globally unique; echoed in the response
   std::uint32_t size = 0;
   std::uint32_t reply_slot = 0;   // client-side pending-table slot
   std::int32_t paid_latency = 0;  // ns of one-way latency the client charged
+  std::int32_t jitter = 0;        // ns of arrival jitter folded into delivery
+  std::uint32_t parent_span = 0;  // root-tracer id of the request span
   std::uint8_t kind = 0;          // device::IoKind
   std::uint8_t priority = 0;      // Priority
 };
+static_assert(sizeof(WireJob) <= 40,
+              "WireJob + a FileServer* must fit InlineCallback's 48-byte "
+              "inline buffer (the zero-allocation wire-path guarantee)");
 
 // Island mode: the response payload delivered back to the client island.
 // `wear` piggybacks the device's wear fraction so the client-side stub can
 // answer wear probes without touching cross-island state.
-struct RemoteResponse {
+struct S4D_WIRE_SAFE RemoteResponse {
   std::uint64_t ticket = 0;
   double wear = 0.0;
   std::int32_t server = 0;
@@ -189,13 +198,18 @@ class FileServer {
   void PostResponse(const ServerJob& job, SimTime serve_start, SimTime service,
                     bool failed);
 
-  sim::Engine& engine_;
-  std::unique_ptr<device::DeviceModel> device_;
-  net::LinkModel link_;
+  // In island mode everything below engine_ down to the fault state is
+  // owned by remote_island_: only events on that island's engine touch it
+  // (ArriveRemote / MaybeStartNext assert this when the sentinel is armed).
+  // Post-run reads from the coordinator (stats/report printing) happen at
+  // quiescence, outside any island.
+  S4D_ISLAND_GUARDED sim::Engine& engine_;
+  S4D_ISLAND_GUARDED std::unique_ptr<device::DeviceModel> device_;
+  S4D_ISLAND_GUARDED net::LinkModel link_;
   std::string name_;
 
-  std::deque<ServerJob> normal_queue_;
-  std::deque<ServerJob> background_queue_;
+  S4D_ISLAND_GUARDED std::deque<ServerJob> normal_queue_;
+  S4D_ISLAND_GUARDED std::deque<ServerJob> background_queue_;
   bool busy_ = false;
   SimTime background_idle_grace_;
   SimTime last_normal_activity_ = 0;
@@ -222,8 +236,10 @@ class FileServer {
   RemoteResponderFn remote_responder_ = nullptr;
 
   // Observability (null = not observed). Handles are resolved once in
-  // SetObservability so the service path pays pointer arithmetic only.
-  obs::Observability* obs_ = nullptr;
+  // SetObservability so the service path pays pointer arithmetic only. In
+  // island mode this is the server's island *shard* bundle (see
+  // Observability::Shard), so every write below stays island-local.
+  S4D_ISLAND_GUARDED obs::Observability* obs_ = nullptr;
   std::uint32_t lane_ = 0;
   obs::Counter* obs_jobs_ = nullptr;
   obs::Counter* obs_bytes_ = nullptr;

@@ -65,15 +65,35 @@ byte_count FileSystem::FileBaseLba(FileId file) const {
 }
 
 void FileSystem::SetObservability(obs::Observability* obs) {
-  S4D_CHECK(obs == nullptr || !remote())
-      << config_.name
-      << ": observability gauges read live server state and are not "
-         "supported in island mode (run without --threads to observe)";
-  for (auto& server : servers_) {
-    server->SetObservability(obs, config_.name);
+  obs_ = remote() ? obs : nullptr;
+  obs_failed_jobs_ = nullptr;
+  for (int i = 0; i < server_count(); ++i) {
+    // Island mode: each server writes its island's private shard bundle
+    // (Observability::Shard), never the root, so per-job metrics and spans
+    // stay island-local mid-run and fold back in MergeShards().
+    obs::Observability* server_obs =
+        (obs != nullptr && remote())
+            ? obs->Shard(static_cast<std::uint32_t>(
+                  remote_.first_island + static_cast<sim::IslandId>(i)))
+            : obs;
+    servers_[static_cast<std::size_t>(i)]->SetObservability(server_obs,
+                                                            config_.name);
   }
   if (obs == nullptr) return;
-  // Tier-level load signals, evaluated lazily at sample/export time.
+  if (remote()) {
+    // Client-side mirror of the serial FailJob emissions (see
+    // EmitRemoteSubFailure): the counter lives on the root registry under
+    // the same name the servers share, so merged totals match serial.
+    obs_failed_jobs_ =
+        obs->metrics.GetCounter("pfs." + config_.name + ".failed_jobs");
+    for (std::size_t i = 0; i < stubs_.size(); ++i) {
+      stubs_[i].lane = obs->tracer.Lane(servers_[i]->name());
+    }
+  }
+  // Tier-level load signals, evaluated lazily at sample/export time. In
+  // island mode these read live server state across islands — safe only
+  // because gauge callbacks resolve post-run, at quiescence (the sampler
+  // probes its own client-side functions, never registry gauges).
   obs->metrics.SetGaugeFn("pfs." + config_.name + ".queue_depth", [this] {
     std::size_t depth = 0;
     for (const auto& server : servers_) depth += server->queue_depth();
@@ -99,6 +119,7 @@ FileSystem::Fanout* FileSystem::AcquireFanout() {
 void FileSystem::FanoutArrive(Fanout* fanout, SimTime t, bool ok) {
   S4D_DCHECK(fanout->remaining > 0)
       << "sub-request completion after the request already finished";
+  --outstanding_subs_;
   fanout->last = std::max(fanout->last, t);
   if (!ok) fanout->failed = true;
   if (--fanout->remaining > 0) return;
@@ -140,6 +161,7 @@ void FileSystem::Submit(FileId file, device::IoKind kind, byte_count offset,
 
   ++stats_.requests;
   stats_.bytes += size;
+  outstanding_subs_ += static_cast<std::int64_t>(subs.size());
 
   RequestRecord record;
   record.file = file;
@@ -162,9 +184,11 @@ void FileSystem::Submit(FileId file, device::IoKind kind, byte_count offset,
 
   const byte_count base = FileBaseLba(file);
   if (remote()) {
+    ownership::AssertOnOwningIsland(remote_.client_island,
+                                    config_.name.c_str());
     for (const SubRequest& sub : subs) {
       SubmitRemoteSub(sub.server, kind, base + sub.server_offset, sub.size,
-                      priority, state);
+                      priority, state, parent_span);
     }
     return;
   }
@@ -188,11 +212,14 @@ void FileSystem::Submit(FileId file, device::IoKind kind, byte_count offset,
 
 void FileSystem::SubmitRemoteSub(int server, device::IoKind kind,
                                  byte_count lba, byte_count size,
-                                 Priority priority, Fanout* fanout) {
+                                 Priority priority, Fanout* fanout,
+                                 obs::SpanId parent_span) {
   Stub& stub = stubs_[static_cast<std::size_t>(server)];
   if (!stub.up) {
     // Connection refused, as the serial engine models it: the failure
-    // resolves on the next engine step at the submit time.
+    // resolves on the next engine step at the submit time. The serial
+    // FailJob stamps its observability synchronously at submit time.
+    EmitRemoteSubFailure(server, parent_span);
     engine_.ScheduleAfter(0, [this, fanout]() {
       FanoutArrive(fanout, engine_.now(), false);
     });
@@ -217,16 +244,22 @@ void FileSystem::SubmitRemoteSub(int server, device::IoKind kind,
   }
   const SimTime now = engine_.now();
   const SimTime arrive = now + jitter;  // the serial enqueue instant
-  stub.slots[slot] = PendingSub{ticket, fanout, arrive,
+  stub.slots[slot] = PendingSub{ticket, fanout, arrive, parent_span,
                                 static_cast<std::uint8_t>(priority), true};
   ++stub.outstanding;
 
+  // Span ids count in-memory trace records — far below 2^32 for any run
+  // that fits in memory — so the wire narrows the parent to 32 bits.
+  S4D_DCHECK(parent_span <= 0xffffffffu)
+      << "span id " << parent_span << " does not fit the wire";
   WireJob wire;
   wire.lba = lba;
   wire.ticket = ticket;
   wire.size = static_cast<std::uint32_t>(size);
   wire.reply_slot = slot;
   wire.paid_latency = static_cast<std::int32_t>(stub.link.OneWayLatency());
+  wire.jitter = static_cast<std::int32_t>(jitter);
+  wire.parent_span = static_cast<std::uint32_t>(parent_span);
   wire.kind = static_cast<std::uint8_t>(kind);
   wire.priority = static_cast<std::uint8_t>(priority);
 
@@ -242,7 +275,18 @@ void FileSystem::OnRemoteResponseThunk(void* ctx,
   static_cast<FileSystem*>(ctx)->OnRemoteResponse(response);
 }
 
+void FileSystem::EmitRemoteSubFailure(int server, obs::SpanId parent) {
+  if (obs_failed_jobs_ == nullptr) return;
+  obs_failed_jobs_->Inc();
+  if (obs_->tracing()) {
+    obs_->tracer.Instant(stubs_[static_cast<std::size_t>(server)].lane,
+                         "job_failed", "pfs", engine_.now(), parent);
+  }
+}
+
 void FileSystem::OnRemoteResponse(const RemoteResponse& response) {
+  ownership::AssertOnOwningIsland(remote_.client_island,
+                                  config_.name.c_str());
   Stub& stub = stubs_[static_cast<std::size_t>(response.server)];
   stub.wear = response.wear;
   S4D_DCHECK(response.reply_slot < stub.slots.size());
@@ -267,6 +311,7 @@ void FileSystem::FailOutstanding(int i) {
     SimTime arrive_at;
     std::uint64_t ticket;
     Fanout* fanout;
+    obs::SpanId parent;
   };
   std::vector<Doomed> doomed;
   for (std::uint32_t slot = 0;
@@ -283,6 +328,9 @@ void FileSystem::FailOutstanding(int i) {
             if (s.up) return;  // restarted in time: the server serves it
             PendingSub& p = s.slots[slot];
             if (!p.live || p.ticket != ticket) return;
+            // The serial engine's arrival lambda fails the job *here*, at
+            // the arrival instant — stamp the failure at the same time.
+            EmitRemoteSubFailure(i, p.parent);
             Fanout* fanout = p.fanout;
             p.live = false;
             s.free_slots.push_back(slot);
@@ -295,7 +343,7 @@ void FileSystem::FailOutstanding(int i) {
     }
     doomed.push_back(
         Doomed{pending.priority, pending.arrive_at, pending.ticket,
-               pending.fanout});
+               pending.fanout, pending.parent});
     pending.live = false;
     stub.free_slots.push_back(slot);
     --stub.outstanding;
@@ -308,6 +356,8 @@ void FileSystem::FailOutstanding(int i) {
     return a.ticket < b.ticket;
   });
   for (const Doomed& d : doomed) {
+    // The serial Crash stamps each doomed job's failure at crash time.
+    EmitRemoteSubFailure(i, d.parent);
     engine_.ScheduleAfter(0, [this, fanout = d.fanout]() {
       FanoutArrive(fanout, engine_.now(), false);
     });

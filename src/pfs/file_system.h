@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/interval_map.h"
+#include "common/ownership.h"
 #include "common/status.h"
 #include "pfs/file_server.h"
 #include "pfs/striping.h"
@@ -145,6 +146,11 @@ class FileSystem {
   const FsStats& stats() const { return stats_; }
   sim::Engine& engine() { return engine_; }
 
+  // Sub-requests submitted and not yet resolved, summed over all servers.
+  // Mode-agnostic and client-side, so samplers may probe it mid-run even in
+  // island mode (live server queue depths would be a cross-island read).
+  std::int64_t outstanding_subs() const { return outstanding_subs_; }
+
   // Aggregates across servers (for reports).
   ServerStats TotalServerStats() const;
 
@@ -204,6 +210,7 @@ class FileSystem {
     std::uint64_t ticket = 0;
     Fanout* fanout = nullptr;
     SimTime arrive_at = 0;  // serial enqueue instant (submit + jitter)
+    obs::SpanId parent = obs::kNoSpan;  // request span, for failure instants
     std::uint8_t priority = 0;
     bool live = false;
   };
@@ -224,11 +231,20 @@ class FileSystem {
     Rng jitter_rng;
     std::vector<PendingSub> slots;
     std::vector<std::uint32_t> free_slots;
+    // Root-tracer lane of the mirrored server, for client-side failure
+    // instants (the serial engine stamps them on the server's lane).
+    std::uint32_t lane = 0;
   };
   static void OnRemoteResponseThunk(void* ctx, const RemoteResponse& response);
   void OnRemoteResponse(const RemoteResponse& response);
   void SubmitRemoteSub(int server, device::IoKind kind, byte_count lba,
-                       byte_count size, Priority priority, Fanout* fanout);
+                       byte_count size, Priority priority, Fanout* fanout,
+                       obs::SpanId parent_span);
+  // Client-side mirror of the serial FailJob's observability: counts the
+  // failure on the root registry and stamps a "job_failed" instant on the
+  // server's root-tracer lane, at the current (serial) time. No-op when
+  // observability is off or in classic mode (the server itself emits then).
+  void EmitRemoteSubFailure(int server, obs::SpanId parent);
   // Crash handling for server `i`'s outstanding sub-requests. Already
   // *arrived* subs fail at the current time (normal priority first,
   // arrival/FIFO order within priority — the serial crash-failure order);
@@ -241,11 +257,17 @@ class FileSystem {
   template <typename Fn>
   void PostToServer(int i, Fn&& fn);
 
-  sim::Engine& engine_;
+  // In island mode everything below runs on (and is owned by) the client
+  // island; the sentinel checks the wire entry point (OnRemoteResponse).
+  S4D_ISLAND_GUARDED sim::Engine& engine_;
   FsConfig config_;
   RemoteBinding remote_;
+  // The vector itself is immutable after construction; each FileServer's
+  // mutable state is owned by its island (annotated in file_server.h). The
+  // lazy tier gauges read through it only post-run, at quiescence.
+  S4D_ISLAND_SHARED("immutable after construction; elements island-owned; lazy gauge reads resolve post-run at quiescence")
   std::vector<std::unique_ptr<FileServer>> servers_;
-  std::vector<Stub> stubs_;  // island mode only; parallel to servers_
+  S4D_ISLAND_GUARDED std::vector<Stub> stubs_;  // island mode; parallel to servers_
   std::unordered_map<std::string, FileId> files_by_name_;
   std::vector<std::string> file_names_;
   std::vector<ContentMap> contents_;
@@ -253,6 +275,13 @@ class FileSystem {
   std::vector<std::unique_ptr<Fanout>> fanout_pool_;
   std::vector<Fanout*> fanout_free_;
   FsStats stats_;
+  std::int64_t outstanding_subs_ = 0;  // all modes; see outstanding_subs()
+  // Island mode only: client-side failure accounting against the ROOT
+  // bundle (classic mode leaves these null — the server's FailJob covers
+  // it; in island mode the server drops crash-doomed jobs silently and the
+  // stub mirrors the serial emission instead).
+  S4D_ISLAND_GUARDED obs::Observability* obs_ = nullptr;
+  obs::Counter* obs_failed_jobs_ = nullptr;
 };
 
 }  // namespace s4d::pfs

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/ownership.h"
 #include "common/sim_time.h"
 #include "sim/engine.h"
 #include "sim/inline_callback.h"
@@ -134,7 +135,7 @@ class ParallelEngine {
  private:
   static constexpr SimTime kNoDeadline = -1;
 
-  struct Message {
+  struct S4D_WIRE_SAFE Message {
     SimTime deliver_at;
     SimTime sched_at;
     std::uint64_t order;
@@ -191,7 +192,11 @@ class ParallelEngine {
     }
     window_end_ = horizon - 1;  // RunReady's deadline is inclusive
     if (threads_ <= 1 || runnable_.size() <= 1) {
+      // Publish the island id on the coordinator path too, so ownership
+      // asserts fire identically at threads=1 (single-threaded CI catches
+      // the same violations the pool would).
       for (const std::size_t i : runnable_) {
+        ownership::IslandScope scope(static_cast<IslandId>(i));
         engines_[i]->RunReady(window_end_);
       }
     } else {
@@ -276,15 +281,20 @@ class ParallelEngine {
       const std::size_t i =
           next_island_.fetch_add(1, std::memory_order_relaxed);
       if (i >= runnable_.size()) return;
+      ownership::IslandScope scope(static_cast<IslandId>(runnable_[i]));
       engines_[runnable_[i]]->RunReady(window_end_);
     }
   }
 
   const SimTime lookahead_;
   const int threads_;
-  std::vector<std::unique_ptr<Engine>> engines_;
+  // Each engines_[i] is island i's private event queue; RunReady publishes
+  // i as the thread-local current island around every entry.
+  S4D_ISLAND_GUARDED std::vector<std::unique_ptr<Engine>> engines_;
+  S4D_ISLAND_GUARDED
   std::vector<std::vector<Message>> outboxes_;  // one writer each per window
-  std::vector<Message> pending_;                // coordinator-only
+  S4D_ISLAND_SHARED("coordinator-only: mutated strictly between windows")
+  std::vector<Message> pending_;
   std::vector<std::size_t> runnable_;
   SimTime horizon_ = 0;     // current window end; Post() checks against it
   SimTime window_end_ = 0;  // horizon_ - 1, the inclusive RunReady deadline

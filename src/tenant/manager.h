@@ -169,6 +169,9 @@ class TenantManager {
   std::vector<std::int64_t> window_requests_;
   std::vector<std::int64_t> window_useful_;
   std::vector<std::int64_t> window_ghost_hits_;
+  // Completions this window — the audit bound for window_useful_ (requests
+  // are counted at issue, so a request can complete into a later window).
+  std::vector<std::int64_t> window_outcomes_;
   std::int64_t resizes_ = 0;
 
   // Endurance state: per-tenant cache-write rate (bytes/sec EWMA) folded

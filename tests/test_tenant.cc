@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -256,6 +257,123 @@ TEST(PartitionTracking, OwnerOfReportsNoSingleOwnerAcrossBoundaries) {
   EXPECT_EQ(space.OwnerOf(*a, 64 * KiB), core::CacheSpaceAllocator::kNoOwner)
       << "freed ranges have no owner";
   space.AuditInvariants();
+}
+
+TEST(PartitionTracking, MidRunEnableChargesPreexistingToOwnerZero) {
+  // Enabling tracking mid-run (the DMT-recovery path: extents already
+  // reserved) must charge every already-allocated byte to owner 0 and keep
+  // accounting exact from that point on.
+  core::CacheSpaceAllocator space(1 * MiB);
+  const auto a = space.Allocate(64 * KiB);
+  const auto b = space.Allocate(128 * KiB);
+  const auto c = space.Allocate(32 * KiB);
+  ASSERT_TRUE(a.has_value() && b.has_value() && c.has_value());
+  space.Free(*b, 128 * KiB);  // leave a hole so pre-existing space is
+                              // non-contiguous when tracking starts
+
+  space.EnablePartitionTracking(3);
+  EXPECT_EQ(space.used_by(0), 96 * KiB);
+  EXPECT_EQ(space.used_by(1), 0);
+  EXPECT_EQ(space.used_by(2), 0);
+  EXPECT_EQ(space.OwnerOf(*a, 64 * KiB), 0);
+  EXPECT_EQ(space.OwnerOf(*c, 32 * KiB), 0);
+  space.AuditInvariants();
+
+  space.set_charge_owner(2);
+  const auto d = space.Allocate(128 * KiB);  // should land in the hole
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(space.OwnerOf(*d, 128 * KiB), 2);
+  EXPECT_EQ(space.used_by(0) + space.used_by(1) + space.used_by(2),
+            space.used_bytes());
+  // Freeing a pre-existing extent credits owner 0, not the current tag.
+  space.Free(*a, 64 * KiB);
+  EXPECT_EQ(space.used_by(0), 32 * KiB);
+  EXPECT_EQ(space.used_by(2), 128 * KiB);
+  space.AuditInvariants();
+}
+
+TEST(PartitionTracking, FreeSpanningOwnersCreditsEachRecordedOwner) {
+  core::CacheSpaceAllocator space(1 * MiB);
+  space.EnablePartitionTracking(2);
+  space.set_charge_owner(0);
+  const auto a = space.Allocate(64 * KiB);
+  space.set_charge_owner(1);
+  const auto b = space.Allocate(64 * KiB);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  ASSERT_EQ(*b, *a + 64 * KiB) << "first-fit should pack adjacently";
+
+  // The usage listener must fire once per affected owner per mutation —
+  // that is the contract the incremental over-quota index is built on.
+  std::vector<int> notified;
+  space.SetUsageListener([&](int owner) { notified.push_back(owner); });
+
+  // One Free spanning both owners' ranges credits each recorded owner,
+  // regardless of the current charge tag.
+  space.set_charge_owner(0);
+  space.Free(*a, 128 * KiB);
+  EXPECT_EQ(space.used_by(0), 0);
+  EXPECT_EQ(space.used_by(1), 0);
+  ASSERT_EQ(notified.size(), 2u);
+  EXPECT_NE(notified[0], notified[1]);
+  EXPECT_EQ(space.OwnerOf(*a, 128 * KiB), core::CacheSpaceAllocator::kNoOwner);
+  space.AuditInvariants();
+}
+
+TEST(PartitionTracking, FuzzAuditMatchesShadowModel) {
+  // Random allocate / full-free / partial-free sequence under rotating
+  // charge owners, with a shadow model of every live extent. After every
+  // mutation the per-owner counters must match the shadow sums and the
+  // structural audit must pass — the fresh-scan equivalent of the
+  // incremental accounting.
+  core::CacheSpaceAllocator space(1 * MiB);
+  space.EnablePartitionTracking(3);
+  struct Shadow {
+    byte_count offset;
+    byte_count size;
+    int owner;
+  };
+  std::vector<Shadow> live;
+  Rng rng(7);
+  for (int step = 0; step < 400; ++step) {
+    const auto op = live.empty() ? 0 : rng.NextBelow(3);
+    if (op == 0) {
+      const int owner = static_cast<int>(rng.NextBelow(3));
+      const auto size =
+          static_cast<byte_count>(1 + rng.NextBelow(32)) * 4 * KiB;
+      space.set_charge_owner(owner);
+      const auto got = space.Allocate(size);
+      if (got.has_value()) live.push_back({*got, size, owner});
+    } else if (op == 1) {
+      const auto idx = static_cast<std::size_t>(rng.NextBelow(live.size()));
+      space.Free(live[idx].offset, live[idx].size);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      // Partial free of the extent's front half; the recorded owner keeps
+      // the tail.
+      const auto idx = static_cast<std::size_t>(rng.NextBelow(live.size()));
+      Shadow& s = live[idx];
+      if (s.size < 8 * KiB) continue;
+      const byte_count cut = s.size / 2;
+      space.Free(s.offset, cut);
+      s.offset += cut;
+      s.size -= cut;
+    }
+    byte_count shadow_by[3] = {0, 0, 0};
+    byte_count shadow_total = 0;
+    for (const Shadow& s : live) {
+      shadow_by[s.owner] += s.size;
+      shadow_total += s.size;
+      ASSERT_EQ(space.OwnerOf(s.offset, s.size), s.owner)
+          << "step " << step << ": extent at " << s.offset
+          << " lost its recorded owner";
+    }
+    for (int o = 0; o < 3; ++o) {
+      ASSERT_EQ(space.used_by(o), shadow_by[o])
+          << "step " << step << ": owner " << o << " counter drifted";
+    }
+    ASSERT_EQ(space.used_bytes(), shadow_total);
+    space.AuditInvariants();
+  }
 }
 
 TEST(PartitionTracking, OffByDefaultAndOwnerOfSaysNoOwner) {
@@ -552,6 +670,43 @@ TEST(TenantManager, SizerShiftsQuotaTowardReuse) {
   EXPECT_GT(manager.quota(0), initial_quota);
   manager.AuditInvariants();
   cache->AuditInvariants();
+}
+
+// The over-quota reclaim index is maintained incrementally (allocator
+// usage listener + quota changes); AuditInvariants proves it against a
+// fresh scan. Fuzz it: a mixed workload under enforce mode with the sizer
+// re-dividing quotas, audited after every request, so any drift between
+// the incremental index and the real excesses fails at the step that
+// introduced it.
+TEST(TenantManager, FuzzedWorkloadKeepsOverIndexFresh) {
+  harness::Testbed bed(SmallTestbed());
+  core::S4DConfig s4d_cfg = TightCache();
+  s4d_cfg.enable_rebuilder = true;  // flushes make clean victims => evictions
+  s4d_cfg.rebuilder.interval = FromMillis(10);
+  auto cache = bed.MakeS4D(s4d_cfg);
+  auto cfg = ParseText("[tenants]\n"
+                       "mode = enforce\n"
+                       "sizer_interval = 5ms\n"
+                       "tenant1 = a ranks 0-1 quota 30%\n"
+                       "tenant2 = b ranks 2-3 floor 10%\n");
+  ASSERT_TRUE(cfg.ok());
+  TenantManager manager(bed.engine(), TenantRegistry(*cfg));
+  manager.Attach(*cache);
+  cache->Open("data");
+
+  Rng rng(21);
+  for (int i = 0; i < 120; ++i) {
+    const int rank = static_cast<int>(rng.NextBelow(4));
+    const auto offset =
+        static_cast<byte_count>(rng.NextBelow(1536)) * 1 * MiB;
+    const auto kind =
+        rng.NextBelow(3) == 0 ? device::IoKind::kRead : device::IoKind::kWrite;
+    DoIo(bed, *cache, kind, "data", rank, offset, 64 * KiB);
+    manager.AuditInvariants();
+    cache->AuditInvariants();
+  }
+  EXPECT_GT(manager.resizes(), 0)
+      << "the sizer never ran, so quota-change index refreshes went untested";
 }
 
 // Satellite 6 — the byte-equivalence pin: one catch-all tenant in enforce

@@ -5,24 +5,79 @@
 # tentpole guarantee of the island-partitioned engine — the worker pool
 # size must never change simulation output.
 #
-# usage: check_thread_invariance.sh <s4dsim> <config.ini> <threads>...
+# With --obs, each run also exports metrics (--metrics-out), a trace
+# (--trace-out), and mid-run samples (--sample-interval=10ms), and the gate
+# widens:
+#   * metrics JSON must be byte-identical to the SERIAL run (shards merge
+#     to the exact serial aggregates), and
+#   * trace JSON must be byte-identical ACROSS THREAD COUNTS (the island
+#     schedule differs from the serial interleaving by design, but must
+#     not depend on the worker pool size).
+#
+# usage: check_thread_invariance.sh [--obs] <s4dsim> <config.ini> <threads>...
 set -euo pipefail
 
-s4dsim=$1
-config=$2
+obs=0
+if [[ "${1:-}" == "--obs" ]]; then
+  obs=1
+  shift
+fi
+
+# Runs happen inside per-run temp dirs, so both paths must survive a cd.
+s4dsim=$(realpath "$1")
+config=$(realpath "$2")
 shift 2
 
-ref=$(mktemp)
-cur=$(mktemp)
-trap 'rm -f "$ref" "$cur"' EXIT
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
 
-"$s4dsim" "$config" > "$ref"
-for n in "$@"; do
-  "$s4dsim" "$config" --threads="$n" > "$cur"
-  if ! cmp -s "$ref" "$cur"; then
-    echo "FAIL: --threads=$n output differs from the serial run:" >&2
-    diff "$ref" "$cur" >&2 || true
+# All runs write the same filenames (stdout echoes them), run from inside
+# the temp dir so the binary's relative outputs land there too.
+obs_flags=()
+if [[ $obs -eq 1 ]]; then
+  obs_flags=(--metrics-out=metrics.json --trace-out=trace.json
+             --sample-interval=10ms)
+fi
+
+run() {  # run <tag> [extra s4dsim args...]
+  local tag=$1
+  shift
+  mkdir -p "$workdir/$tag"
+  (cd "$workdir/$tag" && "$s4dsim" "$config" "${obs_flags[@]}" "$@" \
+       > stdout.txt)
+}
+
+check() {  # check <what> <reference-file> <candidate-file> <tag>
+  local what=$1 ref=$2 cand=$3 tag=$4
+  if ! cmp -s "$ref" "$cand"; then
+    echo "FAIL: $tag $what differs from $(basename "$(dirname "$ref")"):" >&2
+    diff -u --label "reference/$what" --label "$tag/$what" \
+         "$ref" "$cand" >&2 || true
     exit 1
   fi
+}
+
+run serial
+trace_ref=""
+for n in "$@"; do
+  tag="threads$n"
+  run "$tag" --threads="$n"
+  check stdout.txt "$workdir/serial/stdout.txt" \
+        "$workdir/$tag/stdout.txt" "$tag"
+  if [[ $obs -eq 1 ]]; then
+    check metrics.json "$workdir/serial/metrics.json" \
+          "$workdir/$tag/metrics.json" "$tag"
+    if [[ -z "$trace_ref" ]]; then
+      trace_ref="$workdir/$tag/trace.json"
+    else
+      check trace.json "$trace_ref" "$workdir/$tag/trace.json" "$tag"
+    fi
+  fi
 done
-echo "ok: $(basename "$config") byte-identical across serial and --threads={$*}"
+
+if [[ $obs -eq 1 ]]; then
+  echo "ok: $(basename "$config") stdout+metrics byte-identical to serial," \
+       "trace byte-identical across --threads={$*}"
+else
+  echo "ok: $(basename "$config") byte-identical across serial and --threads={$*}"
+fi

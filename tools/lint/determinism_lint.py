@@ -35,9 +35,15 @@ historically break that contract:
                    allowlist justification saying why.
 
 Usage:
-  tools/lint/determinism_lint.py [--root REPO] [--allowlist FILE] [--self-test]
+  tools/lint/determinism_lint.py [--root REPO] [--allowlist FILE]
+                                 [--audit-allowlist] [--self-test]
 
 Exit status: 0 = clean, 1 = findings, 2 = usage/config error.
+
+--audit-allowlist prints one line per allowlist entry with the number of
+findings it currently suppresses, so reviewers can spot entries carrying
+more weight than their justification claims (or none — those are the
+stale entries, which fail the lint as usual).
 
 Findings can be suppressed via the allowlist file (one entry per line):
   <relative-path>:<check-id>: <justification>
@@ -196,11 +202,12 @@ def load_allowlist(path: pathlib.Path):
             )
             ok = False
             continue
-        entries[(rel, check)] = {"line": lineno, "used": False}
+        entries[(rel, check)] = {"line": lineno, "used": False, "count": 0}
     return entries if ok else None
 
 
-def run(root: pathlib.Path, allowlist_path: pathlib.Path) -> int:
+def run(root: pathlib.Path, allowlist_path: pathlib.Path,
+        audit: bool = False) -> int:
     allowlist = load_allowlist(allowlist_path)
     if allowlist is None:
         return 2
@@ -218,8 +225,16 @@ def run(root: pathlib.Path, allowlist_path: pathlib.Path) -> int:
                 entry = allowlist.get((rel, check))
                 if entry is not None:
                     entry["used"] = True
+                    entry["count"] += 1
                     continue
                 findings.append((rel, line, check, snippet))
+
+    if audit:
+        for (rel, check), meta in sorted(
+            allowlist.items(), key=lambda kv: -kv[1]["count"]
+        ):
+            print(f"allowlist audit: {meta['count']:3d} finding(s) "
+                  f"suppressed by {rel}:{check}")
 
     for rel, line, check, snippet in findings:
         print(f"{rel}:{line}: [{check}] {snippet}")
@@ -282,6 +297,12 @@ BAD_TREE = {
         "std::atomic<int> counter{0};\n"
         "void Spawn() { std::thread([] { ++counter; }).join(); }\n"
     ),
+    "src/tls_user.cc": (
+        "// thread_local without std:: qualification must still be caught —\n"
+        "// per-thread state is invisible nondeterminism.\n"
+        "thread_local int scratch = 0;\n"
+        "int Bump() { return ++scratch; }\n"
+    ),
     "src/comment_only.cc": (
         "// std::chrono::system_clock is banned, this comment is fine\n"
         "/* std::rand() in a block comment is fine too */\n"
@@ -327,6 +348,7 @@ def self_test() -> int:
             ("src/iter_user.cc", "unordered-iter"),
             ("src/ptr_key.cc", "pointer-keys"),
             ("src/thread_user.cc", "thread-primitive"),
+            ("src/tls_user.cc", "thread-primitive"),
         }
         found = set()
         for sub in ("src",):
@@ -355,10 +377,16 @@ def self_test() -> int:
             "src/ptr_key.cc:pointer-keys: map is never iterated\n"
             "src/thread_user.cc:thread-primitive: counter is a host-side "
             "metric, never read by sim state\n"
+            "src/tls_user.cc:thread-primitive: fixture scratch value, "
+            "never enters sim state\n"
         )
         rc = run(bad, allow)
         if rc != 0:
             failures.append(f"allowlisted bad tree: expected rc 0, got {rc}")
+        # Audit mode reports per-entry counts without changing the verdict.
+        rc = run(bad, allow, audit=True)
+        if rc != 0:
+            failures.append(f"audited allowlist: expected rc 0, got {rc}")
         allow.write_text(
             allow.read_text()
             + "src/comment_only.cc:wall-clock: stale entry, should be reported\n"
@@ -396,6 +424,11 @@ def main() -> int:
         help="allowlist file (default: <root>/tools/lint/determinism_allowlist.txt)",
     )
     parser.add_argument(
+        "--audit-allowlist",
+        action="store_true",
+        help="print how many findings each allowlist entry suppresses",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="run the built-in fixture trees instead of scanning the repo",
@@ -404,7 +437,7 @@ def main() -> int:
     if args.self_test:
         return self_test()
     allowlist = args.allowlist or args.root / "tools/lint/determinism_allowlist.txt"
-    return run(args.root.resolve(), allowlist)
+    return run(args.root.resolve(), allowlist, audit=args.audit_allowlist)
 
 
 if __name__ == "__main__":

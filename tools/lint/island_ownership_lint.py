@@ -1,0 +1,500 @@
+#!/usr/bin/env python3
+"""Island-ownership linter for the S4D-Cache simulator.
+
+The island-partitioned engine (DESIGN.md §3j-§3l) splits the simulation
+into single-writer islands: island 0 owns the clients/middleware, island
+1+i owns file server i. Correctness rests on a thread-ownership model
+spelled out with the markers in src/common/ownership.h:
+
+  S4D_ISLAND_GUARDED    state owned by exactly one island; only that
+                        island's events may touch it mid-run
+  S4D_ISLAND_SHARED(r)  state deliberately reachable from more than one
+                        island, with a mandatory justification `r` saying
+                        why that is safe (coordinator-only mutation,
+                        post-run reads at quiescence, immutability, ...)
+  S4D_WIRE_SAFE         a trivially-copyable message type that crosses
+                        islands by value through the outbox/wire path
+
+This linter enforces the model statically:
+
+  unannotated-island-state  a file declares island-mode state (members of
+                            type sim::IslandId or sim::ParallelEngine,
+                            raw or smart pointer) but carries none of the
+                            ownership markers — the ownership of that
+                            state is undocumented and unchecked.
+  cross-island-access       a chained member access through a live
+                            FileServer (`...server(i).member`) in an
+                            island-aware file (one that names
+                            ParallelEngine or calls parallel()). Under
+                            --threads that chain reads another island's
+                            state mid-run; route it through the
+                            client-side stub mirror, a wire message, or a
+                            post-run aggregate instead. (This is exactly
+                            the bug the old s4dsim sampler probes had.)
+  unjustified-shared        S4D_ISLAND_SHARED with a justification under
+                            10 characters — a claim without a reason is
+                            an unreviewed race waiting to be believed.
+
+Engines: --engine=regex (default fallback) matches with the patterns
+below; --engine=clang additionally confirms cross-island-access findings
+against a libclang AST when the clang python bindings are importable
+(they are optional — no dependency is added). --engine=auto tries clang
+and silently falls back to regex.
+
+Usage:
+  tools/lint/island_ownership_lint.py [--root REPO] [--allowlist FILE]
+                                      [--engine auto|regex|clang]
+                                      [--self-test]
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/config error.
+
+Findings can be suppressed via the allowlist file (one entry per line):
+  <relative-path>:<check-id>: <justification>
+Justifications are mandatory and stale entries fail the lint, exactly as
+in tools/lint/determinism_lint.py.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+CHECK_IDS = (
+    "unannotated-island-state",
+    "cross-island-access",
+    "unjustified-shared",
+)
+
+# Island-mode state declarations: IslandId members, ParallelEngine members
+# (raw pointer, reference, or unique_ptr). Function parameters are skipped
+# by requiring the declaration to end a statement or carry an initializer.
+ISLAND_STATE = re.compile(
+    r"sim::IslandId\s+\w+\s*(=[^;()]*)?;"
+    r"|sim::ParallelEngine\s*[*&]\s*\w+\s*(=[^;()]*)?;"
+    r"|std::unique_ptr<\s*sim::ParallelEngine\s*>\s*\w+\s*(=[^;()]*)?;"
+)
+
+OWNERSHIP_MARKER = re.compile(
+    r"\bS4D_ISLAND_GUARDED\b|\bS4D_ISLAND_SHARED\s*\(|\bS4D_WIRE_SAFE\b"
+)
+
+# A file is island-aware if it names the parallel engine or fetches it.
+ISLAND_AWARE = re.compile(r"\bParallelEngine\b|\bparallel\s*\(\s*\)")
+
+# `<expr>.server(<args>).<member>` — a chained access through a live
+# FileServer object. `server(i)` alone (binding a reference first) is also
+# cross-island when dereferenced mid-run, but the chain form is the
+# grep-able signature of "probe the live server right here".
+SERVER_CHAIN = re.compile(r"\.\s*server\s*\(\s*[^()]*\)\s*\.\s*\w+")
+
+# S4D_ISLAND_SHARED("reason") with the reason captured for length checks.
+SHARED_CLAIM = re.compile(r"S4D_ISLAND_SHARED\s*\(\s*\"((?:[^\"\\]|\\.)*)\"\s*\)")
+SHARED_ANY = re.compile(r"S4D_ISLAND_SHARED\s*\(")
+
+MIN_JUSTIFICATION = 10
+
+SCAN_DIRS = ("src", "bench", "tests", "tools")
+SCAN_SUFFIXES = {".cc", ".h"}
+
+LINE_COMMENT = re.compile(r"//[^\n]*")
+BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+STRING_LIT = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+
+# The markers themselves and the sentinel live here; the definitions would
+# otherwise self-flag.
+INTRINSIC_EXEMPT = {"src/common/ownership.h"}
+
+
+def strip_noise(text: str) -> str:
+    """Blank out comments and string literals, preserving line numbers."""
+
+    def blank(m: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    text = BLOCK_COMMENT.sub(blank, text)
+    return LINE_COMMENT.sub(blank, text)
+
+
+def strip_strings(text: str) -> str:
+    def blank(m: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    return STRING_LIT.sub(blank, text)
+
+
+def clang_confirms_server_chain(path: pathlib.Path, line: int) -> bool:
+    """AST refinement for cross-island-access: with the optional libclang
+    bindings, keep the finding only if the flagged line really contains a
+    member call whose callee spells `server`. Without libclang (the normal
+    case — it is never a dependency) every regex finding stands."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return True
+    try:
+        tu = cindex.Index.create().parse(
+            str(path), args=["-std=c++20", "-fsyntax-only"]
+        )
+    except Exception:  # unparseable TU: fall back to the regex verdict
+        return True
+    for cursor in tu.cursor.walk_preorder():
+        if (
+            cursor.kind == cindex.CursorKind.CALL_EXPR
+            and cursor.spelling == "server"
+            and cursor.location.file is not None
+            and pathlib.Path(cursor.location.file.name) == path
+            and cursor.location.line == line
+        ):
+            return True
+    return False
+
+
+def scan_file(path: pathlib.Path, rel: str, engine: str = "regex"):
+    """Yield (check_id, line, snippet) findings for one file."""
+    try:
+        raw = path.read_text(errors="replace")
+    except OSError as e:  # unreadable file: surface, do not crash
+        yield "unannotated-island-state", 0, f"unreadable: {e}"
+        return
+    if rel in INTRINSIC_EXEMPT:
+        return
+    text = strip_noise(raw)
+    # Ownership markers expand from macros, so they survive string
+    # stripping; the shared-claim justification is itself a string literal,
+    # so the claim checks run on the comment-stripped (not string-stripped)
+    # text while the structural checks run fully stripped.
+    code = strip_strings(text)
+
+    if ISLAND_STATE.search(code) and not OWNERSHIP_MARKER.search(code):
+        m = ISLAND_STATE.search(code)
+        line = code.count("\n", 0, m.start()) + 1
+        yield (
+            "unannotated-island-state",
+            line,
+            m.group(0).strip()
+            + "  (no S4D_ISLAND_GUARDED / S4D_ISLAND_SHARED / S4D_WIRE_SAFE "
+            "anywhere in this file)",
+        )
+
+    if ISLAND_AWARE.search(code):
+        for m in SERVER_CHAIN.finditer(code):
+            line = code.count("\n", 0, m.start()) + 1
+            if engine == "clang" and not clang_confirms_server_chain(path, line):
+                continue
+            yield "cross-island-access", line, m.group(0).strip()
+
+    # Find claims in the fully-stripped code (so a marker inside a string
+    # or comment never trips), then read the justification from the
+    # string-intact text at the same offset — blanking preserves offsets.
+    for m in SHARED_ANY.finditer(code):
+        line = code.count("\n", 0, m.start()) + 1
+        claim = SHARED_CLAIM.match(text, m.start())
+        if claim is None:
+            yield (
+                "unjustified-shared",
+                line,
+                "S4D_ISLAND_SHARED( without a string-literal justification",
+            )
+        elif len(claim.group(1)) < MIN_JUSTIFICATION:
+            yield (
+                "unjustified-shared",
+                line,
+                f'S4D_ISLAND_SHARED("{claim.group(1)}")  (justify why the '
+                "cross-island reach is safe)",
+            )
+
+
+def load_allowlist(path: pathlib.Path):
+    """Parse `<path>:<check>: <justification>` lines. Returns dict or None."""
+    entries = {}
+    ok = True
+    if not path.exists():
+        return entries
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = re.match(r"^([^\s:]+):([a-z-]+):\s*(.+)$", line)
+        if not m:
+            print(
+                f"{path}:{lineno}: malformed allowlist entry (want "
+                f"'<path>:<check-id>: <justification>'): {line}",
+                file=sys.stderr,
+            )
+            ok = False
+            continue
+        rel, check, justification = m.groups()
+        if check not in CHECK_IDS:
+            print(f"{path}:{lineno}: unknown check id '{check}'", file=sys.stderr)
+            ok = False
+            continue
+        if len(justification) < MIN_JUSTIFICATION:
+            print(
+                f"{path}:{lineno}: justification too short for {rel}:{check} "
+                f"(explain *why* the access is island-safe)",
+                file=sys.stderr,
+            )
+            ok = False
+            continue
+        entries[(rel, check)] = {"line": lineno, "used": False}
+    return entries if ok else None
+
+
+def run(root: pathlib.Path, allowlist_path: pathlib.Path, engine: str) -> int:
+    allowlist = load_allowlist(allowlist_path)
+    if allowlist is None:
+        return 2
+
+    findings = []
+    for sub in SCAN_DIRS:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SCAN_SUFFIXES:
+                continue
+            rel = path.relative_to(root).as_posix()
+            for check, line, snippet in scan_file(path, rel, engine):
+                entry = allowlist.get((rel, check))
+                if entry is not None:
+                    entry["used"] = True
+                    continue
+                findings.append((rel, line, check, snippet))
+
+    for rel, line, check, snippet in findings:
+        print(f"{rel}:{line}: [{check}] {snippet}")
+
+    stale = [
+        (rel, check, meta["line"])
+        for (rel, check), meta in allowlist.items()
+        if not meta["used"]
+    ]
+    for rel, check, lineno in stale:
+        print(
+            f"{allowlist_path.name}:{lineno}: stale allowlist entry "
+            f"{rel}:{check} (no matching finding — remove it)",
+            file=sys.stderr,
+        )
+
+    if findings or stale:
+        print(
+            f"island-ownership lint: {len(findings)} finding(s), "
+            f"{len(stale)} stale allowlist entr(y/ies)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def resolve_engine(requested: str) -> str:
+    if requested == "regex":
+        return "regex"
+    try:
+        from clang import cindex  # type: ignore # noqa: F401
+
+        return "clang"
+    except ImportError:
+        if requested == "clang":
+            print(
+                "island-ownership lint: --engine=clang needs the libclang "
+                "python bindings, which are not installed",
+                file=sys.stderr,
+            )
+            return ""
+        return "regex"  # auto: silent fallback
+
+
+# --- self test -------------------------------------------------------------
+
+BAD_TREE = {
+    # Island state with no ownership marker anywhere in the file.
+    "src/unannotated.h": (
+        "#pragma once\n"
+        "#include \"sim/parallel_engine.h\"\n"
+        "class Router {\n"
+        " private:\n"
+        "  sim::ParallelEngine* par_ = nullptr;\n"
+        "  sim::IslandId home_ = 0;\n"
+        "};\n"
+    ),
+    # Live-server probe in an island-aware file: the old sampler bug.
+    "src/prober.cc": (
+        "#include \"harness/testbed.h\"\n"
+        "double Probe(s4d::harness::Testbed& bed) {\n"
+        "  if (bed.parallel() != nullptr) { /* island mode */ }\n"
+        "  return bed.dservers().server(0).queue_depth();\n"
+        "}\n"
+    ),
+    # A shared claim whose justification is too short to mean anything.
+    "src/lazy_claim.h": (
+        "#pragma once\n"
+        "#include \"common/ownership.h\"\n"
+        "struct Hub {\n"
+        "  S4D_ISLAND_SHARED(\"tbd\") int shared_thing = 0;\n"
+        "};\n"
+    ),
+    # Mentions in comments and strings must not trip anything.
+    "src/comment_only.cc": (
+        "// sim::IslandId in a comment is fine; so is server(0).probe()\n"
+        "/* ParallelEngine mentioned in a block comment */\n"
+        "const char* s = \"S4D_ISLAND_SHARED(\";\n"
+    ),
+}
+
+CLEAN_TREE = {
+    # Same state, annotated: the marker documents (and in sentinel builds
+    # checks) who owns it.
+    "src/annotated.h": (
+        "#pragma once\n"
+        "#include \"common/ownership.h\"\n"
+        "#include \"sim/parallel_engine.h\"\n"
+        "class Router {\n"
+        " private:\n"
+        "  S4D_ISLAND_GUARDED sim::ParallelEngine* par_ = nullptr;\n"
+        "  sim::IslandId home_ = 0;\n"
+        "};\n"
+    ),
+    # A server() chain in a file with no island awareness: classic-mode
+    # code (tests, serial tools) probes live servers freely.
+    "src/serial_probe.cc": (
+        "#include \"pfs/file_system.h\"\n"
+        "double Probe(s4d::pfs::FileSystem& fs) {\n"
+        "  return fs.server(0).queue_depth();\n"
+        "}\n"
+    ),
+    # A properly justified shared claim.
+    "src/good_claim.h": (
+        "#pragma once\n"
+        "#include \"common/ownership.h\"\n"
+        "struct Hub {\n"
+        "  S4D_ISLAND_SHARED(\"coordinator-only: mutated strictly between "
+        "windows\")\n"
+        "  int shared_thing = 0;\n"
+        "};\n"
+    ),
+}
+
+
+def write_tree(base: pathlib.Path, tree: dict) -> None:
+    for rel, content in tree.items():
+        p = base / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(content)
+
+
+def self_test() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory() as td:
+        tmp = pathlib.Path(td)
+
+        bad = tmp / "bad"
+        write_tree(bad, BAD_TREE)
+        expected = {
+            ("src/unannotated.h", "unannotated-island-state"),
+            ("src/prober.cc", "cross-island-access"),
+            ("src/lazy_claim.h", "unjustified-shared"),
+        }
+        found = set()
+        for path in sorted((bad / "src").rglob("*")):
+            if path.suffix not in SCAN_SUFFIXES:
+                continue
+            rel = path.relative_to(bad).as_posix()
+            for check, _line, _snippet in scan_file(path, rel):
+                found.add((rel, check))
+        for want in expected:
+            if want not in found:
+                failures.append(f"bad tree: expected finding {want} missing")
+        for rel, check in found:
+            if rel == "src/comment_only.cc":
+                failures.append(
+                    f"bad tree: flagged comment/string-only file ({check})"
+                )
+
+        clean = tmp / "clean"
+        write_tree(clean, CLEAN_TREE)
+        rc = run(clean, clean / "absent_allowlist.txt", "regex")
+        if rc != 0:
+            failures.append(f"clean tree: expected rc 0, got {rc}")
+
+        # Allowlist round-trip: entry silences the finding; stale entry fails.
+        allow = bad / "allow.txt"
+        allow.write_text(
+            "src/unannotated.h:unannotated-island-state: fixture predates the "
+            "ownership model; tracked for annotation\n"
+            "src/prober.cc:cross-island-access: probe runs post-run only, at "
+            "quiescence\n"
+            "src/lazy_claim.h:unjustified-shared: fixture claim audited "
+            "elsewhere\n"
+        )
+        rc = run(bad, allow, "regex")
+        if rc != 0:
+            failures.append(f"allowlisted bad tree: expected rc 0, got {rc}")
+        allow.write_text(
+            allow.read_text()
+            + "src/comment_only.cc:cross-island-access: stale entry, should "
+            "be reported\n"
+        )
+        rc = run(bad, allow, "regex")
+        if rc != 1:
+            failures.append(f"stale allowlist: expected rc 1, got {rc}")
+
+        # Malformed allowlist (no justification) is a config error.
+        allow.write_text("src/prober.cc:cross-island-access:\n")
+        rc = run(bad, allow, "regex")
+        if rc != 2:
+            failures.append(f"malformed allowlist: expected rc 2, got {rc}")
+
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
+        return 1
+    print("island_ownership_lint self-test: ok")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parents[2],
+        help="repository root to scan (default: this script's repo)",
+    )
+    parser.add_argument(
+        "--allowlist",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "allowlist file "
+            "(default: <root>/tools/lint/island_ownership_allowlist.txt)"
+        ),
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "regex", "clang"),
+        default="auto",
+        help="matching engine: clang refines findings via libclang when the "
+        "optional python bindings exist; auto falls back to regex",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in fixture trees instead of scanning the repo",
+    )
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    engine = resolve_engine(args.engine)
+    if not engine:
+        return 2
+    allowlist = (
+        args.allowlist or args.root / "tools/lint/island_ownership_allowlist.txt"
+    )
+    return run(args.root.resolve(), allowlist, engine)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

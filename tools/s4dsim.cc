@@ -388,22 +388,6 @@ int Run(const ConfigParser& config) {
                  bed_cfg.threads);
     return 1;
   }
-  if (bed_cfg.threads > 0) {
-    if (observed) {
-      std::fprintf(stderr,
-                   "config error: --threads is incompatible with "
-                   "observability output (trace_out / metrics_out / "
-                   "sample_interval) — gauges read live server state across "
-                   "islands; run without --threads to observe\n");
-      return 1;
-    }
-    if (config.StringOr("workload", "type", "ior") == "trace") {
-      std::fprintf(stderr,
-                   "config error: --threads does not support trace replay "
-                   "(workload.type = trace) yet; run without --threads\n");
-      return 1;
-    }
-  }
   harness::Testbed bed(bed_cfg);
 
   trace::TraceCollector collector;
@@ -494,22 +478,17 @@ int Run(const ConfigParser& config) {
   }
 
   // Periodic time series (written into the metrics dump). Probes are
-  // read-only; sampling never perturbs the I/O timeline.
+  // read-only and mode-agnostic: they sample client-island state only
+  // (outstanding sub-requests, middleware counters), never live server
+  // objects — which would be a cross-island read under --threads — so the
+  // series is byte-identical between the serial and island engines.
   obs::TimeSeriesSampler sampler(bed.engine(), sample_interval);
   if (observed && sample_interval > 0) {
-    sampler.AddProbe("opfs.queue_depth", [&bed] {
-      double sum = 0;
-      for (int i = 0; i < bed.dservers().server_count(); ++i) {
-        sum += static_cast<double>(bed.dservers().server(i).queue_depth());
-      }
-      return sum;
+    sampler.AddProbe("opfs.outstanding_subs", [&bed] {
+      return static_cast<double>(bed.dservers().outstanding_subs());
     });
-    sampler.AddProbe("cpfs.queue_depth", [&bed] {
-      double sum = 0;
-      for (int i = 0; i < bed.cservers().server_count(); ++i) {
-        sum += static_cast<double>(bed.cservers().server(i).queue_depth());
-      }
-      return sum;
+    sampler.AddProbe("cpfs.outstanding_subs", [&bed] {
+      return static_cast<double>(bed.cservers().outstanding_subs());
     });
     if (s4d) {
       core::S4DCache* cache = s4d.get();
@@ -559,6 +538,7 @@ int Run(const ConfigParser& config) {
     replay_opts.checker = verify ? &checker : nullptr;
     replay_opts.obs = observed ? &obs : nullptr;
     replay_opts.on_issue = run_options.on_issue;  // capture, when armed
+    replay_opts.parallel = bed.parallel();        // island-window drive
     begin = bed.engine().now();
     tracein::ReplayResult replay{};
     for (int pass = 0; pass < repeat; ++pass) {
@@ -740,6 +720,10 @@ int Run(const ConfigParser& config) {
 
   if (observed) {
     sampler.Stop();
+    // Island mode: fold per-island metric/span shards into the root bundle
+    // (post-run, at quiescence) so the exports below see one registry and
+    // one tracer exactly as in serial mode.
+    obs.MergeShards();
     if (!trace_out.empty()) {
       std::ofstream out(trace_out);
       if (!out) {
