@@ -85,6 +85,13 @@ SimTime CostModel::DServerCost(byte_count distance, byte_count offset,
     const SimTime b = params_.hdd.max_seek + rotation;
     startup = ExpectedMaxStartup(a, std::max(a, b), m);  // Eq. 4
   }
+  // Calibrated path: the provider composes the structural startup with its
+  // fitted per-byte and queue-delay terms; a negative return declines.
+  if (calibration_ != nullptr) {
+    const SimTime calibrated =
+        calibration_->DServerEstimate(startup, offset, size);
+    if (calibrated >= 0) return calibrated;
+  }
   // Eq. 5 / Table II: transfer gated by the largest per-server share.
   const byte_count s_m = pfs::MaxSubRequestSize(d_stripe_, offset, size);
   const auto transfer = static_cast<SimTime>(
@@ -95,6 +102,12 @@ SimTime CostModel::DServerCost(byte_count distance, byte_count offset,
 SimTime CostModel::CServerCost(device::IoKind kind, byte_count offset,
                                byte_count size, double scale) const {
   if (size <= 0) return 0;
+  // Calibrated path: fitted parameters already embody the tier's realized
+  // speed (including degradation), so `scale` is not re-applied.
+  if (calibration_ != nullptr) {
+    const SimTime calibrated = calibration_->CServerEstimate(kind, offset, size);
+    if (calibrated >= 0) return calibrated;
+  }
   // Eq. 7: no seek term — SSDs are insensitive to spatial locality. S_n is
   // the max per-server share when the request spreads over the N CServers.
   const byte_count s_n = pfs::MaxSubRequestSize(c_stripe_, offset, size);

@@ -25,6 +25,29 @@
 
 namespace s4d::core {
 
+// Live calibration provider (src/calib, DESIGN.md §3m): supplies
+// per-server, load-aware estimates fitted from observed sub-request
+// latencies. Either method may *decline* by returning a negative value, in
+// which case the static Table II arithmetic below is used unchanged — a
+// cold or disabled provider is byte-identical to the paper default.
+class CostCalibration {
+ public:
+  virtual ~CostCalibration() = default;
+
+  // Calibrated T_D. `static_startup` is the model's distance-dependent
+  // positioning estimate (Eqs. 2-4 or the streaming refinement) — the
+  // provider composes it with fitted per-byte and queue-delay terms, so
+  // the Identifier's sequential/random selectivity signal survives
+  // calibration.
+  virtual SimTime DServerEstimate(SimTime static_startup, byte_count offset,
+                                  byte_count size) const = 0;
+  // Calibrated T_C, fully fitted (startup + per-byte + queue delay). The
+  // fitted parameters already reflect any device degradation the cluster
+  // is actually exhibiting, so the health `scale` is NOT re-applied on top.
+  virtual SimTime CServerEstimate(device::IoKind kind, byte_count offset,
+                                  byte_count size) const = 0;
+};
+
 struct CostModelParams {
   int hdd_servers = 8;   // M
   int ssd_servers = 4;   // N (N < M in the paper's deployments)
@@ -82,12 +105,21 @@ class CostModel {
   // Eq. 4 in isolation, for tests: expected max of m U[a,b] draws.
   static SimTime ExpectedMaxStartup(SimTime a, SimTime b, int m);
 
+  // Installs (or clears, with nullptr) the live calibration provider. Not
+  // owned; must outlive the model. Both cost queries consult it first and
+  // fall back to the static arithmetic when it declines.
+  void SetCalibration(const CostCalibration* calibration) {
+    calibration_ = calibration;
+  }
+  const CostCalibration* calibration() const { return calibration_; }
+
   const CostModelParams& params() const { return params_; }
 
  private:
   CostModelParams params_;
   pfs::StripeConfig d_stripe_;
   pfs::StripeConfig c_stripe_;
+  const CostCalibration* calibration_ = nullptr;
 };
 
 }  // namespace s4d::core

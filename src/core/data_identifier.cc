@@ -75,6 +75,7 @@ bool DataIdentifier::Identify(const std::string& file, int rank,
   last_health_scale_ = scale;
   last_benefit_ = model_.Benefit(kind, distance, offset, size, scale);
   last_dserver_cost_ = model_.DServerCost(distance, offset, size);
+  last_cserver_cost_ = model_.CServerCost(kind, offset, size, scale);
   bool critical = last_benefit_ > 0;
   if (critical && unhealthy_threshold_ > 1.0 && scale >= unhealthy_threshold_) {
     critical = false;
@@ -88,8 +89,11 @@ bool DataIdentifier::Identify(const std::string& file, int rank,
   // the model's post-health verdict) and may override it — ghost-assisted
   // admission raises it, feedback thresholds or pressure vetoes lower it.
   if (admission_filter_) {
-    const AdmissionContext ctx{file,     rank, kind,          offset,
-                               size,     distance, last_benefit_, critical};
+    const AdmissionContext ctx{file,          rank,
+                               kind,          offset,
+                               size,          distance,
+                               last_benefit_, last_dserver_cost_,
+                               last_cserver_cost_, critical};
     critical = admission_filter_(ctx);
   }
   if (critical) {

@@ -38,6 +38,8 @@ struct AdmissionContext {
   byte_count size;
   byte_count distance;  // signed stream distance d
   SimTime benefit;      // health-scaled B
+  SimTime dserver_cost;  // model's T_D at decision time
+  SimTime cserver_cost;  // model's health-scaled T_C at decision time
   bool model_critical;
 };
 
@@ -98,6 +100,10 @@ class DataIdentifier {
   // Predicted DServer cost T_D for the most recent Identify() call — the
   // baseline against which the feedback controller measures realized gain.
   SimTime last_dserver_cost() const { return last_dserver_cost_; }
+  // Predicted (health-scaled) CServer cost T_C for the most recent
+  // Identify() call — with T_D, the per-route prediction the calibration
+  // bench scores for mispredict magnitude.
+  SimTime last_cserver_cost() const { return last_cserver_cost_; }
   double last_health_scale() const { return last_health_scale_; }
 
   const IdentifierStats& stats() const { return stats_; }
@@ -131,6 +137,7 @@ class DataIdentifier {
   double unhealthy_threshold_ = 2.0;
   SimTime last_benefit_ = 0;
   SimTime last_dserver_cost_ = 0;
+  SimTime last_cserver_cost_ = 0;
   double last_health_scale_ = 1.0;
 
   static constexpr std::size_t kMaxTailsPerFile = 512;

@@ -1,5 +1,6 @@
 #include "core/dmt.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 
@@ -101,6 +102,9 @@ Status DataMappingTable::LoadFromStore() {
     entry.end = end;
     entry.cache_offset = cache_offset;
     entry.dirty = dirty != 0;
+    // The stamp is not persisted; a recovered dirty extent's exposure
+    // clock restarts at load time.
+    if (entry.dirty) entry.dirty_since = ClockNow();
     entry.version = version;
     next_version_ = std::max(next_version_, entry.version + 1);
     auto [it, inserted] = files_[file_index].emplace(begin, entry);
@@ -215,6 +219,7 @@ void DataMappingTable::Insert(const std::string& file, byte_count offset,
   entry.end = offset + size;
   entry.cache_offset = cache_offset;
   entry.dirty = dirty;
+  if (dirty) entry.dirty_since = ClockNow();
   entry.version = next_version_++;
   auto [it, inserted] = map.emplace(offset, entry);
   S4D_CHECK(inserted) << "mapping already begins at " << offset << " in "
@@ -278,6 +283,7 @@ void DataMappingTable::SetDirty(const std::string& file, byte_count offset,
     Entry& entry = it->second;
     if (entry.dirty != dirty) {
       entry.dirty = dirty;
+      entry.dirty_since = dirty ? ClockNow() : 0;
       const byte_count len = entry.end - it->first;
       dirty_bytes_ += dirty ? len : -len;
     }
@@ -471,10 +477,56 @@ bool DataMappingTable::MarkCleanIfVersion(const std::string& file,
     return false;  // the extent changed while the flush was in flight
   }
   it->second.dirty = false;
+  it->second.dirty_since = 0;
   dirty_bytes_ -= end - begin;
   PersistEntry(idx_it->second, begin, it->second);
   MaybeAudit();
   return true;
+}
+
+DataMappingTable::DirtyAgeSummary DataMappingTable::SummarizeDirtyAges(
+    SimTime now) const {
+  DirtyAgeSummary summary;
+  // Bounded p50 sample: take every stride-th dirty extent in table order;
+  // when the sample fills, drop every other element and double the stride.
+  // Deterministic — same table, same sample — and O(1) memory.
+  constexpr std::size_t kMaxSample = 512;
+  std::vector<SimTime> sample;
+  sample.reserve(kMaxSample);
+  std::uint64_t stride = 1;
+  std::uint64_t index = 0;
+  long double total = 0.0L;
+  for (const FileMap& map : files_) {
+    for (const auto& [begin, entry] : map) {
+      if (!entry.dirty) continue;
+      const SimTime age =
+          now > entry.dirty_since ? now - entry.dirty_since : 0;
+      ++summary.dirty_extents;
+      summary.oldest = std::max(summary.oldest, age);
+      total += static_cast<long double>(age);
+      if (index++ % stride == 0) {
+        sample.push_back(age);
+        if (sample.size() == kMaxSample) {
+          std::size_t keep = 0;
+          for (std::size_t i = 0; i < sample.size(); i += 2) {
+            sample[keep++] = sample[i];
+          }
+          sample.resize(keep);
+          stride *= 2;
+        }
+      }
+    }
+  }
+  if (summary.dirty_extents > 0) {
+    summary.mean = static_cast<SimTime>(
+        total / static_cast<long double>(summary.dirty_extents));
+  }
+  if (!sample.empty()) {
+    auto mid = sample.begin() + static_cast<std::ptrdiff_t>(sample.size() / 2);
+    std::nth_element(sample.begin(), mid, sample.end());
+    summary.p50 = *mid;
+  }
+  return summary;
 }
 
 std::vector<RemovedExtent> DataMappingTable::AllExtents() const {

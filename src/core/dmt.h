@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sim_time.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "kvstore/kvstore.h"
@@ -152,6 +153,27 @@ class DataMappingTable {
   byte_count mapped_bytes() const;
   byte_count dirty_bytes() const;
 
+  // --- dirty-age accounting ----------------------------------------------
+  // `clock` supplies the current simulated time; with it installed, every
+  // clean→dirty transition stamps the extent (already-dirty extents keep
+  // their original stamp — the age measures how long the *oldest write* in
+  // the extent has been exposed to loss). The stamp is in-memory only: the
+  // persisted record format is unchanged, so a recovered DMT restarts ages
+  // at load time. No clock (the default) stamps 0 and the summary below
+  // degenerates gracefully.
+  void SetClock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  struct DirtyAgeSummary {
+    std::int64_t dirty_extents = 0;
+    SimTime oldest = 0;
+    SimTime mean = 0;  // exact over every dirty extent
+    SimTime p50 = 0;   // from a deterministic stride-decimation sample
+  };
+  // Walks the dirty extents and summarizes their ages at `now`. The p50
+  // comes from a bounded sample thinned by deterministic doubling
+  // decimation (no RNG — identical across runs and thread counts).
+  DirtyAgeSummary SummarizeDirtyAges(SimTime now) const;
+
   // Walks the whole table and S4D_CHECKs the representation invariants:
   // per-file extents sorted and non-overlapping with positive length, the
   // mapped/dirty byte counters equal to the recomputed sums, every entry
@@ -174,6 +196,10 @@ class DataMappingTable {
     bool dirty = false;
     std::uint64_t version = 0;
     std::uint64_t lru_seq = 0;
+    // When the extent last transitioned clean→dirty (0 = no clock or
+    // clean). In-memory only — never persisted. Splits copy the Entry, so
+    // both halves keep the original exposure time.
+    SimTime dirty_since = 0;
   };
   using FileMap = std::map<byte_count, Entry>;  // begin -> Entry
 
@@ -218,7 +244,10 @@ class DataMappingTable {
   void MaybeAudit() const {}
 #endif
 
+  SimTime ClockNow() const { return clock_ ? clock_() : 0; }
+
   kv::KvStore* store_;
+  std::function<SimTime()> clock_;
   // Last-hit lookup hint; points at a dereferenceable entry of
   // files_[hint_file_] whenever hint_valid_. Conservatively invalidated by
   // every structural mutation.

@@ -131,7 +131,15 @@ RoutingPlan Redirector::PlanWrite(const std::string& file, byte_count offset,
     return plan;
   }
 
-  if (ShouldAdmit(critical)) {
+  bool admit = ShouldAdmit(critical);
+  if (admit && CacheTierSaturated()) {
+    // Load shedding: a saturated cache tier stops attracting new
+    // admissions; the not-admitted DServer path below handles overlap
+    // consistency exactly as for a non-critical write.
+    admit = false;
+    ++stats_.saturation_write_bypasses;
+  }
+  if (admit) {
     // Admit the unmapped parts; keep the mapped parts where they are.
     // Mark the already-mapped parts dirty FIRST: gap allocation below may
     // evict clean LRU extents, and the mapped segments of this very range
@@ -198,6 +206,7 @@ RoutingPlan Redirector::PlanRead(const std::string& file, byte_count offset,
                                  byte_count size, bool critical) {
   ++stats_.read_requests;
   if (!CacheTierHealthy()) return PlanDegradedRead(file, offset, size);
+  const bool saturated = CacheTierSaturated();
   RoutingPlan plan;
   const DmtLookup lookup = dmt_.Lookup(file, offset, size);
 
@@ -206,8 +215,9 @@ RoutingPlan Redirector::PlanRead(const std::string& file, byte_count offset,
   // request streams well on the HDD array (B <= 0, e.g. a once-random
   // range now being scanned sequentially), serving it there is faster AND
   // keeps the CServers free for requests that need them. Dirty data has no
-  // DServer copy and always comes from the cache.
-  if (policy_ == AdmissionPolicy::kCostModel && !critical &&
+  // DServer copy and always comes from the cache. A saturated tier extends
+  // the bypass to critical requests — shedding reads it can shed.
+  if (policy_ == AdmissionPolicy::kCostModel && (!critical || saturated) &&
       !lookup.mapped.empty()) {
     bool any_dirty = false;
     for (const MappedSegment& seg : lookup.mapped) {
@@ -217,7 +227,11 @@ RoutingPlan Redirector::PlanRead(const std::string& file, byte_count offset,
       }
     }
     if (!any_dirty) {
-      ++stats_.read_clean_bypasses;
+      if (critical) {
+        ++stats_.saturation_read_bypasses;
+      } else {
+        ++stats_.read_clean_bypasses;
+      }
       plan.segments.push_back(DServerSegment(offset, size));
       return plan;
     }
@@ -238,7 +252,10 @@ RoutingPlan Redirector::PlanRead(const std::string& file, byte_count offset,
   // cached lazily: mark C_flag so the Rebuilder fetches it in the
   // background, but serve the miss from DServers now.
   if (ShouldAdmit(critical) && policy_ == AdmissionPolicy::kCostModel) {
-    if (cdt_.SetCacheFlag(CdtKey{file, offset, size}, charge_owner_)) {
+    if (saturated) {
+      // No new background fetch work for a tier already over its depth.
+      ++stats_.saturation_fetch_suppressions;
+    } else if (cdt_.SetCacheFlag(CdtKey{file, offset, size}, charge_owner_)) {
       plan.lazy_fetch_marked = true;
       ++stats_.lazy_fetch_marks;
     }

@@ -104,6 +104,10 @@ struct RedirectorStats {
   std::int64_t degraded_writes = 0;
   std::int64_t degraded_reads = 0;
   std::int64_t degraded_dirty_reads = 0;  // plans flagged blocked_on_cache
+  // Saturation load-shedding (calibration subsystem's probe).
+  std::int64_t saturation_write_bypasses = 0;   // admissions skipped
+  std::int64_t saturation_read_bypasses = 0;    // critical clean hits bypassed
+  std::int64_t saturation_fetch_suppressions = 0;  // C_flag marks suppressed
 };
 
 class Redirector {
@@ -202,6 +206,20 @@ class Redirector {
     return !cache_healthy_ || cache_healthy_();
   }
 
+  // Installs the cache-tier *saturation* probe (calibration subsystem).
+  // While it returns true, PlanWrite stops creating new mappings (fully
+  // mapped writes still land in the cache — dirty consistency demands it)
+  // and PlanRead serves clean hits from DServers and stops marking lazy
+  // fetches. Distinct from the health probe: a saturated tier is still
+  // reachable, so dirty data keeps being served from it and no plan is
+  // degraded. Null (the default) restores the paper's behaviour exactly.
+  void SetSaturationProbe(std::function<bool()> probe) {
+    cache_saturated_ = std::move(probe);
+  }
+  bool CacheTierSaturated() const {
+    return cache_saturated_ && cache_saturated_();
+  }
+
   const RedirectorStats& stats() const { return stats_; }
   AdmissionPolicy policy() const { return policy_; }
 
@@ -231,6 +249,7 @@ class Redirector {
   FreeSpaceGate free_gate_;
   int charge_owner_ = -1;
   std::function<bool()> cache_healthy_;
+  std::function<bool()> cache_saturated_;
   RedirectorStats stats_;
 };
 

@@ -31,6 +31,8 @@ S4DCache::S4DCache(sim::Engine& engine, pfs::FileSystem& dservers,
           engine_, dservers_, cservers_, dmt_, cdt_, redirector_,
           [this](const std::string& file) { return CacheFileName(file); },
           config_.rebuilder) {
+  // Dirty-age accounting: stamp clean→dirty transitions with sim time.
+  dmt_.SetClock([this] { return engine_.now(); });
   if (dmt_store != nullptr) {
     const Status s = dmt_.LoadFromStore();
     if (!s.ok()) {
@@ -70,6 +72,7 @@ double S4DCache::CacheTierWearFraction() const {
 }
 
 double S4DCache::CacheTierMeanQueueDepth() const {
+  if (queue_pressure_probe_) return queue_pressure_probe_();
   return cservers_.MeanQueueDepth();
 }
 
@@ -234,6 +237,7 @@ void S4DCache::Execute(device::IoKind kind, const mpiio::FileRequest& request,
     outcome.size = request.size;
     outcome.benefit = identifier_.last_benefit();
     outcome.predicted_dserver = identifier_.last_dserver_cost();
+    outcome.predicted_cserver = identifier_.last_cserver_cost();
     outcome.admitted = plan.admitted;
     outcome.cache_bytes = c_bytes;
     outcome.dserver_bytes = d_bytes;

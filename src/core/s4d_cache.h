@@ -108,6 +108,7 @@ struct RequestOutcome {
   byte_count size = 0;
   SimTime benefit = 0;            // health-scaled B at decision time
   SimTime predicted_dserver = 0;  // model's T_D at decision time
+  SimTime predicted_cserver = 0;  // model's health-scaled T_C at decision time
   bool admitted = false;          // the plan created a new mapping
   byte_count cache_bytes = 0;
   byte_count dserver_bytes = 0;
@@ -182,8 +183,31 @@ class S4DCache final : public mpiio::IoDispatch {
 
   // Mean per-server queue depth across the cache tier right now — the
   // pressure signal the policy subsystem's LBICA-style admission veto
-  // consults.
+  // consults. With a queue-pressure probe installed (calibration
+  // subsystem), the probe's client-side counters replace the servers'
+  // internal queue lengths — same signal, island-safe in parallel runs.
   double CacheTierMeanQueueDepth() const;
+
+  // --- calibration subsystem hooks ---------------------------------------
+  // Installs (or clears) the live cost-calibration provider on the owned
+  // CostModel; the DataIdentifier reads the model by reference, so fitted
+  // estimates flow into every admission decision. Not owned.
+  void SetCostCalibration(const CostCalibration* calibration) {
+    cost_model_.SetCalibration(calibration);
+  }
+  // Replaces CacheTierMeanQueueDepth's server-side reading with a
+  // client-side one (see above).
+  void SetQueuePressureProbe(std::function<double()> probe) {
+    queue_pressure_probe_ = std::move(probe);
+  }
+  // Fitted mean queue delay across the cache tier; 0 without a probe. The
+  // policy subsystem's time-unit pressure veto consults this.
+  void SetQueueDelayProbe(std::function<SimTime()> probe) {
+    queue_delay_probe_ = std::move(probe);
+  }
+  SimTime CacheTierQueueDelayEstimate() const {
+    return queue_delay_probe_ ? queue_delay_probe_() : 0;
+  }
 
   // --- policy subsystem hooks --------------------------------------------
   // Fires once per foreground request, at completion time, with the full
@@ -297,6 +321,8 @@ class S4DCache final : public mpiio::IoDispatch {
   std::uint64_t next_pending_id_ = 1;
   DirtyLossHook dirty_loss_hook_;
   RequestObserver request_observer_;
+  std::function<double()> queue_pressure_probe_;
+  std::function<SimTime()> queue_delay_probe_;
   RequestStartHook request_start_;
   std::function<void()> extra_audit_;
 

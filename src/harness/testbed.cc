@@ -4,6 +4,54 @@
 
 namespace s4d::harness {
 
+Status ApplyClusterOverrides(const ConfigParser& config, TestbedConfig& bed) {
+  device::HddProfile& hdd = bed.hdd;
+  device::SsdProfile& ssd = bed.ssd;
+  net::LinkProfile& link = bed.link;
+  hdd.transfer_bps =
+      config.DoubleOr("cluster", "hdd_transfer_bps", hdd.transfer_bps);
+  hdd.rpm = config.DoubleOr("cluster", "hdd_rpm", hdd.rpm);
+  hdd.average_seek =
+      config.DurationOr("cluster", "hdd_avg_seek", hdd.average_seek);
+  hdd.max_seek = config.DurationOr("cluster", "hdd_max_seek", hdd.max_seek);
+  hdd.track_to_track_seek =
+      config.DurationOr("cluster", "hdd_track_seek", hdd.track_to_track_seek);
+  hdd.command_overhead = config.DurationOr("cluster", "hdd_command_overhead",
+                                           hdd.command_overhead);
+  hdd.readahead_window =
+      config.SizeOr("cluster", "hdd_readahead", hdd.readahead_window);
+  ssd.read_bps = config.DoubleOr("cluster", "ssd_read_bps", ssd.read_bps);
+  ssd.write_bps = config.DoubleOr("cluster", "ssd_write_bps", ssd.write_bps);
+  ssd.read_latency =
+      config.DurationOr("cluster", "ssd_read_latency", ssd.read_latency);
+  ssd.write_latency =
+      config.DurationOr("cluster", "ssd_write_latency", ssd.write_latency);
+  link.bandwidth_bps =
+      config.DoubleOr("cluster", "link_bps", link.bandwidth_bps);
+  link.message_latency =
+      config.DurationOr("cluster", "link_latency", link.message_latency);
+  if (hdd.transfer_bps <= 0 || hdd.rpm <= 0 || ssd.read_bps <= 0 ||
+      ssd.write_bps <= 0 || link.bandwidth_bps <= 0) {
+    return Status::InvalidArgument(
+        "cluster.*_bps and cluster.hdd_rpm must be > 0");
+  }
+  if (hdd.average_seek <= 0 || hdd.max_seek < hdd.average_seek ||
+      hdd.track_to_track_seek <= 0) {
+    return Status::InvalidArgument(
+        "cluster hdd seek overrides must satisfy 0 < track_seek, "
+        "0 < avg_seek <= max_seek");
+  }
+  if (hdd.command_overhead < 0 || ssd.read_latency < 0 ||
+      ssd.write_latency < 0 || link.message_latency <= 0) {
+    return Status::InvalidArgument(
+        "cluster latency overrides must be >= 0 (link_latency > 0)");
+  }
+  if (hdd.readahead_window < 0) {
+    return Status::InvalidArgument("cluster.hdd_readahead must be >= 0");
+  }
+  return Status::Ok();
+}
+
 Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   if (config_.threads > 0) {
     S4D_CHECK(config_.link.message_latency > 0)

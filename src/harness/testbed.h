@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "common/config_parser.h"
 #include "common/ownership.h"
 #include "core/cost_model.h"
 #include "core/s4d_cache.h"
@@ -47,6 +48,29 @@ struct TestbedConfig {
   // value (including 1) produces the identical event timeline.
   int threads = 0;
 };
+
+// Applies schema-validated `cluster.*` overrides from an INI config onto
+// the testbed's device/link profiles, so experiments can model a different
+// cluster (faster disks, slower links) without recompiling. Only keys that
+// are present override; everything else keeps the paper's Table I/II
+// defaults. Key -> field:
+//   hdd_transfer_bps     -> hdd.transfer_bps       (double, bytes/s)
+//   hdd_rpm              -> hdd.rpm                (double)
+//   hdd_avg_seek         -> hdd.average_seek       (duration)
+//   hdd_max_seek         -> hdd.max_seek           (duration)
+//   hdd_track_seek       -> hdd.track_to_track_seek (duration)
+//   hdd_command_overhead -> hdd.command_overhead   (duration)
+//   hdd_readahead        -> hdd.readahead_window   (size)
+//   ssd_read_bps         -> ssd.read_bps           (double, bytes/s)
+//   ssd_write_bps        -> ssd.write_bps          (double, bytes/s)
+//   ssd_read_latency     -> ssd.read_latency       (duration)
+//   ssd_write_latency    -> ssd.write_latency      (duration)
+//   link_bps             -> link.bandwidth_bps     (double, bytes/s)
+//   link_latency         -> link.message_latency   (duration)
+// Returns InvalidArgument on non-positive values; the CostModel derives
+// its T_D/T_C parameters from these profiles, so overrides flow into the
+// paper's Eqs. 1-8 automatically.
+Status ApplyClusterOverrides(const ConfigParser& config, TestbedConfig& bed);
 
 class Testbed {
  public:

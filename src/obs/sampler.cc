@@ -23,7 +23,9 @@ void TimeSeriesSampler::SampleNow() {
   row.t = engine_.now();
   row.values.reserve(probes_.size());
   for (const auto& probe : probes_) row.values.push_back(probe());
+  const SimTime t = row.t;
   rows_.push_back(std::move(row));
+  if (tick_hook_) tick_hook_(t);
 }
 
 void TimeSeriesSampler::Tick() {

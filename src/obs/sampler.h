@@ -30,6 +30,14 @@ class TimeSeriesSampler {
     probes_.push_back(std::move(fn));
   }
 
+  // Invoked once per sample instant (after the probes), with the sample
+  // time. Lets a caller emit richer per-tick records — e.g. trace instants
+  // with multiple args — at the same cadence without a second timer. Must
+  // obey the same read-only contract as probes.
+  void SetTickHook(std::function<void(SimTime)> hook) {
+    tick_hook_ = std::move(hook);
+  }
+
   // Takes an immediate sample, then one per interval until Stop().
   void Start();
   void Stop();
@@ -55,6 +63,7 @@ class TimeSeriesSampler {
   sim::EventId pending_ = sim::kInvalidEvent;
   std::vector<std::string> names_;
   std::vector<std::function<double()>> probes_;
+  std::function<void(SimTime)> tick_hook_;
   std::vector<Row> rows_;
 };
 

@@ -341,6 +341,20 @@ void FileServer::Serve(ServerJob job) {
   stats_.positioning_time += costs.positioning;
   if (costs.positioning == 0) ++stats_.zero_positioning_jobs;
 
+  if (serve_tap_ != nullptr) {
+    ServeSample sample;
+    sample.kind = job.kind;
+    sample.priority = job.priority;
+    sample.size = job.size;
+    // enqueued_at was backed out by the arrival jitter in island mode, so
+    // this difference is the exact serial queue wait in both modes.
+    sample.wait = job.enqueued_at >= 0 ? engine_.now() - job.enqueued_at : 0;
+    sample.positioning = costs.positioning;
+    sample.service = service;
+    sample.start = serial_now;
+    serve_tap_(serve_tap_ctx_, sample);
+  }
+
   if (obs_ != nullptr) {
     const SimTime wait =
         job.enqueued_at >= 0 ? engine_.now() - job.enqueued_at : 0;

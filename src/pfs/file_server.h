@@ -93,6 +93,25 @@ struct S4D_WIRE_SAFE RemoteResponse {
 // dependency cycle; `ctx` is the owning FileSystem.
 using RemoteResponderFn = void (*)(void* ctx, const RemoteResponse& response);
 
+// Exact service decomposition of one served job, emitted from Serve() at
+// service start. `start` is the *serial* serve-start instant (island mode
+// backs the paid request-leg latency out), so taps see identical samples in
+// both engine modes. Consumers must treat their tap state as island-owned:
+// in island mode the tap fires on the server's island (per-server shards,
+// merged post-run — see src/calib).
+struct ServeSample {
+  device::IoKind kind = device::IoKind::kRead;
+  Priority priority = Priority::kNormal;
+  byte_count size = 0;
+  SimTime wait = 0;         // enqueue -> serve start
+  SimTime positioning = 0;  // seek + rotation (0 for SSDs)
+  SimTime service = 0;      // RPC + positioning + overlapped data phase
+  SimTime start = 0;        // serial serve-start instant
+};
+// Plain function pointer (no allocation on the serve path); `ctx` is the
+// consumer's per-server shard.
+using ServeTapFn = void (*)(void* ctx, const ServeSample& sample);
+
 struct ServerStats {
   std::int64_t requests = 0;             // normal-priority jobs served
   std::int64_t background_requests = 0;  // background jobs served
@@ -171,6 +190,14 @@ class FileServer {
   // write-back window being widened by transient background-I/O errors.
   void SetBackgroundErrorRate(double rate, std::uint64_t seed);
 
+  // Installs the serve tap (calibration telemetry). Null detaches. The tap
+  // fires once per *served* job (crash-failed and injected-error jobs never
+  // reach the device and are not sampled).
+  void SetServeTap(void* ctx, ServeTapFn tap) {
+    serve_tap_ctx_ = ctx;
+    serve_tap_ = tap;
+  }
+
   // Attaches the shared observability bundle. `fs_label` scopes the shared
   // per-file-system metrics (all servers of one FileSystem resolve the same
   // registry slots); the per-device EWMA service-latency gauge is published
@@ -234,6 +261,12 @@ class FileServer {
   std::int32_t remote_index_ = 0;
   void* remote_ctx_ = nullptr;
   RemoteResponderFn remote_responder_ = nullptr;
+
+  // Serve tap (null = off). Island-owned like the queues: the tap fires
+  // from Serve(), which runs on this server's island, and writes the
+  // consumer's per-server shard (merged post-run at quiescence).
+  S4D_ISLAND_GUARDED void* serve_tap_ctx_ = nullptr;
+  S4D_ISLAND_GUARDED ServeTapFn serve_tap_ = nullptr;
 
   // Observability (null = not observed). Handles are resolved once in
   // SetObservability so the service path pays pointer arithmetic only. In

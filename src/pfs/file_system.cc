@@ -106,6 +106,55 @@ void FileSystem::SetObservability(obs::Observability* obs) {
   });
 }
 
+void FileSystem::SetSubRequestSink(SubRequestSink* sink, std::uint32_t tag) {
+  S4D_CHECK(outstanding_subs_ == 0)
+      << "SetSubRequestSink with " << outstanding_subs_
+      << " sub-requests in flight (install before any I/O)";
+  sub_sink_ = sink;
+  sub_sink_tag_ = tag;
+  sub_depth_.assign(static_cast<std::size_t>(server_count()), 0);
+}
+
+FileSystem::SubTag* FileSystem::AcquireSubTag() {
+  if (subtag_free_.empty()) {
+    subtag_pool_.push_back(std::make_unique<SubTag>());
+    subtag_free_.push_back(subtag_pool_.back().get());
+  }
+  SubTag* tag = subtag_free_.back();
+  subtag_free_.pop_back();
+  return tag;
+}
+
+void FileSystem::EmitSubSample(int server, device::IoKind kind,
+                               Priority priority, byte_count size,
+                               std::int32_t depth, SimTime submit,
+                               SimTime complete, bool ok) {
+  SubRequestSample sample;
+  sample.tag = sub_sink_tag_;
+  sample.server = server;
+  sample.kind = kind;
+  sample.priority = priority;
+  sample.size = size;
+  sample.depth_at_submit = depth;
+  sample.submit_time = submit;
+  sample.complete_time = complete;
+  sample.ok = ok;
+  sub_sink_->OnSubRequestResolved(sample);
+}
+
+void FileSystem::SubTagArrive(SubTag* tag, SimTime t, bool ok) {
+  --sub_depth_[static_cast<std::size_t>(tag->server)];
+  Fanout* fanout = tag->fanout;
+  // Recycle before emitting/joining: either callback may submit follow-up
+  // I/O that re-acquires this tag.
+  const SubTag copy = *tag;
+  subtag_free_.push_back(tag);
+  EmitSubSample(copy.server, static_cast<device::IoKind>(copy.kind),
+                static_cast<Priority>(copy.priority), copy.size, copy.depth,
+                copy.submit, t, ok);
+  FanoutArrive(fanout, t, ok);
+}
+
 FileSystem::Fanout* FileSystem::AcquireFanout() {
   if (fanout_free_.empty()) {
     fanout_pool_.push_back(std::make_unique<Fanout>());
@@ -198,13 +247,27 @@ void FileSystem::Submit(FileId file, device::IoKind kind, byte_count offset,
     job.lba = base + sub.server_offset;
     job.size = sub.size;
     job.priority = priority;
-    // {this, state} fits std::function's inline buffer: no allocation.
-    job.on_complete = [this, state](SimTime t) {
-      FanoutArrive(state, t, true);
-    };
-    job.on_failure = [this, state](SimTime t) {
-      FanoutArrive(state, t, false);
-    };
+    if (sub_sink_ != nullptr) {
+      SubTag* tag = AcquireSubTag();
+      tag->fanout = state;
+      tag->submit = record.issue_time;
+      tag->size = sub.size;
+      tag->server = sub.server;
+      tag->depth = sub_depth_[static_cast<std::size_t>(sub.server)]++;
+      tag->kind = static_cast<std::uint8_t>(kind);
+      tag->priority = static_cast<std::uint8_t>(priority);
+      // {this, tag} fits std::function's inline buffer: no allocation.
+      job.on_complete = [this, tag](SimTime t) { SubTagArrive(tag, t, true); };
+      job.on_failure = [this, tag](SimTime t) { SubTagArrive(tag, t, false); };
+    } else {
+      // {this, state} fits std::function's inline buffer: no allocation.
+      job.on_complete = [this, state](SimTime t) {
+        FanoutArrive(state, t, true);
+      };
+      job.on_failure = [this, state](SimTime t) {
+        FanoutArrive(state, t, false);
+      };
+    }
     job.parent_span = parent_span;
     servers_[static_cast<std::size_t>(sub.server)]->Submit(std::move(job));
   }
@@ -220,6 +283,19 @@ void FileSystem::SubmitRemoteSub(int server, device::IoKind kind,
     // resolves on the next engine step at the submit time. The serial
     // FailJob stamps its observability synchronously at submit time.
     EmitRemoteSubFailure(server, parent_span);
+    if (sub_sink_ != nullptr) {
+      // The serial path tags this sub too (depth up at submit, down plus a
+      // failed sample at the next-step resolution); mirror it exactly.
+      const std::int32_t depth = sub_depth_[static_cast<std::size_t>(server)]++;
+      engine_.ScheduleAfter(0, [this, fanout, server, kind, size, priority,
+                                depth, submit = engine_.now()]() {
+        --sub_depth_[static_cast<std::size_t>(server)];
+        EmitSubSample(server, kind, priority, size, depth, submit,
+                      engine_.now(), false);
+        FanoutArrive(fanout, engine_.now(), false);
+      });
+      return;
+    }
     engine_.ScheduleAfter(0, [this, fanout]() {
       FanoutArrive(fanout, engine_.now(), false);
     });
@@ -247,6 +323,13 @@ void FileSystem::SubmitRemoteSub(int server, device::IoKind kind,
   stub.slots[slot] = PendingSub{ticket, fanout, arrive, parent_span,
                                 static_cast<std::uint8_t>(priority), true};
   ++stub.outstanding;
+  if (sub_sink_ != nullptr) {
+    PendingSub& pending = stub.slots[slot];
+    pending.submit = now;
+    pending.size = size;
+    pending.depth = sub_depth_[static_cast<std::size_t>(server)]++;
+    pending.kind = static_cast<std::uint8_t>(kind);
+  }
 
   // Span ids count in-memory trace records — far below 2^32 for any run
   // that fits in memory — so the wire narrows the parent to 32 bits.
@@ -300,6 +383,16 @@ void FileSystem::OnRemoteResponse(const RemoteResponse& response) {
   pending.live = false;
   stub.free_slots.push_back(response.reply_slot);
   --stub.outstanding;
+  if (sub_sink_ != nullptr) {
+    // engine_.now() is the serial-exact completion instant (the response
+    // was timed to land exactly when the serial engine would complete the
+    // sub), so this emission matches the classic path's SubTagArrive.
+    --sub_depth_[static_cast<std::size_t>(response.server)];
+    EmitSubSample(response.server, static_cast<device::IoKind>(pending.kind),
+                  static_cast<Priority>(pending.priority), pending.size,
+                  pending.depth, pending.submit, engine_.now(),
+                  !response.failed);
+  }
   FanoutArrive(fanout, engine_.now(), !response.failed);
 }
 
@@ -312,6 +405,10 @@ void FileSystem::FailOutstanding(int i) {
     std::uint64_t ticket;
     Fanout* fanout;
     obs::SpanId parent;
+    byte_count size;
+    SimTime submit;
+    std::int32_t depth;
+    std::uint8_t kind;
   };
   std::vector<Doomed> doomed;
   for (std::uint32_t slot = 0;
@@ -332,18 +429,30 @@ void FileSystem::FailOutstanding(int i) {
             // the arrival instant — stamp the failure at the same time.
             EmitRemoteSubFailure(i, p.parent);
             Fanout* fanout = p.fanout;
+            const PendingSub copy = p;
             p.live = false;
             s.free_slots.push_back(slot);
             --s.outstanding;
+            if (sub_sink_ != nullptr) {
+              engine_.ScheduleAfter(0, [this, fanout, i, copy]() {
+                --sub_depth_[static_cast<std::size_t>(i)];
+                EmitSubSample(i, static_cast<device::IoKind>(copy.kind),
+                              static_cast<Priority>(copy.priority), copy.size,
+                              copy.depth, copy.submit, engine_.now(), false);
+                FanoutArrive(fanout, engine_.now(), false);
+              });
+              return;
+            }
             engine_.ScheduleAfter(0, [this, fanout]() {
               FanoutArrive(fanout, engine_.now(), false);
             });
           });
       continue;
     }
-    doomed.push_back(
-        Doomed{pending.priority, pending.arrive_at, pending.ticket,
-               pending.fanout, pending.parent});
+    doomed.push_back(Doomed{pending.priority, pending.arrive_at,
+                            pending.ticket, pending.fanout, pending.parent,
+                            pending.size, pending.submit, pending.depth,
+                            pending.kind});
     pending.live = false;
     stub.free_slots.push_back(slot);
     --stub.outstanding;
@@ -358,6 +467,16 @@ void FileSystem::FailOutstanding(int i) {
   for (const Doomed& d : doomed) {
     // The serial Crash stamps each doomed job's failure at crash time.
     EmitRemoteSubFailure(i, d.parent);
+    if (sub_sink_ != nullptr) {
+      engine_.ScheduleAfter(0, [this, i, d]() {
+        --sub_depth_[static_cast<std::size_t>(i)];
+        EmitSubSample(i, static_cast<device::IoKind>(d.kind),
+                      static_cast<Priority>(d.priority), d.size, d.depth,
+                      d.submit, engine_.now(), false);
+        FanoutArrive(d.fanout, engine_.now(), false);
+      });
+      continue;
+    }
     engine_.ScheduleAfter(0, [this, fanout = d.fanout]() {
       FanoutArrive(fanout, engine_.now(), false);
     });

@@ -63,6 +63,31 @@ struct FsStats {
   std::int64_t failed_requests = 0;
 };
 
+// One resolved sub-request, as the *client* observed it: submitted at
+// `submit_time` when `depth_at_submit` subs were already outstanding on that
+// server, resolved at `complete_time`. Emitted at the serial-exact
+// resolution instant in both engine modes, so a consumer fed only these
+// samples (the calibration subsystem) makes identical decisions for any
+// --threads count. Failed subs are emitted too (ok = false) so consumers
+// can keep exact outstanding-depth accounting.
+struct SubRequestSample {
+  std::uint32_t tag = 0;  // echo of the SetSubRequestSink tag (tier id)
+  std::int32_t server = 0;
+  device::IoKind kind = device::IoKind::kRead;
+  Priority priority = Priority::kNormal;
+  byte_count size = 0;
+  std::int32_t depth_at_submit = 0;
+  SimTime submit_time = 0;
+  SimTime complete_time = 0;
+  bool ok = true;
+};
+
+class SubRequestSink {
+ public:
+  virtual ~SubRequestSink() = default;
+  virtual void OnSubRequestResolved(const SubRequestSample& sample) = 0;
+};
+
 // Island mode: places every server on its own ParallelEngine island while
 // the FileSystem object itself (striping, fan-out joins, stats, content
 // tracking) stays on the client island. Sub-requests travel as WireJob
@@ -151,6 +176,18 @@ class FileSystem {
   // island mode (live server queue depths would be a cross-island read).
   std::int64_t outstanding_subs() const { return outstanding_subs_; }
 
+  // Installs the per-sub-request observation sink (src/calib). `tag` is
+  // echoed in every sample so one sink can serve several FileSystems. Must
+  // be installed before any I/O (per-server depth counters start at zero)
+  // and only once; null is a no-op installation-wise but keeps the counters
+  // off. With no sink the submit/complete paths are bit-for-bit the
+  // pre-existing ones.
+  void SetSubRequestSink(SubRequestSink* sink, std::uint32_t tag);
+  // Client-maintained outstanding sub-requests per server; empty until a
+  // sink is installed. Exact in both engine modes (mirrors the resolution
+  // instants the island engine reproduces serially).
+  const std::vector<std::int32_t>& sub_depths() const { return sub_depth_; }
+
   // Aggregates across servers (for reports).
   ServerStats TotalServerStats() const;
 
@@ -203,6 +240,27 @@ class FileSystem {
   Fanout* AcquireFanout();
   void FanoutArrive(Fanout* fanout, SimTime t, bool ok);
 
+  // Classic-path per-sub observation state, pooled like Fanout so the
+  // instrumented submit path still performs no steady-state allocation
+  // (the completion lambdas capture {FileSystem*, SubTag*}: 16 bytes).
+  struct SubTag {
+    Fanout* fanout = nullptr;
+    SimTime submit = 0;
+    byte_count size = 0;
+    std::int32_t server = 0;
+    std::int32_t depth = 0;
+    std::uint8_t kind = 0;
+    std::uint8_t priority = 0;
+  };
+  SubTag* AcquireSubTag();
+  // Decrements the server's depth, emits the sample, recycles the tag,
+  // then joins the fan-out — the classic-mode twin of the island path's
+  // OnRemoteResponse emission (same relative order, same instants).
+  void SubTagArrive(SubTag* tag, SimTime t, bool ok);
+  void EmitSubSample(int server, device::IoKind kind, Priority priority,
+                     byte_count size, std::int32_t depth, SimTime submit,
+                     SimTime complete, bool ok);
+
   // Island mode: one pending sub-request, addressed by (slot, ticket). The
   // ticket check makes slot reuse safe against responses from a crashed
   // epoch still on the wire.
@@ -213,6 +271,12 @@ class FileSystem {
     obs::SpanId parent = obs::kNoSpan;  // request span, for failure instants
     std::uint8_t priority = 0;
     bool live = false;
+    // Sub-observation fields, filled only when a SubRequestSink is
+    // installed (client-side state; never crosses the wire).
+    SimTime submit = 0;
+    byte_count size = 0;
+    std::int32_t depth = 0;
+    std::uint8_t kind = 0;
   };
   // Client-side mirror of one remote server: enough state to route, fail,
   // and probe without touching the server's island.
@@ -274,6 +338,13 @@ class FileSystem {
   std::vector<std::function<void(const RequestRecord&)>> observers_;
   std::vector<std::unique_ptr<Fanout>> fanout_pool_;
   std::vector<Fanout*> fanout_free_;
+  // Sub-observation sink (null = tap off, zero-cost paths). Client-island
+  // state: samples are emitted from client-side resolution points only.
+  S4D_ISLAND_GUARDED SubRequestSink* sub_sink_ = nullptr;
+  std::uint32_t sub_sink_tag_ = 0;
+  S4D_ISLAND_GUARDED std::vector<std::int32_t> sub_depth_;
+  std::vector<std::unique_ptr<SubTag>> subtag_pool_;
+  std::vector<SubTag*> subtag_free_;
   FsStats stats_;
   std::int64_t outstanding_subs_ = 0;  // all modes; see outstanding_subs()
   // Island mode only: client-side failure accounting against the ROOT

@@ -16,6 +16,13 @@ bool AdmissionController::Admit(SimTime benefit, bool model_critical,
     ++stats_.pressure_vetoes;
     return false;
   }
+  // Time-unit variant: the calibrated queue-delay estimate speaks the same
+  // unit as B, so the bound transfers across device speeds.
+  if (config_.pressure_max_delay > 0 && delay_probe_ &&
+      delay_probe_() > config_.pressure_max_delay) {
+    ++stats_.pressure_vetoes;
+    return false;
+  }
   // Ghost-assisted admission: the range was evicted recently and is being
   // re-requested — direct evidence of reuse the cost model cannot see.
   if (ghost_hit && !model_critical) {

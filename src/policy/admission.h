@@ -43,6 +43,12 @@ struct AdmissionControllerConfig {
   // Pressure veto: mean CServer queue depth beyond which admissions are
   // vetoed. 0 disables the veto.
   double pressure_max_queue = 0.0;
+  // Time-unit pressure veto (calibration subsystem): estimated cache-tier
+  // queue *delay* beyond which admissions are vetoed. Unlike the depth
+  // bound above, this compares in the same unit the benefit B is computed
+  // in, so one bound works across device speeds. 0 disables it; without a
+  // delay probe it is inert.
+  SimTime pressure_max_delay = 0;
 };
 
 struct AdmissionControllerStats {
@@ -67,6 +73,13 @@ class AdmissionController {
     pressure_probe_ = std::move(probe);
   }
 
+  // Estimated cache-tier queue delay (fitted mean delay per outstanding
+  // sub-request × live depth); consulted per decision when
+  // `pressure_max_delay` bounds it. Null = inert.
+  void SetQueueDelayProbe(std::function<SimTime()> probe) {
+    delay_probe_ = std::move(probe);
+  }
+
   // Final admission verdict. `model_critical` is the Identifier's paper
   // verdict (B > 0 after the health veto), `benefit` the health-scaled B,
   // `ghost_hit` the eviction policy's would-have-hit evidence.
@@ -89,6 +102,7 @@ class AdmissionController {
  private:
   AdmissionControllerConfig config_;
   std::function<double()> pressure_probe_;
+  std::function<SimTime()> delay_probe_;
   SimTime threshold_ = 0;
   double ewma_gain_ = 1.0;  // optimistic start: trust the model until data
   AdmissionControllerStats stats_;

@@ -122,6 +122,12 @@ Result<PolicyConfig> ParsePolicyConfig(const ConfigParser& config) {
     return Status::InvalidArgument("policy.pressure_max_queue must be >= 0");
   }
 
+  out.admission.pressure_max_delay = config.DurationOr(
+      "policy", "pressure_max_delay", out.admission.pressure_max_delay);
+  if (out.admission.pressure_max_delay < 0) {
+    return Status::InvalidArgument("policy.pressure_max_delay must be >= 0");
+  }
+
   return out;
 }
 
@@ -149,6 +155,12 @@ void PolicyEngine::Attach(core::S4DCache& cache, obs::Observability* obs) {
   if (config_.admission.pressure_max_queue > 0.0) {
     controller_.SetPressureProbe(
         [this]() { return cache_->CacheTierMeanQueueDepth(); });
+  }
+  if (config_.admission.pressure_max_delay > 0) {
+    // Calibration-backed: the cache returns 0 until a calibration engine
+    // installs its delay probe, so the time-unit veto is inert without one.
+    controller_.SetQueueDelayProbe(
+        [this]() { return cache_->CacheTierQueueDelayEstimate(); });
   }
 
   cache.identifier().SetAdmissionFilter(

@@ -1,0 +1,200 @@
+#include "calib/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/driver.h"
+#include "harness/testbed.h"
+#include "mpiio/mpi_io.h"
+#include "workloads/ior.h"
+
+namespace s4d::calib {
+namespace {
+
+// --- ServerFit: the per-(server,kind) forgetting least-squares core -------
+
+TEST(ServerFit, RecoversLinearModel) {
+  // latency = 200 us + 50 ns/B * size + 30 us * depth, exactly.
+  ServerFit fit;
+  for (int pass = 0; pass < 8; ++pass) {
+    for (const double size : {4096.0, 16384.0, 65536.0}) {
+      for (int depth = 0; depth < 8; ++depth) {
+        fit.Add(0.99, size, depth, 200e3 + 50.0 * size + 30e3 * depth);
+      }
+    }
+  }
+  const ServerFit::Params p = fit.Solve(/*static_beta=*/999.0);
+  EXPECT_NEAR(p.ns_per_byte, 50.0, 0.5);
+  EXPECT_NEAR(p.queue_ns, 30e3, 300.0);
+  EXPECT_NEAR(p.startup_ns, 200e3, 2e3);
+}
+
+TEST(ServerFit, DegenerateSizeFallsBackToStaticBeta) {
+  // All sub-requests the same size: the size direction carries no signal,
+  // so the fit must keep the static per-byte slope and still recover the
+  // queue term from the depth spread.
+  ServerFit fit;
+  for (int pass = 0; pass < 32; ++pass) {
+    for (int depth = 0; depth < 8; ++depth) {
+      fit.Add(0.99, 16384.0, depth, 100e3 + 13.0 * 16384.0 + 25e3 * depth);
+    }
+  }
+  const ServerFit::Params p = fit.Solve(/*static_beta=*/13.0);
+  EXPECT_DOUBLE_EQ(p.ns_per_byte, 13.0);
+  EXPECT_NEAR(p.queue_ns, 25e3, 250.0);
+}
+
+TEST(ServerFit, StepChangeConverges) {
+  // Regime A: fast server. Regime B: the server slows 4x (degradation).
+  // The exponential forgetting must walk the fit to the new regime.
+  ServerFit fit;
+  for (int i = 0; i < 500; ++i) {
+    for (const double size : {8192.0, 32768.0}) {
+      fit.Add(0.95, size, 0.0, 100e3 + 10.0 * size);
+    }
+  }
+  ServerFit::Params p = fit.Solve(999.0);
+  EXPECT_NEAR(p.ns_per_byte, 10.0, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    for (const double size : {8192.0, 32768.0}) {
+      fit.Add(0.95, size, 0.0, 400e3 + 40.0 * size);
+    }
+  }
+  p = fit.Solve(999.0);
+  EXPECT_NEAR(p.ns_per_byte, 40.0, 1.0);
+  EXPECT_NEAR(p.startup_ns, 400e3, 10e3);
+}
+
+TEST(ServerFit, QueueDelayEstimateIsMonotoneInDepth) {
+  ServerFit fit;
+  for (int pass = 0; pass < 8; ++pass) {
+    for (const double size : {4096.0, 65536.0}) {
+      for (int depth = 0; depth < 6; ++depth) {
+        fit.Add(0.99, size, depth, 150e3 + 20.0 * size + 40e3 * depth);
+      }
+    }
+  }
+  const ServerFit::Params p = fit.Solve(999.0);
+  EXPECT_GT(p.queue_ns, 0.0);
+  // The composed estimate startup + b*size + c*depth must strictly grow
+  // with observed depth — the property the admission veto relies on.
+  double last = -1.0;
+  for (int depth = 0; depth < 32; ++depth) {
+    const double t = p.startup_ns + p.ns_per_byte * 16384.0 + p.queue_ns * depth;
+    EXPECT_GT(t, last);
+    last = t;
+  }
+}
+
+TEST(ServerFit, WarmupGateCountsUndecayedSamples) {
+  ServerFit fit;
+  for (int i = 0; i < 31; ++i) fit.Add(0.5, 4096.0, 0.0, 1e6);
+  EXPECT_FALSE(fit.Ready(32));
+  fit.Add(0.5, 4096.0, 0.0, 1e6);
+  EXPECT_TRUE(fit.Ready(32));
+}
+
+// --- Engine-level: shard merge equivalence and determinism ----------------
+
+struct CalibRun {
+  std::string report;
+  CalibStats stats;
+};
+
+// One small random-write IOR run with the calibration armed; returns the
+// merged per-server report and the engine's counters.
+CalibRun RunCalibrated(int threads, std::uint64_t seed = 7) {
+  harness::TestbedConfig bed_cfg;
+  bed_cfg.dservers = 4;
+  bed_cfg.cservers = 2;
+  bed_cfg.seed = seed;
+  bed_cfg.threads = threads;
+  harness::Testbed bed(bed_cfg);
+
+  core::S4DConfig cfg;
+  cfg.cache_capacity = 8 * MiB;
+  auto s4d = bed.MakeS4D(cfg);
+
+  CalibConfig cc;
+  cc.min_samples = 8;
+  cc.saturation_depth = 64.0;
+  CalibrationEngine cal(cc, bed.MakeCostModel().params());
+  cal.Attach(*s4d, bed.dservers(), bed.cservers(), nullptr);
+
+  mpiio::MpiIoLayer layer(bed.engine(), *s4d);
+  workloads::IorConfig wcfg;
+  wcfg.file = "calib-test.dat";
+  wcfg.ranks = 8;
+  wcfg.file_size = 8 * MiB;
+  wcfg.request_size = 16 * KiB;
+  wcfg.random = true;
+  wcfg.kind = device::IoKind::kWrite;
+  wcfg.seed = seed;
+  workloads::IorWorkload wl(wcfg);
+  harness::DriverOptions options;
+  options.parallel = bed.parallel();
+  harness::RunClosedLoop(layer, wl, options);
+
+  CalibRun run;
+  cal.MergeShards();
+  std::ostringstream out;
+  cal.PrintReport(out);
+  run.report = out.str();
+  run.stats = cal.stats();
+  return run;
+}
+
+TEST(CalibrationEngine, SerialAndIslandShardMergesAgree) {
+  // The client-side fits are serial-exact by construction; the server-side
+  // shards are island-written and merged post-run. Both views — the whole
+  // report — must be byte-identical between the serial engine and the
+  // island engine at any worker count.
+  const CalibRun serial = RunCalibrated(/*threads=*/0);
+  EXPECT_GT(serial.stats.samples, 0);
+  EXPECT_NE(serial.report.find("CPFS/server0"), std::string::npos);
+  for (const int threads : {1, 3}) {
+    const CalibRun island = RunCalibrated(threads);
+    EXPECT_EQ(serial.report, island.report) << "threads=" << threads;
+    EXPECT_EQ(serial.stats.samples, island.stats.samples);
+    EXPECT_EQ(serial.stats.declines, island.stats.declines);
+    EXPECT_EQ(serial.stats.dserver_estimates, island.stats.dserver_estimates);
+    EXPECT_EQ(serial.stats.cserver_estimates, island.stats.cserver_estimates);
+  }
+}
+
+TEST(CalibrationEngine, DeterminismGuard) {
+  // Two identical runs must produce identical fitted parameters, counters,
+  // and report text — the calibration adds no hidden nondeterminism.
+  const CalibRun a = RunCalibrated(/*threads=*/0);
+  const CalibRun b = RunCalibrated(/*threads=*/0);
+  EXPECT_EQ(a.report, b.report);
+  EXPECT_EQ(a.stats.samples, b.stats.samples);
+  EXPECT_EQ(a.stats.failed_samples, b.stats.failed_samples);
+  EXPECT_EQ(a.stats.declines, b.stats.declines);
+  EXPECT_EQ(a.stats.saturated_polls, b.stats.saturated_polls);
+}
+
+TEST(CalibrationEngine, ColdEngineDeclinesEveryEstimate) {
+  harness::TestbedConfig bed_cfg;
+  bed_cfg.dservers = 4;
+  bed_cfg.cservers = 2;
+  harness::Testbed bed(bed_cfg);
+  core::S4DConfig cfg;
+  cfg.cache_capacity = 8 * MiB;
+  auto s4d = bed.MakeS4D(cfg);
+  CalibConfig cc;
+  CalibrationEngine cal(cc, bed.MakeCostModel().params());
+  cal.Attach(*s4d, bed.dservers(), bed.cservers(), nullptr);
+  // No samples yet: every estimate must decline (return -1), leaving the
+  // cost model on its static closed forms.
+  EXPECT_EQ(cal.CServerEstimate(device::IoKind::kWrite, 0, 64 * KiB), -1);
+  EXPECT_EQ(cal.DServerEstimate(FromMillis(3), 0, 64 * KiB), -1);
+  EXPECT_EQ(cal.stats().declines, 2);
+  EXPECT_EQ(cal.CServerQueueDelayEstimate(), 0);
+  EXPECT_FALSE(cal.CacheTierSaturated());
+}
+
+}  // namespace
+}  // namespace s4d::calib

@@ -134,5 +134,92 @@ INSTANTIATE_TEST_SUITE_P(Distances, CostModelCrossover,
                                   "MiB";
                          });
 
+// --- Calibration provider hook ---------------------------------------------
+
+// Scriptable provider: returns the configured values (negative = decline)
+// and records what the model handed it.
+class FakeCalibration : public CostCalibration {
+ public:
+  SimTime DServerEstimate(SimTime static_startup, byte_count offset,
+                          byte_count size) const override {
+    last_startup = static_startup;
+    last_d_size = size;
+    (void)offset;
+    return d_return;
+  }
+  SimTime CServerEstimate(device::IoKind kind, byte_count offset,
+                          byte_count size) const override {
+    (void)kind;
+    (void)offset;
+    last_c_size = size;
+    return c_return;
+  }
+
+  SimTime d_return = -1;
+  SimTime c_return = -1;
+  mutable SimTime last_startup = -1;
+  mutable byte_count last_d_size = -1;
+  mutable byte_count last_c_size = -1;
+};
+
+TEST(CostModelCalibration, ZeroSizeNeverConsultsTheProvider) {
+  CostModel model(PaperParams());
+  FakeCalibration fake;
+  fake.d_return = FromMillis(9);
+  fake.c_return = FromMillis(9);
+  model.SetCalibration(&fake);
+  // The size guard fires before the provider: zero-size requests stay free
+  // even under a provider that would report a huge cost.
+  EXPECT_EQ(model.DServerCost(1 * GiB, 0, 0), 0);
+  EXPECT_EQ(model.CServerCost(device::IoKind::kWrite, 0, 0), 0);
+  EXPECT_EQ(fake.last_d_size, -1);
+  EXPECT_EQ(fake.last_c_size, -1);
+}
+
+TEST(CostModelCalibration, DecliningProviderMatchesStaticByteForByte) {
+  CostModel plain(PaperParams());
+  CostModel calibrated(PaperParams());
+  FakeCalibration fake;  // declines everything (returns -1)
+  calibrated.SetCalibration(&fake);
+  // Grid including cross-stripe requests (offset+size spanning several
+  // 64 KiB stripes) — the paper-default path must be bit-identical.
+  for (const byte_count offset : {0L, 32 * KiB, 96 * KiB}) {
+    for (const byte_count size : {4 * KiB, 64 * KiB, 192 * KiB, 4 * MiB}) {
+      for (const byte_count distance : {0L, 1 * MiB, 1 * GiB}) {
+        EXPECT_EQ(plain.DServerCost(distance, offset, size),
+                  calibrated.DServerCost(distance, offset, size));
+        EXPECT_EQ(plain.CServerCost(device::IoKind::kWrite, offset, size),
+                  calibrated.CServerCost(device::IoKind::kWrite, offset, size));
+        EXPECT_EQ(plain.Benefit(device::IoKind::kRead, distance, offset, size),
+                  calibrated.Benefit(device::IoKind::kRead, distance, offset,
+                                     size));
+      }
+    }
+  }
+}
+
+TEST(CostModelCalibration, CrossStripeRequestUsesProviderEstimate) {
+  CostModel model(PaperParams());
+  FakeCalibration fake;
+  fake.d_return = FromMillis(7);
+  fake.c_return = FromMillis(2);
+  model.SetCalibration(&fake);
+  // 192 KiB at offset 32 KiB spans four 64 KiB stripes on both tiers.
+  const byte_count offset = 32 * KiB;
+  const byte_count size = 192 * KiB;
+  EXPECT_EQ(model.DServerCost(1 * GiB, offset, size), FromMillis(7));
+  EXPECT_EQ(model.CServerCost(device::IoKind::kWrite, offset, size),
+            FromMillis(2));
+  // The provider saw the whole request and the model's structural startup
+  // (positive for a random-distance request).
+  EXPECT_EQ(fake.last_d_size, size);
+  EXPECT_EQ(fake.last_c_size, size);
+  EXPECT_GT(fake.last_startup, 0);
+  // Fitted parameters already embody degradation: the health scale must
+  // NOT be re-applied on top of a calibrated T_C.
+  EXPECT_EQ(model.CServerCost(device::IoKind::kWrite, offset, size, 4.0),
+            FromMillis(2));
+}
+
 }  // namespace
 }  // namespace s4d::core

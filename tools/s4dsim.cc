@@ -78,6 +78,7 @@
 #include <optional>
 #include <vector>
 
+#include "calib/calibration.h"
 #include "common/config_parser.h"
 #include "common/table_printer.h"
 #include "core/s4d_cache.h"
@@ -135,7 +136,12 @@ Status ValidateConfig(const ConfigParser& config) {
   static const std::map<std::string, std::vector<std::string>> kSchema = {
       {"cluster",
        {"dservers", "cservers", "stripe", "verify_content", "ssd_pe_cycles",
-        "ssd_write_amp", "threads"}},
+        "ssd_write_amp", "threads",
+        // Device/link profile overrides (harness::ApplyClusterOverrides).
+        "hdd_transfer_bps", "hdd_rpm", "hdd_avg_seek", "hdd_max_seek",
+        "hdd_track_seek", "hdd_command_overhead", "hdd_readahead",
+        "ssd_read_bps", "ssd_write_bps", "ssd_read_latency",
+        "ssd_write_latency", "link_bps", "link_latency"}},
       {"middleware",
        {"type", "cache_capacity", "policy", "rebuild_interval",
         "metadata_overhead", "dmt_update_latency", "degraded_reads",
@@ -153,7 +159,10 @@ Status ValidateConfig(const ConfigParser& config) {
       {"policy",
        {"mode", "eviction", "admission", "destage", "ghost_capacity",
         "window_requests", "seq_distance_max", "ewma_alpha", "threshold_step",
-        "threshold_max", "pressure_max_queue"}},
+        "threshold_max", "pressure_max_queue", "pressure_max_delay"}},
+      {"calib",
+       {"enable", "forget", "min_samples", "queue_gain", "saturation_depth",
+        "calibrate_dservers", "calibrate_cservers"}},
       {"tenants", tenant::TenantsSectionKeys()},
   };
   return config.ValidateKnownKeys(kSchema);
@@ -213,6 +222,56 @@ std::unique_ptr<tenant::TenantManager> MakeTenantManager(
       engine, tenant::TenantRegistry(std::move(*parsed), ranks), obs);
   manager->Attach(*s4d);
   return manager;
+}
+
+// Builds the calibration engine for a parsed [calib] section, or null when
+// the config has no such section (or calib.enable = false) — the
+// byte-identical static-cost-model path. Exits on configuration errors.
+std::unique_ptr<calib::CalibrationEngine> MakeCalibration(
+    const ConfigParser& config, harness::Testbed& bed, core::S4DCache* s4d,
+    obs::Observability* obs) {
+  bool present = false;
+  for (const auto& [key, value] : config.entries()) {
+    if (key.rfind("calib.", 0) == 0) {
+      present = true;
+      break;
+    }
+  }
+  if (!present) return nullptr;
+  if (!config.BoolOr("calib", "enable", true)) return nullptr;
+  if (s4d == nullptr) {
+    std::fprintf(stderr,
+                 "calib config error: [calib] needs middleware.type = s4d\n");
+    std::exit(1);
+  }
+  calib::CalibConfig cfg;
+  cfg.forget = config.DoubleOr("calib", "forget", cfg.forget);
+  cfg.min_samples = config.IntOr("calib", "min_samples", cfg.min_samples);
+  cfg.queue_gain = config.DoubleOr("calib", "queue_gain", cfg.queue_gain);
+  cfg.saturation_depth =
+      config.DoubleOr("calib", "saturation_depth", cfg.saturation_depth);
+  cfg.calibrate_dservers =
+      config.BoolOr("calib", "calibrate_dservers", cfg.calibrate_dservers);
+  cfg.calibrate_cservers =
+      config.BoolOr("calib", "calibrate_cservers", cfg.calibrate_cservers);
+  if (cfg.forget <= 0.0 || cfg.forget > 1.0) {
+    std::fprintf(stderr, "calib config error: calib.forget must be in (0, 1]\n");
+    std::exit(1);
+  }
+  if (cfg.min_samples < 1) {
+    std::fprintf(stderr, "calib config error: calib.min_samples must be >= 1\n");
+    std::exit(1);
+  }
+  if (cfg.queue_gain < 0.0 || cfg.saturation_depth < 0.0) {
+    std::fprintf(stderr,
+                 "calib config error: calib.queue_gain and "
+                 "calib.saturation_depth must be >= 0\n");
+    std::exit(1);
+  }
+  auto engine = std::make_unique<calib::CalibrationEngine>(
+      cfg, bed.MakeCostModel().params());
+  engine->Attach(*s4d, bed.dservers(), bed.cservers(), obs);
+  return engine;
 }
 
 std::unique_ptr<workloads::Workload> MakeWorkload(const ConfigParser& config) {
@@ -388,6 +447,11 @@ int Run(const ConfigParser& config) {
                  bed_cfg.threads);
     return 1;
   }
+  if (const Status overrides = harness::ApplyClusterOverrides(config, bed_cfg);
+      !overrides.ok()) {
+    std::fprintf(stderr, "config error: %s\n", overrides.ToString().c_str());
+    return 1;
+  }
   harness::Testbed bed(bed_cfg);
 
   trace::TraceCollector collector;
@@ -438,6 +502,17 @@ int Run(const ConfigParser& config) {
       MakePolicyEngine(config, s4d.get(), observed ? &obs : nullptr);
   auto tenant_manager = MakeTenantManager(config, bed.engine(), s4d.get(),
                                           observed ? &obs : nullptr);
+  auto calibration =
+      MakeCalibration(config, bed, s4d.get(), observed ? &obs : nullptr);
+  if (calibration) {
+    std::printf("calibration: forget %g, min_samples %lld, queue gain %g%s\n",
+                calibration->config().forget,
+                static_cast<long long>(calibration->config().min_samples),
+                calibration->config().queue_gain,
+                calibration->config().saturation_depth > 0.0
+                    ? ", saturation probe armed"
+                    : "");
+  }
 
   harness::ContentChecker checker;
   harness::DriverOptions run_options;
@@ -508,6 +583,42 @@ int Run(const ConfigParser& config) {
       });
       sampler.AddProbe("s4d.cache_tier_slowdown",
                        [cache] { return cache->CacheTierSlowdown(); });
+      // Age of the oldest / median dirty extent: how long acknowledged data
+      // has been exposed to cache-tier loss. Client-island state (the DMT
+      // lives on island 0), so the series is island-safe.
+      sampler.AddProbe("s4d.dirty_age_oldest_us", [cache, &bed] {
+        return ToMicros(
+            cache->dmt().SummarizeDirtyAges(bed.engine().now()).oldest);
+      });
+      sampler.AddProbe("s4d.dirty_age_p50_us", [cache, &bed] {
+        return ToMicros(
+            cache->dmt().SummarizeDirtyAges(bed.engine().now()).p50);
+      });
+    }
+    if (calibration) {
+      calib::CalibrationEngine* cal = calibration.get();
+      sampler.AddProbe("calib.cserver_mean_depth",
+                       [cal] { return cal->MeanCServerDepth(); });
+      sampler.AddProbe("calib.samples", [cal] {
+        return static_cast<double>(cal->stats().samples);
+      });
+    }
+    if (s4d && !trace_out.empty()) {
+      // Per-tick dirty-age instant: richer than the two scalar series above
+      // (extent count + oldest/mean/p50) at the same cadence.
+      core::S4DCache* cache = s4d.get();
+      obs::Observability* ob = &obs;
+      const std::uint32_t dirty_lane = obs.tracer.Lane("dmt");
+      sampler.SetTickHook([cache, ob, dirty_lane](SimTime t) {
+        const core::DataMappingTable::DirtyAgeSummary ages =
+            cache->dmt().SummarizeDirtyAges(t);
+        const obs::SpanId id =
+            ob->tracer.Instant(dirty_lane, "dirty.age", "dmt", t);
+        ob->tracer.AddArg(id, "extents", ages.dirty_extents);
+        ob->tracer.AddArg(id, "oldest_us_x10", ages.oldest / 100);
+        ob->tracer.AddArg(id, "mean_us_x10", ages.mean / 100);
+        ob->tracer.AddArg(id, "p50_us_x10", ages.p50 / 100);
+      });
     }
     sampler.Start();
   }
@@ -663,6 +774,22 @@ int Run(const ConfigParser& config) {
           static_cast<long long>(policy_engine->stats().policy_switches));
     }
     if (tenant_manager) tenant_manager->PrintReport();
+    if (calibration) {
+      std::printf("\n-- calibration --\n");
+      calibration->MergeShards();
+      calibration->PrintReport(std::cout);
+    }
+    const auto& drs = s4d->redirector_stats();
+    if (drs.saturation_write_bypasses + drs.saturation_read_bypasses +
+            drs.saturation_fetch_suppressions >
+        0) {
+      std::printf(
+          "saturation: %lld write bypasses, %lld critical-read bypasses, "
+          "%lld fetch suppressions\n",
+          static_cast<long long>(drs.saturation_write_bypasses),
+          static_cast<long long>(drs.saturation_read_bypasses),
+          static_cast<long long>(drs.saturation_fetch_suppressions));
+    }
   }
 
   if (!schedule->empty()) {
@@ -724,6 +851,12 @@ int Run(const ConfigParser& config) {
     // (post-run, at quiescence) so the exports below see one registry and
     // one tracer exactly as in serial mode.
     obs.MergeShards();
+    if (calibration && !trace_out.empty()) {
+      // Re-merge: the report above may have run before the fault drain, and
+      // the per-server instants should carry the final shard totals.
+      calibration->MergeShards();
+      calibration->ExportTrace(obs, bed.engine().now());
+    }
     if (!trace_out.empty()) {
       std::ofstream out(trace_out);
       if (!out) {
@@ -826,6 +959,11 @@ SeedMetrics RunOneSeed(const ConfigParser& base, std::uint64_t seed) {
       config.DoubleOr("cluster", "ssd_pe_cycles", bed_cfg.ssd.pe_cycle_budget);
   bed_cfg.ssd.write_amplification = config.DoubleOr(
       "cluster", "ssd_write_amp", bed_cfg.ssd.write_amplification);
+  if (const Status overrides = harness::ApplyClusterOverrides(config, bed_cfg);
+      !overrides.ok()) {
+    std::fprintf(stderr, "config error: %s\n", overrides.ToString().c_str());
+    std::exit(1);
+  }
   harness::Testbed bed(bed_cfg);
 
   const std::string mw_type = config.StringOr("middleware", "type", "s4d");
@@ -855,6 +993,7 @@ SeedMetrics RunOneSeed(const ConfigParser& base, std::uint64_t seed) {
   auto policy_engine = MakePolicyEngine(config, s4d.get(), nullptr);
   auto tenant_manager =
       MakeTenantManager(config, bed.engine(), s4d.get(), nullptr);
+  auto calibration = MakeCalibration(config, bed, s4d.get(), nullptr);
 
   fault::FaultInjector injector(bed.engine(), bed.dservers(), bed.cservers(),
                                 s4d.get());

@@ -9,7 +9,10 @@
 // throughput/latency table; "tenant.window" instants (a multi-tenant run
 // with a partition sizer) are folded into a per-tenant summary table. This
 // is a line-oriented scan of our own exporter's stable output — one event
-// per line — not a general JSON parser.
+// per line — not a general JSON parser. "calib.server" instants (a run with
+// the [calib] cost-model calibration armed) become a per-server fitted-
+// parameter table, and "dirty.age" instants (the sampler's per-tick
+// age-of-dirty-data export) a compact timeline summary.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +56,30 @@ struct TenantAgg {
   double quota_bytes = 0.0;
   double ewma = 0.0;
   double write_mbps = 0.0;
+};
+
+// Last-seen "calib.server" instant per server (the calibration engine
+// exports one per server at end of run; fixed-point x10 / x100 args).
+struct CalibServerRow {
+  std::string tier;
+  double jobs = 0.0;
+  double mean_wait_us = 0.0;
+  double mean_svc_us = 0.0;
+  double fit_n = 0.0;
+  double startup_us = 0.0;
+  double ns_per_kb = 0.0;
+  double queue_us = 0.0;
+};
+
+// Aggregate over "dirty.age" instants (one per sampler tick; ages are
+// fixed-point x10 microseconds).
+struct DirtyAgeAgg {
+  long long ticks = 0;
+  double peak_extents = 0.0;
+  double peak_oldest_us = 0.0;
+  double last_extents = 0.0;
+  double last_oldest_us = 0.0;
+  double last_p50_us = 0.0;
 };
 
 // Extracts the JSON string value following `"<key>":"` on this line, undoing
@@ -102,6 +129,8 @@ int main(int argc, char** argv) {
   std::map<std::string, long long> instants;
   std::vector<ReplayWindowRow> replay_windows;
   std::map<std::string, TenantAgg> tenants;
+  std::vector<std::pair<std::string, CalibServerRow>> calib_servers;
+  DirtyAgeAgg dirty_age;
   long long events = 0;
   std::string line;
   while (std::getline(in, line)) {
@@ -147,6 +176,44 @@ int main(int argc, char** argv) {
         if (ExtractNumber(line, "ewma_x1000", &v)) agg.ewma = v / 1000.0;
         if (ExtractNumber(line, "write_mbps_x100", &v))
           agg.write_mbps = v / 100.0;
+      } else if (name == "calib.server") {
+        std::string who;
+        if (!ExtractString(line, "server", &who)) continue;
+        CalibServerRow row;
+        ExtractString(line, "tier", &row.tier);
+        ExtractNumber(line, "jobs", &row.jobs);
+        ExtractNumber(line, "fit_n", &row.fit_n);
+        double v = 0.0;
+        if (ExtractNumber(line, "mean_wait_us_x10", &v))
+          row.mean_wait_us = v / 10.0;
+        if (ExtractNumber(line, "mean_svc_us_x10", &v))
+          row.mean_svc_us = v / 10.0;
+        if (ExtractNumber(line, "startup_us_x10", &v))
+          row.startup_us = v / 10.0;
+        if (ExtractNumber(line, "ns_per_kb_x10", &v)) row.ns_per_kb = v / 10.0;
+        if (ExtractNumber(line, "queue_us_x100", &v)) row.queue_us = v / 100.0;
+        bool replaced = false;
+        for (auto& [existing, existing_row] : calib_servers) {
+          if (existing == who) {
+            existing_row = row;
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) calib_servers.emplace_back(who, row);
+      } else if (name == "dirty.age") {
+        ++dirty_age.ticks;
+        double v = 0.0;
+        if (ExtractNumber(line, "extents", &v)) {
+          dirty_age.last_extents = v;
+          dirty_age.peak_extents = std::max(dirty_age.peak_extents, v);
+        }
+        if (ExtractNumber(line, "oldest_us_x10", &v)) {
+          dirty_age.last_oldest_us = v / 10.0;
+          dirty_age.peak_oldest_us =
+              std::max(dirty_age.peak_oldest_us, v / 10.0);
+        }
+        if (ExtractNumber(line, "p50_us_x10", &v)) dirty_age.last_p50_us = v / 10.0;
       }
     }
   }
@@ -200,6 +267,24 @@ int main(int argc, char** argv) {
                   agg.quota_bytes / (1024.0 * 1024.0), agg.ewma,
                   agg.write_mbps);
     }
+  }
+  if (!calib_servers.empty()) {
+    std::printf("\n%-18s %-5s %8s %12s %12s %8s %10s %9s %9s\n", "server",
+                "tier", "jobs", "mean_wait_us", "mean_svc_us", "fit_n",
+                "startup_us", "ns_per_kb", "queue_us");
+    for (const auto& [who, row] : calib_servers) {
+      std::printf("%-18s %-5s %8.0f %12.1f %12.1f %8.0f %10.1f %9.1f %9.2f\n",
+                  who.c_str(), row.tier.c_str(), row.jobs, row.mean_wait_us,
+                  row.mean_svc_us, row.fit_n, row.startup_us, row.ns_per_kb,
+                  row.queue_us);
+    }
+  }
+  if (dirty_age.ticks > 0) {
+    std::printf("\ndirty age: %lld samples, peak %0.f extents / oldest "
+                "%.1f us; last %.0f extents, oldest %.1f us, p50 %.1f us\n",
+                dirty_age.ticks, dirty_age.peak_extents,
+                dirty_age.peak_oldest_us, dirty_age.last_extents,
+                dirty_age.last_oldest_us, dirty_age.last_p50_us);
   }
   return 0;
 }
